@@ -1,0 +1,45 @@
+"""Ablation: sample budgets implied by the three VC bounds of Table I.
+
+Translates the VC-dimension comparison into what actually matters — the
+worst-case number of samples ``c/eps^2 (VC + ln 1/delta)`` each bound allows
+the sampler to stop at.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import render_table
+from repro.experiments.tables import table1_vc_bounds
+from repro.stats.vc import vc_sample_size
+
+
+def test_ablation_vc_sample_budgets(benchmark, runner):
+    rows = benchmark.pedantic(
+        lambda: table1_vc_bounds(runner=runner), rounds=1, iterations=1
+    )
+    epsilon, delta = 0.05, 0.01
+    table = []
+    for row in rows:
+        budget_rk = vc_sample_size(epsilon, delta, row.report.riondato_vc)
+        budget_full = vc_sample_size(epsilon, delta, row.report.bicomponent_vc)
+        budget_subset = vc_sample_size(epsilon, delta, row.report.personalized_vc)
+        table.append(
+            (
+                row.dataset,
+                row.subset_kind,
+                budget_rk,
+                budget_full,
+                budget_subset,
+                f"{budget_rk / budget_subset:.2f}x",
+            )
+        )
+        assert budget_subset <= budget_full <= budget_rk
+    print("\n== Ablation: worst-case sample budgets from the VC bounds "
+          f"(epsilon={epsilon}, delta={delta}) ==")
+    print(
+        render_table(
+            ["dataset", "subset", "N_max (diameter VC)", "N_max (bi-component VC)",
+             "N_max (personalized VC)", "saving"],
+            table,
+        )
+    )
+    benchmark.extra_info["num_rows"] = len(table)

@@ -1,0 +1,97 @@
+"""Micro-benchmarks of the substrate primitives.
+
+These are classic pytest-benchmark timings (multiple rounds) of the graph
+kernels everything else is built on: biconnected decomposition, block-cut
+tree construction, balanced bidirectional BFS, one ``Gen_bc`` sample, the
+``Exact_bc`` pass and one full Brandes single-source dependency pass.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.centrality.brandes import single_source_dependencies
+from repro.graphs.bidirectional import bidirectional_shortest_paths
+from repro.graphs.biconnected import biconnected_components
+from repro.graphs.block_cut_tree import build_block_cut_tree
+from repro.saphyra_bc.exact_bc import exact_two_hop_risks
+from repro.saphyra_bc.gen_bc import GenBC
+from repro.saphyra_bc.isp import PersonalizedISP
+
+
+@pytest.fixture(scope="module")
+def social_graph(runner):
+    return runner.dataset("livejournal").graph
+
+
+@pytest.fixture(scope="module")
+def road_graph(runner):
+    return runner.dataset("usa-road").graph
+
+
+def test_bench_biconnected_components(benchmark, social_graph):
+    decomposition = benchmark(biconnected_components, social_graph)
+    assert decomposition.components
+
+
+def test_bench_block_cut_tree(benchmark, social_graph):
+    tree = benchmark(build_block_cut_tree, social_graph)
+    assert tree.gamma > 0
+
+
+def test_bench_bidirectional_bfs_social(benchmark, social_graph):
+    nodes = list(social_graph.nodes())
+    rng = random.Random(3)
+    pairs = [tuple(rng.sample(nodes, 2)) for _ in range(64)]
+    state = {"index": 0}
+
+    def one_query():
+        source, target = pairs[state["index"] % len(pairs)]
+        state["index"] += 1
+        return bidirectional_shortest_paths(social_graph, source, target)
+
+    result = benchmark(one_query)
+    assert result.distance is None or result.distance >= 1
+
+
+def test_bench_bidirectional_bfs_road(benchmark, road_graph):
+    nodes = list(road_graph.nodes())
+    rng = random.Random(3)
+    pairs = [tuple(rng.sample(nodes, 2)) for _ in range(64)]
+    state = {"index": 0}
+
+    def one_query():
+        source, target = pairs[state["index"] % len(pairs)]
+        state["index"] += 1
+        return bidirectional_shortest_paths(road_graph, source, target)
+
+    result = benchmark(one_query)
+    assert result.distance is None or result.distance >= 1
+
+
+def test_bench_gen_bc_sample(benchmark, runner, social_graph):
+    targets = runner.subsets("livejournal", 40, 1)[0]
+    space = PersonalizedISP(
+        social_graph, targets, block_cut_tree=runner.block_cut_tree("livejournal")
+    )
+    generator = GenBC(space, targets)
+    rng = random.Random(9)
+    path = benchmark(lambda: generator.sample_path(rng))
+    assert len(path) >= 2
+
+
+def test_bench_exact_bc(benchmark, runner, social_graph):
+    targets = runner.subsets("livejournal", 40, 1)[0]
+    space = PersonalizedISP(
+        social_graph, targets, block_cut_tree=runner.block_cut_tree("livejournal")
+    )
+    evaluation = benchmark(exact_two_hop_risks, space, targets)
+    assert 0.0 <= evaluation.lambda_exact <= 1.0
+
+
+def test_bench_brandes_single_source(benchmark, social_graph):
+    source = next(iter(social_graph.nodes()))
+    dependencies = benchmark(single_source_dependencies, social_graph, source)
+    assert dependencies

@@ -1,0 +1,52 @@
+"""Fig. 3: running time vs epsilon for ABRA, KADABRA, SaPHyRa_bc-full, SaPHyRa_bc.
+
+The absolute numbers are pure-Python seconds on surrogate graphs; the figure's
+message is the *ordering* and the *trend*: SaPHyRa_bc (subset) should not be
+slower than SaPHyRa_bc-full, and the gap between the subset-aware methods and
+the whole-network baselines should widen as epsilon shrinks.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure3_running_time
+from repro.experiments.report import render_table
+from repro.experiments.runner import ALGORITHM_LABELS
+
+
+def test_fig3_running_time(benchmark, runner):
+    rows = benchmark.pedantic(lambda: runner.epsilon_sweep(), rounds=1, iterations=1)
+    series = figure3_running_time(rows=rows)
+    for dataset, curves in series.items():
+        print(f"\n== Fig. 3 ({dataset}): mean running time in seconds ==")
+        epsilons = sorted({x for points in curves.values() for x, _ in points}, reverse=True)
+        print(
+            render_table(
+                ["epsilon"] + list(curves),
+                [
+                    [eps] + [
+                        next((t for x, t in curves[label] if x == eps), "-")
+                        for label in curves
+                    ]
+                    for eps in epsilons
+                ],
+            )
+        )
+
+    # Structural claim: ranking only a subset is never slower on average than
+    # ranking the whole network with the same machinery.
+    saphyra_label = ALGORITHM_LABELS["saphyra"]
+    full_label = ALGORITHM_LABELS["saphyra_full"]
+    faster_cells = 0
+    total_cells = 0
+    for curves in series.values():
+        for (eps_a, subset_time), (eps_b, full_time) in zip(
+            curves[saphyra_label], curves[full_label]
+        ):
+            assert eps_a == eps_b
+            total_cells += 1
+            if subset_time <= full_time:
+                faster_cells += 1
+    assert faster_cells >= 0.7 * total_cells
+    benchmark.extra_info["subset_faster_than_full_fraction"] = (
+        faster_cells / total_cells
+    )

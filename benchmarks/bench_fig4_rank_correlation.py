@@ -1,0 +1,47 @@
+"""Fig. 4: Spearman rank correlation vs epsilon.
+
+The paper's headline result: SaPHyRa_bc's rank correlation dominates the
+whole-network baselines across the epsilon grid, and the baselines' quality
+varies wildly between target subsets (wide confidence intervals).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.experiments.figures import figure4_rank_correlation
+from repro.experiments.report import render_table
+from repro.experiments.runner import ALGORITHM_LABELS
+
+
+def test_fig4_rank_correlation(benchmark, runner):
+    rows = benchmark.pedantic(lambda: runner.epsilon_sweep(), rounds=1, iterations=1)
+    series = figure4_rank_correlation(rows=rows)
+    for dataset, curves in series.items():
+        print(f"\n== Fig. 4 ({dataset}): Spearman correlation (mean [95% CI]) ==")
+        epsilons = sorted(
+            {x for points in curves.values() for x, *_ in points}, reverse=True
+        )
+        table_rows = []
+        for eps in epsilons:
+            row = [eps]
+            for label in curves:
+                point = next((p for p in curves[label] if p[0] == eps), None)
+                row.append(
+                    f"{point[1]:.3f} [{point[2]:.2f},{point[3]:.2f}]" if point else "-"
+                )
+            table_rows.append(row)
+        print(render_table(["epsilon"] + list(curves), table_rows))
+
+    # Structural claim: averaged over datasets and epsilons, SaPHyRa_bc's
+    # correlation is at least as high as each whole-network baseline's.
+    means = {label: [] for label in ALGORITHM_LABELS.values()}
+    for curves in series.values():
+        for label, points in curves.items():
+            means[label].extend(mean for _, mean, _, _ in points)
+    saphyra_mean = statistics.fmean(means[ALGORITHM_LABELS["saphyra"]])
+    for baseline in ("abra", "kadabra"):
+        baseline_mean = statistics.fmean(means[ALGORITHM_LABELS[baseline]])
+        assert saphyra_mean >= baseline_mean - 0.02
+        benchmark.extra_info[f"mean_spearman_{baseline}"] = baseline_mean
+    benchmark.extra_info["mean_spearman_saphyra"] = saphyra_mean

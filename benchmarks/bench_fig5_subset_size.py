@@ -1,0 +1,47 @@
+"""Fig. 5: rank correlation vs subset size at fixed epsilon.
+
+The paper observes that the whole-network baselines' ranking quality gets
+*noisier* as the subset shrinks (their estimate ignores the subset), while
+SaPHyRa_bc stays high across sizes.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.experiments.figures import figure5_subset_size
+from repro.experiments.report import render_table
+
+
+def test_fig5_subset_size(benchmark, runner):
+    rows = benchmark.pedantic(
+        lambda: figure5_subset_size(runner=runner, epsilon=0.1),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n== Fig. 5: Spearman correlation by subset size (epsilon = 0.1) ==")
+    print(
+        render_table(
+            ["dataset", "algorithm", "subset size", "mean spearman", "ci low", "ci high"],
+            [
+                (
+                    row.dataset,
+                    row.algorithm,
+                    row.subset_size,
+                    row.mean_spearman,
+                    row.spearman_ci_low,
+                    row.spearman_ci_high,
+                )
+                for row in rows
+            ],
+        )
+    )
+    # Structural claim: averaged over datasets and sizes SaPHyRa_bc is at
+    # least as good as the baselines.
+    by_algorithm = {}
+    for row in rows:
+        by_algorithm.setdefault(row.algorithm, []).append(row.mean_spearman)
+    saphyra = statistics.fmean(by_algorithm["saphyra"])
+    for baseline in ("abra", "kadabra"):
+        assert saphyra >= statistics.fmean(by_algorithm[baseline]) - 0.02
+    benchmark.extra_info["mean_spearman_saphyra"] = saphyra

@@ -1,0 +1,46 @@
+"""Fig. 7: USA-road case study — per-area running time, rank quality and
+rank deviation (ABRA omitted, as in the paper it "cannot finish")."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure7_road_case_study
+from repro.experiments.report import render_table
+
+
+def test_fig7_usa_road_case_study(benchmark, runner):
+    rows = benchmark.pedantic(
+        lambda: figure7_road_case_study(runner=runner, epsilon=0.1),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n== Fig. 7: USA-road case study (epsilon = 0.1) ==")
+    print(
+        render_table(
+            ["area", "algorithm", "nodes", "time (s)", "spearman", "rank dev. %"],
+            [
+                (
+                    row.area,
+                    row.algorithm,
+                    row.num_nodes,
+                    row.running_time_seconds,
+                    row.spearman,
+                    row.rank_deviation_percent,
+                )
+                for row in rows
+            ],
+        )
+    )
+    assert {row.area for row in rows} == {"NYC", "BAY", "CO", "FL"}
+
+    # SaPHyRa_bc's running time grows with the area size (NYC cheapest, FL
+    # most expensive), the paper's subset-scaling observation.
+    saphyra_rows = [row for row in rows if row.algorithm == "saphyra"]
+    saphyra_rows.sort(key=lambda row: row.num_nodes)
+    assert saphyra_rows[0].running_time_seconds <= saphyra_rows[-1].running_time_seconds * 1.5
+
+    # Rank deviation stays bounded for the subset-aware method.
+    for row in saphyra_rows:
+        assert row.rank_deviation_percent < 40.0
+        benchmark.extra_info[f"saphyra_rank_dev_{row.area}"] = (
+            row.rank_deviation_percent
+        )

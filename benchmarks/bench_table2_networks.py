@@ -1,0 +1,41 @@
+"""Table II: networks summary (nodes, edges, diameter, block structure)."""
+
+from __future__ import annotations
+
+from repro.experiments.report import render_table
+from repro.experiments.tables import table2_networks
+
+
+def test_table2_networks(benchmark, runner):
+    rows = benchmark.pedantic(
+        lambda: table2_networks(runner=runner), rounds=1, iterations=1
+    )
+    print("\n== Table II: networks summary (surrogate vs. paper scale) ==")
+    print(
+        render_table(
+            ["dataset", "nodes", "edges", "diameter", "blocks", "cutpoints",
+             "paper nodes", "paper edges", "paper diam."],
+            [
+                (
+                    row.dataset,
+                    row.summary.num_nodes,
+                    row.summary.num_edges,
+                    row.summary.diameter,
+                    row.summary.num_blocks,
+                    row.summary.num_cutpoints,
+                    f"{row.paper_nodes:.1e}",
+                    f"{row.paper_edges:.1e}",
+                    row.paper_diameter,
+                )
+                for row in rows
+            ],
+        )
+    )
+    assert len(rows) == len(runner.config.datasets)
+    for row in rows:
+        benchmark.extra_info[f"{row.dataset}_nodes"] = row.summary.num_nodes
+        benchmark.extra_info[f"{row.dataset}_edges"] = row.summary.num_edges
+    # The road surrogate must have a much larger diameter than the social
+    # surrogates, as in the paper's Table II.
+    by_name = {row.dataset: row for row in rows}
+    assert by_name["usa-road"].summary.diameter > by_name["orkut"].summary.diameter

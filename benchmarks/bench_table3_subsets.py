@@ -1,0 +1,25 @@
+"""Table III: geographic subsets of the USA-road surrogate."""
+
+from __future__ import annotations
+
+from repro.experiments.report import render_table
+from repro.experiments.tables import table3_subsets
+
+
+def test_table3_road_subsets(benchmark, runner):
+    rows = benchmark.pedantic(
+        lambda: table3_subsets(runner=runner), rounds=1, iterations=1
+    )
+    print("\n== Table III: USA-road geographic subsets ==")
+    print(
+        render_table(
+            ["area", "nodes", "edges"],
+            [(row.area, row.num_nodes, row.num_edges) for row in rows],
+        )
+    )
+    assert len(rows) == 4
+    sizes = [row.num_nodes for row in rows]
+    # NYC < BAY < CO < FL ordering, as in the paper's Table III.
+    assert sizes == sorted(sizes)
+    for row in rows:
+        benchmark.extra_info[row.area] = row.num_nodes

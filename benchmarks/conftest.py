@@ -1,0 +1,47 @@
+"""Shared configuration for the benchmark harness.
+
+The benchmarks regenerate every table and figure of the paper at a
+laptop-friendly scale.  A single session-scoped :class:`ExperimentRunner` is
+shared across benchmark modules so that datasets, ground truth and the
+whole-network baseline estimates are computed once and reused, exactly as the
+paper's evaluation reuses them across figures.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+(the ``-s`` flag shows the rendered tables).  Scale knobs can be raised via
+the ``REPRO_BENCH_SCALE`` / ``REPRO_BENCH_SUBSETS`` environment variables.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentRunner
+
+
+def bench_config() -> ExperimentConfig:
+    """The benchmark-wide configuration (environment-tunable)."""
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "0.2"))
+    num_subsets = int(os.environ.get("REPRO_BENCH_SUBSETS", "2"))
+    return ExperimentConfig(
+        datasets=("flickr", "livejournal", "usa-road", "orkut"),
+        scale=scale,
+        seed=7,
+        epsilons=(0.2, 0.1, 0.05),
+        delta=0.01,
+        subset_size=40,
+        num_subsets=num_subsets,
+        subset_sizes=(10, 20, 40),
+        max_samples_cap=30_000,
+    )
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """Session-wide experiment runner shared by all benchmarks."""
+    return ExperimentRunner(bench_config())

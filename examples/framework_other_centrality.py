@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Using the generic SaPHyRa framework for a different centrality (k-path).
+
+The paper positions SaPHyRa as a *framework*: any centrality that can be
+estimated by sampling can be turned into a hypothesis-ranking problem, and
+the exact/approximate sample-space split carries over.  This example ranks
+nodes by k-path centrality — the paper's own second worked example — with
+the exact subspace covering all length-1 walks.
+
+Run with::
+
+    python examples/framework_other_centrality.py
+"""
+
+from __future__ import annotations
+
+from repro.centrality.kpath import KPathCentralityEstimator, kpath_centrality_exact
+from repro.datasets import load
+from repro.metrics import spearman_rank_correlation
+
+
+def main() -> None:
+    dataset = load("karate")
+    graph = dataset.graph
+    k = 4
+    print(f"Graph: {dataset.name}; k-path centrality with k = {k}\n")
+
+    targets = sorted(graph.nodes())[:15]
+    estimator = KPathCentralityEstimator(k=k, epsilon=0.03, delta=0.05, seed=5)
+    result = estimator.rank(graph, targets)
+
+    print(f"Samples used: {result.num_samples} "
+          f"(lambda-hat = {result.lambda_exact:.3f}, "
+          f"converged by {result.converged_by})")
+
+    exact = kpath_centrality_exact(graph, k)
+    exact_subset = {node: exact[node] for node in targets}
+
+    print("\nrank | node | estimate   | exact")
+    for position, node in enumerate(result.ranking, start=1):
+        estimate = result.scores()[node]
+        print(f"{position:4d} | {node:4d} | {estimate:.6f}   | {exact[node]:.6f}")
+
+    correlation = spearman_rank_correlation(exact_subset, result.scores())
+    print(f"\nSpearman rank correlation vs. exact: {correlation:.3f}")
+    print("\nThe same SaPHyRa orchestrator that powers betweenness ranking is")
+    print("reused verbatim: only the sample space (walks instead of shortest")
+    print("paths) and the exact-subspace evaluation changed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""USA-road case study: rank intersections of a geographic area.
+
+Mirrors Section V's case study (Table III / Fig. 7): a road network is huge
+and has an enormous diameter, but an urban planner only cares about the
+intersections of one metropolitan area.  SaPHyRa_bc ranks exactly that
+subset, and its running time shrinks with the subset, while whole-network
+estimators pay the full-network cost regardless.
+
+Run with::
+
+    python examples/road_network_analysis.py [--scale 0.4]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.baselines import KADABRA
+from repro.centrality import betweenness_centrality
+from repro.datasets import load, road_areas
+from repro.metrics import average_rank_deviation, spearman_rank_correlation
+from repro.saphyra_bc import SaPHyRaBC
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.4)
+    parser.add_argument("--epsilon", type=float, default=0.05)
+    parser.add_argument("--seed", type=int, default=3)
+    args = parser.parse_args()
+
+    dataset = load("usa-road", scale=args.scale, seed=args.seed)
+    graph = dataset.graph
+    print(f"Road surrogate: {graph.number_of_nodes()} nodes, "
+          f"{graph.number_of_edges()} edges")
+
+    areas = road_areas(dataset.coordinates, graph=graph)
+    print("\nGeographic areas (Table III analogue):")
+    for name, nodes in sorted(areas.items(), key=lambda item: len(item[1])):
+        sub = graph.subgraph(nodes)
+        print(f"  {name:<4} {sub.number_of_nodes():>6} nodes "
+              f"{sub.number_of_edges():>6} edges")
+
+    print("\nComputing exact ground truth (Brandes)...")
+    truth = betweenness_centrality(graph)
+
+    print("\nKADABRA estimates the whole network once (cost independent of the area):")
+    kadabra = KADABRA(args.epsilon, 0.01, seed=args.seed).estimate(graph)
+    print(f"  time {kadabra.wall_time_seconds:.2f}s, {kadabra.num_samples} samples")
+
+    print(f"\n{'area':<6}{'method':<14}{'time (s)':>10}{'spearman':>10}"
+          f"{'rank dev %':>12}")
+    for name, nodes in sorted(areas.items(), key=lambda item: len(item[1])):
+        truth_subset = {node: truth[node] for node in nodes}
+        saphyra = SaPHyRaBC(args.epsilon, 0.01, seed=args.seed).rank(graph, nodes)
+        for method, seconds, scores in (
+            ("SaPHyRa_bc", saphyra.wall_time_seconds, saphyra.scores),
+            ("KADABRA", kadabra.wall_time_seconds, kadabra.subset_scores(nodes)),
+        ):
+            print(f"{name:<6}{method:<14}{seconds:>10.2f}"
+                  f"{spearman_rank_correlation(truth_subset, scores):>10.3f}"
+                  f"{average_rank_deviation(truth_subset, scores):>12.1f}")
+
+    print("\nSmaller areas -> smaller SaPHyRa_bc running time (the paper's NYC vs.")
+    print("FL observation), while the whole-network estimator's cost is flat.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Rank a search-result subset of a social network and compare against
+whole-network baselines.
+
+This is the paper's motivating scenario: a search query matched a few dozen
+accounts and we want to order them by importance *now*, without estimating
+centrality for the whole network.  The script:
+
+1. builds the LiveJournal surrogate (a scaled-down power-law social graph);
+2. picks a random "search result" subset of 60 nodes;
+3. ranks it with SaPHyRa_bc, and with the whole-network baselines ABRA and
+   KADABRA projected onto the subset;
+4. reports running time, Spearman correlation against exact ground truth and
+   the false-zero counts that explain the quality gap.
+
+Run with::
+
+    python examples/social_subset_ranking.py [--scale 0.3] [--subset-size 60]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.baselines import ABRA, KADABRA
+from repro.centrality import betweenness_centrality
+from repro.datasets import load, random_subset
+from repro.metrics import classify_zeros, spearman_rank_correlation
+from repro.saphyra_bc import SaPHyRaBC
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.3)
+    parser.add_argument("--subset-size", type=int, default=60)
+    parser.add_argument("--epsilon", type=float, default=0.05)
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args()
+
+    dataset = load("livejournal", scale=args.scale, seed=args.seed)
+    graph = dataset.graph
+    print(f"Graph: {dataset.name} surrogate — {graph.number_of_nodes()} nodes, "
+          f"{graph.number_of_edges()} edges")
+
+    targets = random_subset(graph, args.subset_size, seed=args.seed)
+    print(f"Target subset: {len(targets)} random nodes (the 'search result')\n")
+
+    print("Computing exact ground truth with Brandes (only possible at this scale)...")
+    truth = betweenness_centrality(graph)
+    truth_subset = {node: truth[node] for node in targets}
+
+    print(f"{'method':<18}{'time (s)':>10}{'samples':>10}{'spearman':>10}"
+          f"{'false zeros':>13}")
+    rows = []
+
+    saphyra = SaPHyRaBC(args.epsilon, 0.01, seed=args.seed)
+    result = saphyra.rank(graph, targets)
+    rows.append(("SaPHyRa_bc", result.wall_time_seconds, result.num_samples,
+                 result.scores))
+
+    for name, estimator in (
+        ("KADABRA", KADABRA(args.epsilon, 0.01, seed=args.seed)),
+        ("ABRA", ABRA(args.epsilon, 0.01, seed=args.seed)),
+    ):
+        baseline = estimator.estimate(graph)
+        rows.append((name, baseline.wall_time_seconds, baseline.num_samples,
+                     baseline.subset_scores(targets)))
+
+    for name, seconds, samples, scores in rows:
+        correlation = spearman_rank_correlation(truth_subset, scores)
+        zeros = classify_zeros(truth_subset, scores)
+        print(f"{name:<18}{seconds:>10.2f}{samples:>10d}{correlation:>10.3f}"
+              f"{zeros.false_zeros:>13d}")
+
+    print("\nSaPHyRa_bc never produces false zeros (Lemma 19): every target that")
+    print("lies on any shortest path gets a positive estimate from the exact")
+    print("2-hop subspace, which is what keeps the low-centrality part of the")
+    print("ranking meaningful.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Sampling baselines the paper compares against.
+
+All baselines estimate betweenness for *every* node of the network — that is
+precisely the paper's point: whole-network estimators cannot exploit a small
+target subset, and their additive guarantees translate into poor rankings for
+the (many) nodes with small betweenness.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.abra import ABRA
+from repro.baselines.bader import BaderPivot
+from repro.baselines.base import BaselineResult
+from repro.baselines.ego import EgoBetweenness, ego_betweenness
+from repro.baselines.kadabra import KADABRA
+from repro.baselines.rk import RiondatoKornaropoulos
+
+__all__ = [
+    "BaselineResult",
+    "ABRA",
+    "KADABRA",
+    "RiondatoKornaropoulos",
+    "BaderPivot",
+    "EgoBetweenness",
+    "ego_betweenness",
+]

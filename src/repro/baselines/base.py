@@ -1,0 +1,52 @@
+"""Shared result type and helpers for the whole-network baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List
+
+from repro.core.ranking import rank_scores
+
+Node = Hashable
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of a whole-network betweenness estimation run.
+
+    Attributes
+    ----------
+    algorithm:
+        Name of the estimator (``"abra"``, ``"kadabra"``, ...).
+    scores:
+        ``{node: estimated betweenness}`` for every node of the graph,
+        normalised by ``n (n - 1)``.
+    num_samples:
+        Number of samples drawn (pairs or paths, depending on the method).
+    epsilon, delta:
+        The requested additive guarantee.
+    converged_by:
+        ``"adaptive"`` when the stopping rule fired before the cap,
+        ``"cap"`` when the maximum sample size was reached, ``"fixed"`` for
+        fixed-size estimators.
+    wall_time_seconds:
+        Wall-clock time of the estimation (excluding graph loading).
+    """
+
+    algorithm: str
+    scores: Dict[Node, float]
+    num_samples: int
+    epsilon: float
+    delta: float
+    converged_by: str = "fixed"
+    wall_time_seconds: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def subset_scores(self, targets: Iterable[Node]) -> Dict[Node, float]:
+        """Project the whole-network estimate onto a target subset."""
+        return {node: self.scores.get(node, 0.0) for node in targets}
+
+    def ranking(self, targets: Iterable[Node] | None = None) -> List[Node]:
+        """Ranking (descending score, ties by id) of ``targets`` or all nodes."""
+        scores = self.scores if targets is None else self.subset_scores(targets)
+        return rank_scores(scores)

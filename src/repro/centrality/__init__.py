@@ -1,0 +1,22 @@
+"""Exact centrality measures and the k-path sampling example."""
+
+from __future__ import annotations
+
+from repro.centrality.brandes import (
+    betweenness_centrality,
+    betweenness_subset,
+    single_source_dependencies,
+)
+from repro.centrality.closeness import closeness_centrality
+from repro.centrality.degree import degree_centrality
+from repro.centrality.kpath import KPathCentralityEstimator, kpath_centrality_exact
+
+__all__ = [
+    "betweenness_centrality",
+    "betweenness_subset",
+    "single_source_dependencies",
+    "degree_centrality",
+    "closeness_centrality",
+    "KPathCentralityEstimator",
+    "kpath_centrality_exact",
+]

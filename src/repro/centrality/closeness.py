@@ -1,0 +1,43 @@
+"""Closeness centrality (exact, BFS per node).
+
+Included because the paper's conclusion lists closeness as the next
+centrality the SaPHyRa framework should be extended to; the exact values let
+examples and tests compare rankings across measures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Optional
+
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import bfs_distances
+
+Node = Hashable
+
+
+def closeness_centrality(
+    graph: Graph, nodes: Optional[Iterable[Node]] = None
+) -> Dict[Node, float]:
+    """Harmonic-free classic closeness ``(r - 1) / sum of distances`` scaled by
+    the reachable fraction ``(r - 1) / (n - 1)`` (Wasserman–Faust), which
+    handles disconnected graphs gracefully.
+
+    Parameters
+    ----------
+    nodes:
+        Restrict the computation to these nodes (defaults to all nodes).
+    """
+    n = graph.number_of_nodes()
+    selected = list(nodes) if nodes is not None else list(graph.nodes())
+    result: Dict[Node, float] = {}
+    for node in selected:
+        distances = bfs_distances(graph, node)
+        reachable = len(distances)
+        total = sum(distances.values())
+        if total > 0 and n > 1 and reachable > 1:
+            closeness = (reachable - 1) / total
+            closeness *= (reachable - 1) / (n - 1)
+        else:
+            closeness = 0.0
+        result[node] = closeness
+    return result

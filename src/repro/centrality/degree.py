@@ -1,0 +1,20 @@
+"""Degree centrality (used as a cheap sanity baseline in examples)."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable
+
+from repro.graphs.graph import Graph
+
+Node = Hashable
+
+
+def degree_centrality(graph: Graph, *, normalized: bool = True) -> Dict[Node, float]:
+    """Return the (optionally normalised) degree of every node.
+
+    With ``normalized=True`` the degree is divided by ``n - 1`` so values lie
+    in ``[0, 1]``.
+    """
+    n = graph.number_of_nodes()
+    scale = 1.0 / (n - 1) if normalized and n > 1 else 1.0
+    return {node: graph.degree(node) * scale for node in graph.nodes()}

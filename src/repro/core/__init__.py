@@ -1,0 +1,46 @@
+"""The SaPHyRa hypothesis-ranking framework (the paper's core contribution).
+
+The framework is independent of betweenness centrality: anything that can be
+phrased as *"rank k hypotheses by their expected risk over a sample space"*
+and can split that sample space into an exactly-evaluated part and a
+sampled part can use it (Section III of the paper).  The betweenness
+instantiation lives in :mod:`repro.saphyra_bc`; a k-path-centrality
+instantiation built on the generic pieces lives in
+:mod:`repro.centrality.kpath`.
+"""
+
+from __future__ import annotations
+
+from repro.core.adaptive import AdaptiveSampler, ApproximateEstimate
+from repro.core.estimation import ExactEvaluation, SaPHyRaResult
+from repro.core.hypothesis import (
+    CallableHypothesisClass,
+    HypothesisClass,
+    SetMembershipHypothesisClass,
+    zero_one_loss,
+)
+from repro.core.problem import EnumeratedProblem, HypothesisRankingProblem
+from repro.core.ranking import rank_scores, ranking_to_ranks
+from repro.core.risk import empirical_risks, exact_expected_risks
+from repro.core.sample_space import EnumeratedSampleSpace, WeightedSample
+from repro.core.saphyra import SaPHyRa
+
+__all__ = [
+    "SaPHyRa",
+    "SaPHyRaResult",
+    "ExactEvaluation",
+    "AdaptiveSampler",
+    "ApproximateEstimate",
+    "HypothesisClass",
+    "CallableHypothesisClass",
+    "SetMembershipHypothesisClass",
+    "zero_one_loss",
+    "HypothesisRankingProblem",
+    "EnumeratedProblem",
+    "EnumeratedSampleSpace",
+    "WeightedSample",
+    "exact_expected_risks",
+    "empirical_risks",
+    "rank_scores",
+    "ranking_to_ranks",
+]

@@ -1,0 +1,225 @@
+"""Adaptive sampling of the approximate subspace (lines 6-20 of Algorithm 1).
+
+The estimator draws an initial pilot batch to estimate per-hypothesis
+variances, allocates the error probability across hypotheses (Eq. 13), then
+repeatedly doubles the sample size until either every hypothesis' empirical
+Bernstein deviation drops below the target ``epsilon'`` or the VC-dimension
+sample-size cap ``N_max`` is reached (at which point the guarantee follows
+from Lemma 4 instead).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.stats.allocation import allocate_error_probabilities
+from repro.stats.bernstein import empirical_bernstein_bound
+from repro.stats.vc import vc_sample_size
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_probability_pair
+
+LossSampler = Callable[[object], Mapping[int, float]]
+
+
+@dataclass
+class ApproximateEstimate:
+    """Outcome of the adaptive estimation of the approximate-subspace risks.
+
+    Attributes
+    ----------
+    estimates:
+        Per-hypothesis empirical risks under ``D-tilde``.
+    deviations:
+        Final empirical Bernstein deviations (one per hypothesis).
+    num_samples:
+        Samples drawn in the main stage (excludes the pilot batch).
+    num_pilot_samples:
+        Pilot samples used for variance estimation.
+    num_rounds:
+        Doubling rounds executed.
+    converged_by:
+        ``"bernstein"`` when the adaptive stopping rule fired, ``"vc"`` when
+        the sampler stopped at the VC-bound cap.
+    delta_allocations:
+        The per-hypothesis error probabilities used by the stopping rule.
+    """
+
+    estimates: List[float]
+    deviations: List[float]
+    num_samples: int
+    num_pilot_samples: int
+    num_rounds: int
+    converged_by: str
+    delta_allocations: List[float] = field(default_factory=list)
+
+
+class _RiskAccumulator:
+    """Streaming sums for ``k`` hypotheses sharing one global sample count."""
+
+    __slots__ = ("count", "totals", "totals_sq")
+
+    def __init__(self, num_hypotheses: int) -> None:
+        self.count = 0
+        self.totals = [0.0] * num_hypotheses
+        self.totals_sq = [0.0] * num_hypotheses
+
+    def add(self, losses: Mapping[int, float]) -> None:
+        self.count += 1
+        for index, loss in losses.items():
+            self.totals[index] += loss
+            self.totals_sq[index] += loss * loss
+
+    def mean(self, index: int) -> float:
+        if self.count == 0:
+            return 0.0
+        return self.totals[index] / self.count
+
+    def variance(self, index: int) -> float:
+        if self.count < 2:
+            return 0.0
+        total = self.totals[index]
+        centered = self.totals_sq[index] - total * total / self.count
+        return max(0.0, centered / (self.count - 1))
+
+    def means(self) -> List[float]:
+        return [self.mean(index) for index in range(len(self.totals))]
+
+
+class AdaptiveSampler:
+    """Empirical-Bernstein adaptive estimator with a VC-dimension cap.
+
+    Parameters
+    ----------
+    epsilon, delta:
+        Target accuracy and failure probability *for the quantity being
+        sampled* (the caller passes ``epsilon' = epsilon / lambda`` when the
+        estimate is later scaled by ``lambda``).
+    vc_dimension:
+        Upper bound on the VC dimension of the hypothesis class; controls
+        the maximum sample size.
+    sample_constant:
+        The constant ``c`` of Lemma 4 (default 0.5).
+    min_pilot_samples:
+        Lower bound on the pilot batch size (keeps variance estimates from
+        being degenerate when ``ln(1/delta)/epsilon^2`` is tiny).
+    max_samples_cap:
+        Optional hard cap on the number of samples regardless of the VC
+        bound (useful to keep experiments bounded on huge epsilon-lambda
+        combinations).
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        delta: float,
+        vc_dimension: float,
+        *,
+        sample_constant: float = 0.5,
+        min_pilot_samples: int = 32,
+        max_samples_cap: Optional[int] = None,
+    ) -> None:
+        check_probability_pair(epsilon, delta)
+        if vc_dimension < 0:
+            raise ValueError(f"vc_dimension must be >= 0, got {vc_dimension}")
+        self.epsilon = epsilon
+        self.delta = delta
+        self.vc_dimension = vc_dimension
+        self.sample_constant = sample_constant
+        self.min_pilot_samples = min_pilot_samples
+        self.max_samples_cap = max_samples_cap
+
+    # ------------------------------------------------------------------
+    def initial_sample_size(self) -> int:
+        """``N_0 = c / eps^2 * ln(1/delta)`` (Algorithm 1, line 6)."""
+        raw = self.sample_constant / (self.epsilon**2) * math.log(1.0 / self.delta)
+        size = max(self.min_pilot_samples, math.ceil(raw))
+        if self.max_samples_cap is not None:
+            size = min(size, self.max_samples_cap)
+        return max(2, size)
+
+    def maximum_sample_size(self) -> int:
+        """``N_max = c / eps^2 * (VC + ln(1/delta))`` (Algorithm 1, line 7)."""
+        size = vc_sample_size(
+            self.epsilon, self.delta, self.vc_dimension, constant=self.sample_constant
+        )
+        size = max(size, self.initial_sample_size())
+        if self.max_samples_cap is not None:
+            size = min(size, self.max_samples_cap)
+        return max(2, size)
+
+    # ------------------------------------------------------------------
+    def estimate(
+        self,
+        sample_losses: LossSampler,
+        num_hypotheses: int,
+        rng: SeedLike = None,
+    ) -> ApproximateEstimate:
+        """Run the adaptive estimation loop.
+
+        Parameters
+        ----------
+        sample_losses:
+            Callable drawing one sample from ``D-tilde`` and returning its
+            sparse losses, i.e. ``problem.sample_losses``.
+        num_hypotheses:
+            Number of hypotheses ``k``.
+        rng:
+            Seed or RNG for reproducibility.
+        """
+        if num_hypotheses < 1:
+            raise ValueError(f"num_hypotheses must be >= 1, got {num_hypotheses}")
+        rng = ensure_rng(rng)
+        initial = self.initial_sample_size()
+        maximum = self.maximum_sample_size()
+        num_rounds = max(1, math.ceil(math.log2(max(1.0, maximum / initial))))
+
+        # Pilot batch: independent samples used only for variance estimation
+        # and the per-hypothesis delta allocation.
+        pilot = _RiskAccumulator(num_hypotheses)
+        for _ in range(initial):
+            pilot.add(sample_losses(rng))
+        pilot_variances = [pilot.variance(index) for index in range(num_hypotheses)]
+        delta_allocations = allocate_error_probabilities(
+            pilot_variances,
+            target_epsilon=self.epsilon,
+            delta=self.delta,
+            num_rounds=num_rounds,
+            max_samples=maximum,
+        )
+
+        accumulator = _RiskAccumulator(num_hypotheses)
+        target = initial
+        converged_by = "vc"
+        rounds_executed = 0
+        deviations = [math.inf] * num_hypotheses
+        while True:
+            rounds_executed += 1
+            while accumulator.count < target:
+                accumulator.add(sample_losses(rng))
+            deviations = [
+                empirical_bernstein_bound(
+                    accumulator.count,
+                    delta_allocations[index],
+                    accumulator.variance(index),
+                )
+                for index in range(num_hypotheses)
+            ]
+            if max(deviations) <= self.epsilon:
+                converged_by = "bernstein"
+                break
+            if target >= maximum:
+                converged_by = "vc"
+                break
+            target = min(2 * target, maximum)
+
+        return ApproximateEstimate(
+            estimates=accumulator.means(),
+            deviations=deviations,
+            num_samples=accumulator.count,
+            num_pilot_samples=initial,
+            num_rounds=rounds_executed,
+            converged_by=converged_by,
+            delta_allocations=list(delta_allocations),
+        )

@@ -1,0 +1,96 @@
+"""Result records returned by the SaPHyRa framework."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Sequence
+
+
+@dataclass
+class ExactEvaluation:
+    """Output of the ``Exact`` algorithm on the exact subspace (Eq. 9).
+
+    Attributes
+    ----------
+    lambda_exact:
+        ``lambda-hat`` — probability mass of the exact subspace.
+    risks:
+        ``l-hat_i`` — per-hypothesis expected risk restricted to the exact
+        subspace, in hypothesis order.
+    """
+
+    lambda_exact: float
+    risks: List[float]
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.lambda_exact <= 1.0 + 1e-9:
+            raise ValueError(
+                f"lambda_exact must lie in [0, 1], got {self.lambda_exact}"
+            )
+
+
+@dataclass
+class SaPHyRaResult:
+    """Full output of a SaPHyRa run (Algorithm 1).
+
+    Attributes
+    ----------
+    names:
+        Hypothesis identifiers, in the order all per-hypothesis lists use.
+    risks:
+        Combined risk estimates ``l_i = l-hat_i + lambda * l-tilde_i``; these
+        carry the ``(epsilon, delta)`` guarantee of Theorem 6.
+    exact_risks:
+        The exact-subspace contribution per hypothesis.
+    approximate_risks:
+        The estimated approximate-subspace risks (under ``D-tilde``).
+    ranking:
+        Names sorted by decreasing combined risk (ties by name).
+    epsilon, delta:
+        Requested guarantee.
+    epsilon_prime:
+        The inflated target used inside the approximate subspace
+        (``epsilon / lambda``).
+    lambda_exact, lambda_approximate:
+        Probability masses of the two subspaces.
+    vc_dimension:
+        VC dimension bound used for the maximum sample size.
+    num_samples:
+        Number of samples drawn in the adaptive estimation stage.
+    num_pilot_samples:
+        Number of pilot samples used for variance estimation / delta
+        allocation.
+    num_rounds:
+        Number of doubling rounds executed.
+    converged_by:
+        ``"bernstein"`` if the empirical Bernstein stopping rule fired,
+        ``"vc"`` if the sampler ran to the VC-bound maximum sample size, or
+        ``"exact"`` when the approximate subspace was empty.
+    wall_time_seconds:
+        Optional timing information filled by callers.
+    """
+
+    names: Sequence[Hashable]
+    risks: List[float]
+    exact_risks: List[float]
+    approximate_risks: List[float]
+    ranking: List[Hashable]
+    epsilon: float
+    delta: float
+    epsilon_prime: float
+    lambda_exact: float
+    lambda_approximate: float
+    vc_dimension: float
+    num_samples: int
+    num_pilot_samples: int
+    num_rounds: int
+    converged_by: str
+    wall_time_seconds: float = 0.0
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def scores(self) -> Dict[Hashable, float]:
+        """Return ``{name: combined risk}``."""
+        return dict(zip(self.names, self.risks))
+
+    def __len__(self) -> int:
+        return len(self.names)

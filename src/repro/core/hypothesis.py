@@ -1,0 +1,139 @@
+"""Hypothesis classes: how a set of hypotheses is evaluated on samples.
+
+The framework only ever needs one operation from a hypothesis class: given a
+sample ``x``, report the loss ``L(h_i(x), f(x))`` of every hypothesis, in
+*sparse* form (``{hypothesis index: loss}`` with zero losses omitted).
+Sparse evaluation is the key to scalability — a sampled shortest path only
+touches the handful of hypotheses whose node lies on it.
+
+Two concrete implementations are provided:
+
+* :class:`CallableHypothesisClass` — the textbook formulation: a list of
+  callables ``h_i(x)``, a labelling function ``f(x)`` and a loss
+  ``L(y', y)``.  Fine for small hypothesis sets and for tests.
+* :class:`SetMembershipHypothesisClass` — the pattern shared by all the
+  centrality instantiations: each hypothesis is identified by a key (a node),
+  a sample maps to a set of keys (the inner nodes of a path), and the loss of
+  ``h_v`` is 1 iff ``v`` is in that set.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Mapping, Protocol, Sequence
+
+
+def zero_one_loss(prediction: float, label: float) -> float:
+    """The 0-1 loss ``1[prediction != label]`` used throughout the paper."""
+    return 0.0 if prediction == label else 1.0
+
+
+class HypothesisClass(Protocol):
+    """Protocol every hypothesis class implementation must satisfy."""
+
+    @property
+    def names(self) -> Sequence[Hashable]:
+        """Identifiers of the hypotheses (e.g. node ids); defines the order."""
+
+    def __len__(self) -> int:
+        """Number of hypotheses ``k``."""
+
+    def losses(self, sample: object) -> Mapping[int, float]:
+        """Return ``{hypothesis index: loss}`` with zero entries omitted."""
+
+
+class CallableHypothesisClass:
+    """A hypothesis class built from explicit callables.
+
+    Parameters
+    ----------
+    hypotheses:
+        Mapping ``{name: callable}``; each callable maps a sample to a
+        prediction (typically 0/1).
+    labeling:
+        The labelling function ``f``; defaults to the constant-zero labelling
+        the paper uses for centrality estimation.
+    loss:
+        Loss function ``L(prediction, label)``; defaults to 0-1 loss.
+    """
+
+    def __init__(
+        self,
+        hypotheses: Mapping[Hashable, Callable[[object], float]],
+        labeling: Callable[[object], float] = lambda sample: 0.0,
+        loss: Callable[[float, float], float] = zero_one_loss,
+    ) -> None:
+        if not hypotheses:
+            raise ValueError("hypotheses must not be empty")
+        self._names: List[Hashable] = list(hypotheses)
+        self._hypotheses = [hypotheses[name] for name in self._names]
+        self._labeling = labeling
+        self._loss = loss
+
+    @property
+    def names(self) -> Sequence[Hashable]:
+        return self._names
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def losses(self, sample: object) -> Dict[int, float]:
+        label = self._labeling(sample)
+        result: Dict[int, float] = {}
+        for index, hypothesis in enumerate(self._hypotheses):
+            loss = self._loss(hypothesis(sample), label)
+            if loss != 0.0:
+                result[index] = loss
+        return result
+
+
+class SetMembershipHypothesisClass:
+    """Hypotheses of the form ``h_v(x) = 1[v in keys(x)]`` with 0-1 loss.
+
+    This is the shape of every centrality hypothesis class in the paper:
+    ``keys(x)`` is the set of inner nodes of a sampled path, and the constant
+    zero labelling makes the loss of ``h_v`` equal ``h_v(x)`` itself.
+
+    Parameters
+    ----------
+    names:
+        Hypothesis identifiers (the target nodes ``A``).
+    keys_of:
+        Function mapping a sample to an iterable of identifiers that "fire".
+        Identifiers outside ``names`` are ignored.
+    """
+
+    def __init__(
+        self, names: Sequence[Hashable], keys_of: Callable[[object], Sequence[Hashable]]
+    ) -> None:
+        if not names:
+            raise ValueError("names must not be empty")
+        self._names = list(names)
+        self._index = {name: position for position, name in enumerate(self._names)}
+        if len(self._index) != len(self._names):
+            raise ValueError("hypothesis names must be unique")
+        self._keys_of = keys_of
+
+    @property
+    def names(self) -> Sequence[Hashable]:
+        return self._names
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def losses(self, sample: object) -> Dict[int, float]:
+        result: Dict[int, float] = {}
+        for key in self._keys_of(sample):
+            index = self._index.get(key)
+            if index is not None:
+                result[index] = 1.0
+        return result
+
+    def index_of(self, name: Hashable) -> int:
+        """Return the position of hypothesis ``name``.
+
+        Raises
+        ------
+        KeyError
+            If ``name`` is not a hypothesis of this class.
+        """
+        return self._index[name]

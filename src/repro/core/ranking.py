@@ -1,0 +1,31 @@
+"""Turning scores into rankings.
+
+The paper ranks nodes by *descending* centrality; rank 1 is the most central
+node.  Ties are broken by the node identifier ("if there are two nodes with
+the same betweenness centrality, we break the tie by the nodes' IDs"), which
+keeps every comparison between an estimate and the ground truth
+deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Mapping, Sequence
+
+
+def rank_scores(scores: Mapping[Hashable, float]) -> List[Hashable]:
+    """Return the names ordered from highest to lowest score.
+
+    Ties are broken by ascending name (requires names to be mutually
+    comparable, which holds for the integer node ids used throughout).
+    """
+    return sorted(scores, key=lambda name: (-scores[name], name))
+
+
+def ranking_to_ranks(ranking: Sequence[Hashable]) -> Dict[Hashable, int]:
+    """Convert an ordered ranking into ``{name: rank}`` with ranks ``1..k``."""
+    return {name: position + 1 for position, name in enumerate(ranking)}
+
+
+def ranks_from_scores(scores: Mapping[Hashable, float]) -> Dict[Hashable, int]:
+    """Shorthand for ``ranking_to_ranks(rank_scores(scores))``."""
+    return ranking_to_ranks(rank_scores(scores))

@@ -1,0 +1,45 @@
+"""Exact and empirical risk computation for hypothesis classes."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.core.hypothesis import HypothesisClass
+from repro.core.sample_space import WeightedSample
+
+
+def exact_expected_risks(
+    hypothesis_class: HypothesisClass, samples: Iterable[WeightedSample]
+) -> List[float]:
+    """Compute ``sum_x Pr[x] * L(h_i(x), f(x))`` for every hypothesis.
+
+    ``samples`` may be any subset of the sample space; summing over the exact
+    subspace yields the ``l-hat_i`` values of Eq. 9, summing over the whole
+    space yields the true expected risks ``R(h_i)``.
+    """
+    risks = [0.0] * len(hypothesis_class)
+    for sample in samples:
+        if sample.probability == 0.0:
+            continue
+        for index, loss in hypothesis_class.losses(sample.value).items():
+            risks[index] += sample.probability * loss
+    return risks
+
+
+def empirical_risks(
+    hypothesis_class: HypothesisClass, samples: Sequence[object]
+) -> List[float]:
+    """Compute the plain Monte-Carlo estimate ``1/N sum_j L(h_i(x_j), f(x_j))``.
+
+    This is the "direct estimation" strategy of Section III-A, used as the
+    reference the partitioned estimator is compared against in tests and in
+    the framework ablation.
+    """
+    count = len(samples)
+    risks = [0.0] * len(hypothesis_class)
+    if count == 0:
+        return risks
+    for sample in samples:
+        for index, loss in hypothesis_class.losses(sample).items():
+            risks[index] += loss
+    return [value / count for value in risks]

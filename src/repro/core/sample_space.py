@@ -1,0 +1,136 @@
+"""Explicitly enumerated sample spaces with an exact/approximate partition.
+
+Large problems (betweenness on real graphs) never materialise their sample
+space; they implement :class:`repro.core.problem.HypothesisRankingProblem`
+directly.  The enumerated space here serves three purposes:
+
+* it is the reference implementation the property-based tests compare the
+  streaming estimators against;
+* it powers the small worked examples (k-path centrality, toy hypothesis
+  ranking) in ``examples/``;
+* it documents the semantics of the partition: the *exact* subspace is
+  evaluated in closed form, the *approximate* subspace is sampled from the
+  conditional distribution ``D̃`` (Eq. 10 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Sequence
+
+from repro.errors import SamplingError
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class WeightedSample:
+    """One atom of a discrete sample space: the sample and its probability."""
+
+    value: object
+    probability: float
+
+    def __post_init__(self) -> None:
+        if self.probability < 0:
+            raise ValueError(
+                f"probability must be >= 0, got {self.probability}"
+            )
+
+
+class EnumeratedSampleSpace:
+    """A fully enumerated discrete sample space split into two subspaces.
+
+    Parameters
+    ----------
+    samples:
+        The atoms with their probabilities.  Probabilities must sum to
+        (approximately) 1.
+    is_exact:
+        Predicate selecting the exact subspace; everything else is the
+        approximate subspace.
+    """
+
+    def __init__(
+        self,
+        samples: Sequence[WeightedSample],
+        is_exact: Optional[Callable[[object], bool]] = None,
+    ) -> None:
+        if not samples:
+            raise ValueError("sample space must not be empty")
+        total = sum(sample.probability for sample in samples)
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(
+                f"sample probabilities must sum to 1 (got {total:.6f})"
+            )
+        self._samples = list(samples)
+        predicate = is_exact if is_exact is not None else (lambda value: False)
+        self._exact: List[WeightedSample] = []
+        self._approximate: List[WeightedSample] = []
+        for sample in self._samples:
+            if predicate(sample.value):
+                self._exact.append(sample)
+            else:
+                self._approximate.append(sample)
+        self._lambda_exact = sum(sample.probability for sample in self._exact)
+        self._lambda_approx = sum(sample.probability for sample in self._approximate)
+        # Pre-computed cumulative weights for inverse-CDF sampling of D-tilde.
+        self._cumulative: List[float] = []
+        running = 0.0
+        for sample in self._approximate:
+            running += sample.probability
+            self._cumulative.append(running)
+
+    # ------------------------------------------------------------------
+    # Subspace views
+    # ------------------------------------------------------------------
+    @property
+    def lambda_exact(self) -> float:
+        """Probability mass of the exact subspace (``lambda-hat``)."""
+        return self._lambda_exact
+
+    @property
+    def lambda_approximate(self) -> float:
+        """Probability mass of the approximate subspace (``lambda``)."""
+        return self._lambda_approx
+
+    def all_samples(self) -> Iterator[WeightedSample]:
+        """Iterate over every atom (both subspaces)."""
+        return iter(self._samples)
+
+    def exact_samples(self) -> Iterator[WeightedSample]:
+        """Iterate over the exact-subspace atoms."""
+        return iter(self._exact)
+
+    def approximate_samples(self) -> Iterator[WeightedSample]:
+        """Iterate over the approximate-subspace atoms."""
+        return iter(self._approximate)
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample_approximate(self, rng: SeedLike = None) -> object:
+        """Draw one sample from the conditional distribution over the
+        approximate subspace (Eq. 10)."""
+        if not self._approximate or self._lambda_approx <= 0:
+            raise SamplingError("the approximate subspace is empty")
+        rng = ensure_rng(rng)
+        threshold = rng.random() * self._lambda_approx
+        low, high = 0, len(self._cumulative) - 1
+        while low < high:
+            mid = (low + high) // 2
+            if self._cumulative[mid] < threshold:
+                low = mid + 1
+            else:
+                high = mid
+        return self._approximate[low].value
+
+    def sample_full(self, rng: SeedLike = None) -> object:
+        """Draw one sample from the *full* distribution ``D`` (used by the
+        direct-estimation baseline in the framework comparison)."""
+        rng = ensure_rng(rng)
+        threshold = rng.random()
+        running = 0.0
+        for sample in self._samples:
+            running += sample.probability
+            if threshold < running:
+                return sample.value
+        return self._samples[-1].value

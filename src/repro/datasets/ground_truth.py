@@ -1,0 +1,93 @@
+"""Exact betweenness ground truth with simple on-disk caching.
+
+The paper's ground truth took ~2M core-hours on a Cray for the SNAP graphs
+and two weeks on a 96-core server for USA-road; at reproduction scale exact
+Brandes takes seconds to minutes, but the experiment drivers still reuse one
+ground-truth computation across the whole epsilon / subset-size sweep, so a
+small JSON cache keeps repeated benchmark invocations fast.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Hashable, Optional, Union
+
+from repro.centrality.brandes import betweenness_centrality
+from repro.graphs.graph import Graph
+
+Node = Hashable
+PathLike = Union[str, Path]
+
+
+def exact_betweenness(graph: Graph) -> Dict[Node, float]:
+    """Exact normalised betweenness of every node (Brandes, ``O(nm)``)."""
+    return betweenness_centrality(graph, normalized=True)
+
+
+class GroundTruthCache:
+    """Compute-once cache for exact betweenness, optionally persisted to disk.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory for the JSON cache files; ``None`` keeps everything
+        in memory only.
+
+    Examples
+    --------
+    >>> from repro.datasets.synthetic import karate_club_graph
+    >>> cache = GroundTruthCache()
+    >>> truth = cache.get("karate", karate_club_graph())
+    >>> round(max(truth.values()), 3) > 0
+    True
+    """
+
+    def __init__(self, cache_dir: Optional[PathLike] = None) -> None:
+        self._memory: Dict[str, Dict[Node, float]] = {}
+        self._cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self._cache_dir is not None:
+            self._cache_dir.mkdir(parents=True, exist_ok=True)
+
+    def get(self, key: str, graph: Graph) -> Dict[Node, float]:
+        """Return the exact betweenness for ``graph``, computing it at most once
+        per ``key`` (a key should identify the graph, e.g. ``"flickr@1.0#0"``)."""
+        if key in self._memory:
+            return self._memory[key]
+        if self._cache_dir is not None:
+            path = self._path_for(key)
+            if path.exists():
+                values = self._load(path)
+                if len(values) == graph.number_of_nodes():
+                    self._memory[key] = values
+                    return values
+        values = exact_betweenness(graph)
+        self._memory[key] = values
+        if self._cache_dir is not None:
+            self._store(self._path_for(key), values)
+        return values
+
+    # ------------------------------------------------------------------
+    def _path_for(self, key: str) -> Path:
+        safe = "".join(ch if ch.isalnum() or ch in "-_.@" else "_" for ch in key)
+        return self._cache_dir / f"{safe}.json"
+
+    @staticmethod
+    def _load(path: Path) -> Dict[Node, float]:
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = json.load(handle)
+        return {_parse_node(node): value for node, value in raw.items()}
+
+    @staticmethod
+    def _store(path: Path, values: Dict[Node, float]) -> None:
+        serialisable = {str(node): value for node, value in values.items()}
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(serialisable, handle)
+
+
+def _parse_node(token: str) -> Node:
+    """JSON keys are strings; convert back to int when possible."""
+    try:
+        return int(token)
+    except ValueError:
+        return token

@@ -1,0 +1,124 @@
+"""Target-subset selection strategies used by the experiments.
+
+The paper evaluates on (a) 1000 random subsets of 100 nodes, (b) subsets of
+varying size 10..100, (c) l-hop neighbourhoods (for the VC-dimension
+discussion), and (d) geographic areas of the USA-road network (Table III /
+Fig. 7).  This module implements all four.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.errors import DatasetError
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import k_hop_neighborhood
+from repro.utils.rng import SeedLike, ensure_rng
+
+Node = Hashable
+Coordinates = Mapping[int, Tuple[float, float]]
+
+
+def random_subset(graph: Graph, size: int, seed: SeedLike = None) -> List[Node]:
+    """Sample ``size`` distinct nodes uniformly at random."""
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    nodes = list(graph.nodes())
+    if size > len(nodes):
+        raise DatasetError(
+            f"cannot sample {size} nodes from a graph with {len(nodes)} nodes"
+        )
+    rng = ensure_rng(seed)
+    return rng.sample(nodes, size)
+
+
+def random_subsets(
+    graph: Graph, num_subsets: int, size: int, seed: SeedLike = None
+) -> List[List[Node]]:
+    """Sample ``num_subsets`` independent random subsets of ``size`` nodes."""
+    if num_subsets < 1:
+        raise ValueError(f"num_subsets must be >= 1, got {num_subsets}")
+    rng = ensure_rng(seed)
+    return [random_subset(graph, size, rng) for _ in range(num_subsets)]
+
+
+def l_hop_subset(graph: Graph, center: Node, hops: int) -> List[Node]:
+    """All nodes within ``hops`` of ``center`` (the l-hop subsets of Table I)."""
+    return k_hop_neighborhood(graph, center, hops)
+
+
+def geographic_subset(
+    coordinates: Coordinates,
+    x_range: Tuple[float, float],
+    y_range: Tuple[float, float],
+) -> List[int]:
+    """Nodes whose coordinates fall inside the axis-aligned box."""
+    x_low, x_high = x_range
+    y_low, y_high = y_range
+    if x_low > x_high or y_low > y_high:
+        raise ValueError("ranges must satisfy low <= high")
+    return [
+        node
+        for node, (x, y) in coordinates.items()
+        if x_low <= x <= x_high and y_low <= y <= y_high
+    ]
+
+
+def road_areas(
+    coordinates: Coordinates, *, graph: Graph | None = None
+) -> Dict[str, List[int]]:
+    """Carve four nested geographic areas out of a road network.
+
+    The areas mirror the relative sizes of the paper's Table III subsets
+    (NYC < BAY < CO < FL, roughly 1 : 1.2 : 1.6 : 4 in node count): boxes
+    covering ~25%, ~30%, ~40% and ~65% of each coordinate axis, anchored at
+    different corners so the areas overlap only partially, as real states do.
+    """
+    if not coordinates:
+        raise DatasetError("coordinates are empty")
+    xs = [x for x, _ in coordinates.values()]
+    ys = [y for _, y in coordinates.values()]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    width = x_max - x_min
+    height = y_max - y_min
+
+    def box(x_frac: Tuple[float, float], y_frac: Tuple[float, float]) -> List[int]:
+        return geographic_subset(
+            coordinates,
+            (x_min + x_frac[0] * width, x_min + x_frac[1] * width),
+            (y_min + y_frac[0] * height, y_min + y_frac[1] * height),
+        )
+
+    areas = {
+        "NYC": box((0.70, 0.95), (0.70, 0.95)),
+        "BAY": box((0.02, 0.32), (0.02, 0.32)),
+        "CO": box((0.30, 0.70), (0.30, 0.70)),
+        "FL": box((0.05, 0.70), (0.35, 0.98)),
+    }
+    if graph is not None:
+        areas = {
+            name: [node for node in nodes if graph.has_node(node)]
+            for name, nodes in areas.items()
+        }
+    empty = [name for name, nodes in areas.items() if not nodes]
+    if empty:
+        raise DatasetError(
+            f"areas {empty} are empty; the road graph is too small for the boxes"
+        )
+    return areas
+
+
+def subsets_by_size(
+    graph: Graph,
+    sizes: Sequence[int],
+    repetitions: int,
+    seed: SeedLike = None,
+) -> Dict[int, List[List[Node]]]:
+    """``{size: [subset, ...]}`` with ``repetitions`` random subsets per size
+    (the Fig. 5 workload)."""
+    rng = ensure_rng(seed)
+    return {
+        size: [random_subset(graph, size, rng) for _ in range(repetitions)]
+        for size in sizes
+    }

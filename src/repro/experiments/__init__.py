@@ -1,0 +1,50 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+Each driver takes an :class:`~repro.experiments.config.ExperimentConfig`
+(default: a laptop-scale configuration) and returns plain data structures
+that the text renderers in :mod:`repro.experiments.report` turn into the
+tables / series the paper reports.  The ``benchmarks/`` directory exposes
+one pytest-benchmark target per driver.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import (
+    figure3_running_time,
+    figure4_rank_correlation,
+    figure5_subset_size,
+    figure6_relative_error,
+    figure7_road_case_study,
+)
+from repro.experiments.persistence import (
+    load_rows_json,
+    save_rows_csv,
+    save_rows_json,
+)
+from repro.experiments.report import render_series, render_table
+from repro.experiments.runner import EpsilonSweepRow, ExperimentRunner
+from repro.experiments.tables import (
+    table1_vc_bounds,
+    table2_networks,
+    table3_subsets,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentRunner",
+    "EpsilonSweepRow",
+    "figure3_running_time",
+    "figure4_rank_correlation",
+    "figure5_subset_size",
+    "figure6_relative_error",
+    "figure7_road_case_study",
+    "table1_vc_bounds",
+    "table2_networks",
+    "table3_subsets",
+    "render_table",
+    "render_series",
+    "save_rows_json",
+    "save_rows_csv",
+    "load_rows_json",
+]

@@ -1,0 +1,235 @@
+"""Figure drivers: one function per figure of the paper's evaluation.
+
+Every function returns plain data (lists of dataclass rows / dictionaries)
+so the benchmarks can both print them and make structural assertions
+("SaPHyRa's rank correlation >= KADABRA's") without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.datasets.subsets import road_areas
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    ALGORITHM_LABELS,
+    EpsilonSweepRow,
+    ExperimentRunner,
+    SubsetEvaluation,
+)
+from repro.metrics.deviation import average_rank_deviation
+from repro.metrics.rank_correlation import spearman_rank_correlation
+from repro.metrics.zeros import classify_zeros, relative_error_histogram
+
+Node = Hashable
+
+
+# ----------------------------------------------------------------------
+# Fig. 3 and Fig. 4: running time / rank correlation vs epsilon
+# ----------------------------------------------------------------------
+def epsilon_sweep(
+    config: Optional[ExperimentConfig] = None,
+    runner: Optional[ExperimentRunner] = None,
+) -> List[EpsilonSweepRow]:
+    """The shared sweep behind Figs. 3 and 4."""
+    runner = runner if runner is not None else ExperimentRunner(config)
+    return runner.epsilon_sweep()
+
+
+def figure3_running_time(
+    config: Optional[ExperimentConfig] = None,
+    rows: Optional[List[EpsilonSweepRow]] = None,
+) -> Dict[str, Dict[str, List[Tuple[float, float]]]]:
+    """Fig. 3: running time (seconds) per dataset, algorithm and epsilon.
+
+    Returns ``{dataset: {algorithm label: [(epsilon, seconds), ...]}}`` with
+    epsilon descending, i.e. one series per curve of the figure.
+    """
+    rows = rows if rows is not None else epsilon_sweep(config)
+    series: Dict[str, Dict[str, List[Tuple[float, float]]]] = {}
+    for row in rows:
+        label = ALGORITHM_LABELS[row.algorithm]
+        series.setdefault(row.dataset, {}).setdefault(label, []).append(
+            (row.epsilon, row.mean_time_seconds)
+        )
+    return series
+
+
+def figure4_rank_correlation(
+    config: Optional[ExperimentConfig] = None,
+    rows: Optional[List[EpsilonSweepRow]] = None,
+) -> Dict[str, Dict[str, List[Tuple[float, float, float, float]]]]:
+    """Fig. 4: Spearman correlation (with 95% CI) per dataset/algorithm/epsilon.
+
+    Returns ``{dataset: {algorithm label: [(epsilon, mean, ci_low, ci_high)]}}``.
+    """
+    rows = rows if rows is not None else epsilon_sweep(config)
+    series: Dict[str, Dict[str, List[Tuple[float, float, float, float]]]] = {}
+    for row in rows:
+        label = ALGORITHM_LABELS[row.algorithm]
+        series.setdefault(row.dataset, {}).setdefault(label, []).append(
+            (row.epsilon, row.mean_spearman, row.spearman_ci_low, row.spearman_ci_high)
+        )
+    return series
+
+
+# ----------------------------------------------------------------------
+# Fig. 5: rank correlation vs subset size (fixed epsilon)
+# ----------------------------------------------------------------------
+@dataclass
+class SubsetSizeRow:
+    """One (dataset, algorithm, subset size) cell of Fig. 5."""
+
+    dataset: str
+    algorithm: str
+    subset_size: int
+    mean_spearman: float
+    spearman_ci_low: float
+    spearman_ci_high: float
+
+
+def figure5_subset_size(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    epsilon: float = 0.05,
+    runner: Optional[ExperimentRunner] = None,
+) -> List[SubsetSizeRow]:
+    """Fig. 5: rank correlation at fixed ``epsilon`` for varying subset sizes."""
+    runner = runner if runner is not None else ExperimentRunner(config)
+    config = runner.config
+    rows: List[SubsetSizeRow] = []
+    for name in config.datasets:
+        for size in config.subset_sizes:
+            subsets = runner.subsets(
+                name, size, config.num_subsets, seed_offset=size
+            )
+            for algorithm in config.algorithms:
+                evaluations = [
+                    runner.evaluate_subset(name, algorithm, epsilon, subset, index)
+                    for index, subset in enumerate(subsets)
+                ]
+                spearmans = [e.spearman for e in evaluations]
+                mean = statistics.fmean(spearmans)
+                if len(spearmans) > 1:
+                    half = 1.96 * statistics.stdev(spearmans) / len(spearmans) ** 0.5
+                else:
+                    half = 0.0
+                rows.append(
+                    SubsetSizeRow(
+                        dataset=name,
+                        algorithm=algorithm,
+                        subset_size=size,
+                        mean_spearman=mean,
+                        spearman_ci_low=mean - half,
+                        spearman_ci_high=mean + half,
+                    )
+                )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Fig. 6: signed relative error histogram, true/false zeros
+# ----------------------------------------------------------------------
+@dataclass
+class RelativeErrorRow:
+    """Fig. 6 content for one (dataset, algorithm) pair."""
+
+    dataset: str
+    algorithm: str
+    epsilon: float
+    true_zero_percent: float
+    false_zero_percent: float
+    histogram: List[Tuple[str, float]]
+
+
+def figure6_relative_error(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    epsilon: float = 0.05,
+    runner: Optional[ExperimentRunner] = None,
+) -> List[RelativeErrorRow]:
+    """Fig. 6: relative-error distribution with the true/false zero split."""
+    runner = runner if runner is not None else ExperimentRunner(config)
+    config = runner.config
+    rows: List[RelativeErrorRow] = []
+    for name in config.datasets:
+        truth_all = runner.ground_truth(name)
+        subsets = runner.subsets(name, config.subset_size, config.num_subsets)
+        for algorithm in config.algorithms:
+            truth: Dict[Node, float] = {}
+            estimate: Dict[Node, float] = {}
+            for index, subset in enumerate(subsets):
+                scores, _, _ = runner.subset_estimate(
+                    algorithm, name, subset, epsilon, run_index=index
+                )
+                for node in subset:
+                    truth[node] = truth_all[node]
+                    estimate[node] = scores.get(node, 0.0)
+            zeros = classify_zeros(truth, estimate)
+            rows.append(
+                RelativeErrorRow(
+                    dataset=name,
+                    algorithm=algorithm,
+                    epsilon=epsilon,
+                    true_zero_percent=100.0 * zeros.true_zero_fraction,
+                    false_zero_percent=100.0 * zeros.false_zero_fraction,
+                    histogram=relative_error_histogram(truth, estimate),
+                )
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Fig. 7 / Table III: USA-road case study
+# ----------------------------------------------------------------------
+@dataclass
+class RoadAreaRow:
+    """Fig. 7 content for one algorithm on one geographic area."""
+
+    area: str
+    algorithm: str
+    num_nodes: int
+    running_time_seconds: float
+    spearman: float
+    rank_deviation_percent: float
+
+
+def figure7_road_case_study(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    epsilon: float = 0.05,
+    dataset: str = "usa-road",
+    algorithms: Sequence[str] = ("kadabra", "saphyra_full", "saphyra"),
+    runner: Optional[ExperimentRunner] = None,
+) -> List[RoadAreaRow]:
+    """Fig. 7: per-area running time, rank quality and rank deviation.
+
+    ABRA is omitted by default, mirroring the paper ("ABRA cannot finish in
+    10 hours" on USA-road); pass it explicitly to include it anyway.
+    """
+    runner = runner if runner is not None else ExperimentRunner(config)
+    data = runner.dataset(dataset)
+    if data.coordinates is None:
+        raise ValueError(f"dataset {dataset!r} has no coordinates")
+    areas = road_areas(data.coordinates, graph=data.graph)
+    truth_all = runner.ground_truth(dataset)
+    rows: List[RoadAreaRow] = []
+    for area_name, nodes in sorted(areas.items(), key=lambda item: len(item[1])):
+        truth = {node: truth_all[node] for node in nodes}
+        for algorithm in algorithms:
+            scores, wall_time, _ = runner.subset_estimate(
+                algorithm, dataset, nodes, epsilon, run_index=len(rows)
+            )
+            rows.append(
+                RoadAreaRow(
+                    area=area_name,
+                    algorithm=algorithm,
+                    num_nodes=len(nodes),
+                    running_time_seconds=wall_time,
+                    spearman=spearman_rank_correlation(truth, scores),
+                    rank_deviation_percent=average_rank_deviation(truth, scores),
+                )
+            )
+    return rows

@@ -1,0 +1,78 @@
+"""Saving and loading experiment results.
+
+Long sweeps should not have to be re-run to re-render a table: every row type
+produced by the figure/table drivers is a flat dataclass, so the generic
+helpers here serialise lists of them to JSON (or CSV) and back.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+from pathlib import Path
+from typing import Iterable, List, Sequence, Type, TypeVar, Union
+
+PathLike = Union[str, Path]
+RowT = TypeVar("RowT")
+
+
+def _row_to_dict(row: object) -> dict:
+    if dataclasses.is_dataclass(row) and not isinstance(row, type):
+        result = {}
+        for field in dataclasses.fields(row):
+            value = getattr(row, field.name)
+            if dataclasses.is_dataclass(value) and not isinstance(value, type):
+                value = dataclasses.asdict(value)
+            result[field.name] = value
+        return result
+    raise TypeError(f"expected a dataclass row, got {type(row).__name__}")
+
+
+def save_rows_json(rows: Iterable[object], path: PathLike) -> None:
+    """Write dataclass rows to a JSON file (a list of objects)."""
+    payload = [_row_to_dict(row) for row in rows]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, default=str)
+
+
+def load_rows_json(path: PathLike, row_type: Type[RowT]) -> List[RowT]:
+    """Load rows saved by :func:`save_rows_json` back into ``row_type``.
+
+    Nested dataclass fields are *not* reconstructed (they come back as
+    dictionaries); the flat row types used by the drivers do not need them.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    field_names = {field.name for field in dataclasses.fields(row_type)}
+    rows: List[RowT] = []
+    for entry in payload:
+        filtered = {key: value for key, value in entry.items() if key in field_names}
+        rows.append(row_type(**filtered))
+    return rows
+
+
+def save_rows_csv(
+    rows: Sequence[object], path: PathLike, *, columns: Sequence[str] | None = None
+) -> None:
+    """Write dataclass rows to a CSV file.
+
+    Parameters
+    ----------
+    columns:
+        Optional subset / ordering of columns; defaults to every field of the
+        first row.
+    """
+    rows = list(rows)
+    if not rows:
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            handle.write("")
+        return
+    dictionaries = [_row_to_dict(row) for row in rows]
+    if columns is None:
+        columns = list(dictionaries[0].keys())
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(columns), extrasaction="ignore")
+        writer.writeheader()
+        for entry in dictionaries:
+            writer.writerow({key: entry.get(key, "") for key in columns})

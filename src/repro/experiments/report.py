@@ -1,0 +1,65 @@
+"""Plain-text rendering of experiment results.
+
+The harness has no plotting dependency; figures are reported as aligned text
+tables / series, which is what EXPERIMENTS.md records and what the
+benchmarks print.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence, Tuple
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned, pipe-separated text table."""
+    materialised: List[List[str]] = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+    lines = [
+        " | ".join(header.ljust(widths[index]) for index, header in enumerate(headers)),
+        "-+-".join("-" * width for width in widths),
+    ]
+    for row in materialised:
+        lines.append(
+            " | ".join(cell.ljust(widths[index]) for index, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    *,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render ``{series name: [(x, y), ...]}`` as one text table."""
+    headers = [x_label] + list(series)
+    xs: List[float] = []
+    for points in series.values():
+        for x, _ in points:
+            if x not in xs:
+                xs.append(x)
+    rows = []
+    for x in xs:
+        row: List[object] = [x]
+        for name in series:
+            value = next((y for px, y in series[name] if px == x), None)
+            row.append(value if value is not None else "-")
+        rows.append(row)
+    table = render_table(headers, rows)
+    return f"{y_label} by {x_label}\n{table}"
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell != cell:  # NaN
+            return "nan"
+        if abs(cell) >= 1000 or (abs(cell) < 0.001 and cell != 0):
+            return f"{cell:.3g}"
+        return f"{cell:.3f}".rstrip("0").rstrip(".") or "0"
+    return str(cell)

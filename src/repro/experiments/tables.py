@@ -1,0 +1,142 @@
+"""Table drivers: Table I (VC bounds), Table II (networks), Table III (subsets)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.datasets.subsets import l_hop_subset, road_areas
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentRunner
+from repro.graphs.properties import GraphSummary, summarize
+from repro.saphyra_bc.vc_bounds import VCBoundReport, vc_bound_report
+from repro.utils.rng import ensure_rng
+
+
+# ----------------------------------------------------------------------
+# Table I: VC-dimension bound comparison
+# ----------------------------------------------------------------------
+@dataclass
+class VCBoundRow:
+    """One dataset's VC-bound comparison (random subset and l-hop subset)."""
+
+    dataset: str
+    subset_kind: str
+    subset_size: int
+    report: VCBoundReport
+
+
+def table1_vc_bounds(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    l_hops: int = 2,
+    runner: Optional[ExperimentRunner] = None,
+) -> List[VCBoundRow]:
+    """Compare the diameter-based, bi-component and personalized VC bounds.
+
+    For each dataset two subsets are evaluated: a random subset of the
+    configured size (the "any subset A" column of Table I) and an l-hop
+    neighbourhood of a random node (the "l-hop neighbours" column).
+    """
+    runner = runner if runner is not None else ExperimentRunner(config)
+    config = runner.config
+    rng = ensure_rng(config.seed)
+    rows: List[VCBoundRow] = []
+    for name in config.datasets:
+        graph = runner.dataset(name).graph
+        bct = runner.block_cut_tree(name)
+        random_targets = runner.subsets(name, config.subset_size, 1)[0]
+        rows.append(
+            VCBoundRow(
+                dataset=name,
+                subset_kind="random",
+                subset_size=len(random_targets),
+                report=vc_bound_report(graph, bct, random_targets, seed=rng),
+            )
+        )
+        center = rng.choice(list(graph.nodes()))
+        neighborhood = l_hop_subset(graph, center, l_hops)
+        rows.append(
+            VCBoundRow(
+                dataset=name,
+                subset_kind=f"{l_hops}-hop",
+                subset_size=len(neighborhood),
+                report=vc_bound_report(graph, bct, neighborhood, seed=rng),
+            )
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table II: network summary
+# ----------------------------------------------------------------------
+@dataclass
+class NetworkSummaryRow:
+    """One row of Table II, with the paper's original sizes for reference."""
+
+    dataset: str
+    summary: GraphSummary
+    paper_nodes: float
+    paper_edges: float
+    paper_diameter: float
+
+
+def table2_networks(
+    config: Optional[ExperimentConfig] = None,
+    runner: Optional[ExperimentRunner] = None,
+) -> List[NetworkSummaryRow]:
+    """Summarise every evaluation network (our surrogate vs. paper scale)."""
+    runner = runner if runner is not None else ExperimentRunner(config)
+    config = runner.config
+    rows: List[NetworkSummaryRow] = []
+    for name in config.datasets:
+        data = runner.dataset(name)
+        summary = summarize(data.graph, seed=config.seed)
+        reference = data.paper_reference
+        rows.append(
+            NetworkSummaryRow(
+                dataset=name,
+                summary=summary,
+                paper_nodes=reference.get("nodes", float("nan")),
+                paper_edges=reference.get("edges", float("nan")),
+                paper_diameter=reference.get("diameter", float("nan")),
+            )
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table III: USA-road subsets summary
+# ----------------------------------------------------------------------
+@dataclass
+class RoadSubsetRow:
+    """One geographic area of the road network (Table III)."""
+
+    area: str
+    num_nodes: int
+    num_edges: int
+
+
+def table3_subsets(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    dataset: str = "usa-road",
+    runner: Optional[ExperimentRunner] = None,
+) -> List[RoadSubsetRow]:
+    """Node/edge counts of the four geographic areas of the road surrogate."""
+    runner = runner if runner is not None else ExperimentRunner(config)
+    data = runner.dataset(dataset)
+    if data.coordinates is None:
+        raise ValueError(f"dataset {dataset!r} has no coordinates")
+    areas = road_areas(data.coordinates, graph=data.graph)
+    rows: List[RoadSubsetRow] = []
+    for area_name, nodes in sorted(areas.items(), key=lambda item: len(item[1])):
+        subgraph = data.graph.subgraph(nodes)
+        rows.append(
+            RoadSubsetRow(
+                area=area_name,
+                num_nodes=subgraph.number_of_nodes(),
+                num_edges=subgraph.number_of_edges(),
+            )
+        )
+    return rows

@@ -1,0 +1,67 @@
+"""Graph substrate: storage, IO, generators, traversal and decompositions.
+
+The paper's algorithms only need undirected, unweighted simple graphs, so the
+substrate is specialised for that case and optimised for the access patterns
+the samplers use (neighbour iteration, membership tests, BFS frontiers).
+"""
+
+from __future__ import annotations
+
+from repro.graphs.biconnected import BiconnectedDecomposition, biconnected_components
+from repro.graphs.bidirectional import BidirectionalBFSResult, bidirectional_shortest_paths
+from repro.graphs.block_cut_tree import BlockCutTree, build_block_cut_tree
+from repro.graphs.components import connected_components, largest_connected_component
+from repro.graphs.diameter import (
+    estimate_diameter,
+    estimate_subset_diameter,
+    two_sweep_lower_bound,
+)
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    grid_road_graph,
+    powerlaw_cluster_graph,
+    watts_strogatz_graph,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.io import (
+    read_dimacs_graph,
+    read_edge_list,
+    write_edge_list,
+)
+from repro.graphs.properties import GraphSummary, summarize
+from repro.graphs.traversal import (
+    ShortestPathDAG,
+    bfs_distances,
+    sample_shortest_path,
+    shortest_path_dag,
+)
+
+__all__ = [
+    "Graph",
+    "read_edge_list",
+    "write_edge_list",
+    "read_dimacs_graph",
+    "erdos_renyi_graph",
+    "barabasi_albert_graph",
+    "watts_strogatz_graph",
+    "powerlaw_cluster_graph",
+    "grid_road_graph",
+    "bfs_distances",
+    "shortest_path_dag",
+    "sample_shortest_path",
+    "ShortestPathDAG",
+    "bidirectional_shortest_paths",
+    "BidirectionalBFSResult",
+    "connected_components",
+    "largest_connected_component",
+    "biconnected_components",
+    "BiconnectedDecomposition",
+    "build_block_cut_tree",
+    "BlockCutTree",
+    "estimate_diameter",
+    "estimate_subset_diameter",
+    "two_sweep_lower_bound",
+    "GraphSummary",
+    "summarize",
+]

@@ -1,0 +1,167 @@
+"""Biconnected components (blocks) and articulation points (cutpoints).
+
+SaPHyRa_bc's ISP sample space is built on the bi-component decomposition
+(Section IV-A of the paper): shortest paths are broken at cutpoints into
+pieces that live entirely inside one block.  This module implements the
+classic Hopcroft–Tarjan DFS, iteratively so it works on deep graphs (road
+networks have path-like regions tens of thousands of hops long, which would
+overflow Python's recursion limit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Set, Tuple
+
+from repro.graphs.graph import Graph
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+
+@dataclass
+class BiconnectedDecomposition:
+    """The blocks and cutpoints of a graph.
+
+    Attributes
+    ----------
+    components:
+        One node list per biconnected component (block).  Every edge of the
+        graph belongs to exactly one block; a block always has >= 2 nodes.
+        Isolated nodes belong to no block.
+    cutpoints:
+        Articulation points: nodes whose removal increases the number of
+        connected components.
+    node_components:
+        ``{node: [block indices containing the node]}`` (filled automatically).
+    """
+
+    components: List[List[Node]]
+    cutpoints: Set[Node]
+    node_components: Dict[Node, List[int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.node_components:
+            for index, nodes in enumerate(self.components):
+                for node in nodes:
+                    self.node_components.setdefault(node, []).append(index)
+
+    def components_of(self, node: Node) -> List[int]:
+        """Return the indices of the blocks containing ``node`` (may be empty)."""
+        return self.node_components.get(node, [])
+
+    def share_component(self, u: Node, v: Node) -> bool:
+        """Return ``True`` if ``u`` and ``v`` belong to a common block."""
+        comps_u = self.node_components.get(u)
+        comps_v = self.node_components.get(v)
+        if not comps_u or not comps_v:
+            return False
+        if len(comps_u) > len(comps_v):
+            comps_u, comps_v = comps_v, comps_u
+        other = set(comps_v)
+        return any(index in other for index in comps_u)
+
+    def is_cutpoint(self, node: Node) -> bool:
+        """Return ``True`` if ``node`` is an articulation point."""
+        return node in self.cutpoints
+
+
+def biconnected_components(graph: Graph) -> BiconnectedDecomposition:
+    """Compute the biconnected components and articulation points of ``graph``.
+
+    Iterative Hopcroft–Tarjan: a DFS maintaining discovery times and low
+    links, with an explicit edge stack from which a block is popped whenever
+    the articulation condition ``low[child] >= disc[parent]`` fires on
+    retreat.  Runs in ``O(n + m)``.
+    """
+    disc: Dict[Node, int] = {}
+    low: Dict[Node, int] = {}
+    components_edges: List[List[Edge]] = []
+    cutpoints: Set[Node] = set()
+    timer = 0
+
+    for root in graph.nodes():
+        if root in disc:
+            continue
+        disc[root] = low[root] = timer
+        timer += 1
+        if graph.degree(root) == 0:
+            continue
+        root_children = 0
+        edge_stack: List[Edge] = []
+        stack = [(root, None, iter(graph.neighbors(root)))]
+        while stack:
+            node, parent, neighbors = stack[-1]
+            child_pushed = False
+            for neighbor in neighbors:
+                if neighbor == parent:
+                    continue
+                if neighbor not in disc:
+                    disc[neighbor] = low[neighbor] = timer
+                    timer += 1
+                    edge_stack.append((node, neighbor))
+                    if node == root:
+                        root_children += 1
+                    stack.append((neighbor, node, iter(graph.neighbors(neighbor))))
+                    child_pushed = True
+                    break
+                if disc[neighbor] < disc[node]:
+                    # Back edge to a proper ancestor.
+                    edge_stack.append((node, neighbor))
+                    if disc[neighbor] < low[node]:
+                        low[node] = disc[neighbor]
+            if child_pushed:
+                continue
+            stack.pop()
+            if not stack:
+                continue
+            parent_node = stack[-1][0]
+            if low[node] < low[parent_node]:
+                low[parent_node] = low[node]
+            if low[node] >= disc[parent_node]:
+                # parent_node separates the subtree rooted at ``node``:
+                # everything pushed since the tree edge (parent_node, node)
+                # forms one block.
+                component: List[Edge] = []
+                while edge_stack:
+                    edge = edge_stack.pop()
+                    component.append(edge)
+                    if edge == (parent_node, node):
+                        break
+                if component:
+                    components_edges.append(component)
+                if parent_node != root:
+                    cutpoints.add(parent_node)
+        if root_children >= 2:
+            cutpoints.add(root)
+        if edge_stack:
+            # Safety net: any edges not popped yet form the root's block.
+            components_edges.append(edge_stack)
+
+    components: List[List[Node]] = []
+    for edges in components_edges:
+        nodes_in_block: Dict[Node, None] = {}
+        for u, v in edges:
+            nodes_in_block[u] = None
+            nodes_in_block[v] = None
+        components.append(list(nodes_in_block))
+    return BiconnectedDecomposition(components=components, cutpoints=cutpoints)
+
+
+def articulation_points(graph: Graph) -> Set[Node]:
+    """Convenience wrapper returning only the cutpoints of ``graph``."""
+    return biconnected_components(graph).cutpoints
+
+
+def bridges(graph: Graph) -> List[Edge]:
+    """Return the bridge edges of ``graph``.
+
+    A bridge is an edge whose block contains exactly two nodes (the edge
+    itself).
+    """
+    decomposition = biconnected_components(graph)
+    result: List[Edge] = []
+    for nodes in decomposition.components:
+        if len(nodes) == 2:
+            result.append((nodes[0], nodes[1]))
+    return result

@@ -1,0 +1,337 @@
+"""Random-graph generators used to build the synthetic dataset surrogates.
+
+The paper evaluates on three large social networks (Flickr, LiveJournal,
+Orkut) and one road network (USA-road).  At laptop scale we reproduce the
+*structural families*:
+
+* :func:`barabasi_albert_graph` and :func:`powerlaw_cluster_graph` give
+  heavy-tailed degree distributions and small diameters (social surrogates);
+* :func:`grid_road_graph` gives a near-planar graph with a huge diameter and
+  many degree-2 chains / cut vertices (road surrogate);
+* :func:`erdos_renyi_graph` and :func:`watts_strogatz_graph` are included for
+  tests and ablations.
+
+All generators take a ``seed`` and are fully deterministic given one.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def erdos_renyi_graph(num_nodes: int, edge_probability: float, seed: SeedLike = None) -> Graph:
+    """Generate a G(n, p) Erdős–Rényi random graph.
+
+    Uses the geometric skipping technique so the expected running time is
+    ``O(n + m)`` rather than ``O(n^2)``.
+    """
+    if num_nodes < 0:
+        raise GraphError(f"num_nodes must be >= 0, got {num_nodes}")
+    if not 0 <= edge_probability <= 1:
+        raise GraphError(f"edge_probability must be in [0, 1], got {edge_probability}")
+    rng = ensure_rng(seed)
+    graph = Graph()
+    for node in range(num_nodes):
+        graph.add_node(node)
+    if edge_probability == 0 or num_nodes < 2:
+        return graph
+    if edge_probability == 1:
+        for u in range(num_nodes):
+            for v in range(u + 1, num_nodes):
+                graph.add_edge(u, v)
+        return graph
+    log_q = math.log(1.0 - edge_probability)
+    v = 1
+    w = -1
+    while v < num_nodes:
+        r = rng.random()
+        w = w + 1 + int(math.log(1.0 - r) / log_q)
+        while w >= v and v < num_nodes:
+            w -= v
+            v += 1
+        if v < num_nodes:
+            graph.add_edge(v, w)
+    return graph
+
+
+def barabasi_albert_graph(num_nodes: int, edges_per_node: int, seed: SeedLike = None) -> Graph:
+    """Generate a Barabási–Albert preferential-attachment graph.
+
+    Each new node attaches to ``edges_per_node`` existing nodes with
+    probability proportional to their degree, producing the power-law degree
+    distribution typical of social networks.
+    """
+    if edges_per_node < 1:
+        raise GraphError(f"edges_per_node must be >= 1, got {edges_per_node}")
+    if num_nodes < edges_per_node + 1:
+        raise GraphError(
+            f"num_nodes must be > edges_per_node ({edges_per_node}), got {num_nodes}"
+        )
+    rng = ensure_rng(seed)
+    graph = Graph()
+    # Start from a star on m+1 nodes so every node has degree >= 1.
+    repeated_nodes = []
+    for node in range(edges_per_node + 1):
+        graph.add_node(node)
+    for node in range(1, edges_per_node + 1):
+        graph.add_edge(0, node)
+        repeated_nodes.extend((0, node))
+    for new_node in range(edges_per_node + 1, num_nodes):
+        targets = set()
+        while len(targets) < edges_per_node:
+            targets.add(rng.choice(repeated_nodes))
+        for target in targets:
+            graph.add_edge(new_node, target)
+            repeated_nodes.append(target)
+            repeated_nodes.append(new_node)
+    return graph
+
+
+def powerlaw_cluster_graph(
+    num_nodes: int,
+    edges_per_node: int,
+    triangle_probability: float,
+    seed: SeedLike = None,
+) -> Graph:
+    """Generate a Holme–Kim power-law graph with tunable clustering.
+
+    Like Barabási–Albert but after each preferential attachment, with
+    probability ``triangle_probability`` the next edge closes a triangle with
+    a neighbour of the previously chosen target.  Higher clustering creates
+    larger bi-components, which is the regime where bi-component sampling in
+    SaPHyRa_bc matters.
+    """
+    if not 0 <= triangle_probability <= 1:
+        raise GraphError(
+            f"triangle_probability must be in [0, 1], got {triangle_probability}"
+        )
+    if edges_per_node < 1:
+        raise GraphError(f"edges_per_node must be >= 1, got {edges_per_node}")
+    if num_nodes < edges_per_node + 1:
+        raise GraphError(
+            f"num_nodes must be > edges_per_node ({edges_per_node}), got {num_nodes}"
+        )
+    rng = ensure_rng(seed)
+    graph = Graph()
+    repeated_nodes = []
+    for node in range(edges_per_node + 1):
+        graph.add_node(node)
+    for node in range(1, edges_per_node + 1):
+        graph.add_edge(0, node)
+        repeated_nodes.extend((0, node))
+    for new_node in range(edges_per_node + 1, num_nodes):
+        added = 0
+        last_target = None
+        while added < edges_per_node:
+            if (
+                last_target is not None
+                and rng.random() < triangle_probability
+                and graph.degree(last_target) > 0
+            ):
+                candidates = [
+                    nbr
+                    for nbr in graph.neighbors(last_target)
+                    if nbr != new_node and not graph.has_edge(new_node, nbr)
+                ]
+                if candidates:
+                    target = rng.choice(candidates)
+                else:
+                    target = rng.choice(repeated_nodes)
+            else:
+                target = rng.choice(repeated_nodes)
+            if target == new_node or graph.has_edge(new_node, target):
+                # Resample; dense corner cases terminate because the loop
+                # can always fall back to a fresh preferential choice.
+                last_target = None
+                continue
+            graph.add_edge(new_node, target)
+            repeated_nodes.append(target)
+            repeated_nodes.append(new_node)
+            last_target = target
+            added += 1
+    return graph
+
+
+def watts_strogatz_graph(
+    num_nodes: int, nearest_neighbors: int, rewire_probability: float, seed: SeedLike = None
+) -> Graph:
+    """Generate a Watts–Strogatz small-world graph.
+
+    Starts from a ring lattice where each node connects to its
+    ``nearest_neighbors`` closest neighbours (must be even) and rewires each
+    edge with probability ``rewire_probability``.
+    """
+    if nearest_neighbors % 2 != 0 or nearest_neighbors < 2:
+        raise GraphError(
+            f"nearest_neighbors must be a positive even integer, got {nearest_neighbors}"
+        )
+    if num_nodes <= nearest_neighbors:
+        raise GraphError(
+            f"num_nodes must exceed nearest_neighbors ({nearest_neighbors}), got {num_nodes}"
+        )
+    if not 0 <= rewire_probability <= 1:
+        raise GraphError(
+            f"rewire_probability must be in [0, 1], got {rewire_probability}"
+        )
+    rng = ensure_rng(seed)
+    graph = Graph()
+    for node in range(num_nodes):
+        graph.add_node(node)
+    half = nearest_neighbors // 2
+    for node in range(num_nodes):
+        for offset in range(1, half + 1):
+            graph.add_edge(node, (node + offset) % num_nodes)
+    for node in range(num_nodes):
+        for offset in range(1, half + 1):
+            neighbor = (node + offset) % num_nodes
+            if rng.random() < rewire_probability:
+                candidates = [
+                    c
+                    for c in range(num_nodes)
+                    if c != node and not graph.has_edge(node, c)
+                ]
+                if not candidates:
+                    continue
+                new_neighbor = rng.choice(candidates)
+                if graph.has_edge(node, neighbor):
+                    graph.remove_edge(node, neighbor)
+                graph.add_edge(node, new_neighbor)
+    return graph
+
+
+def grid_road_graph(
+    rows: int,
+    cols: int,
+    *,
+    diagonal_probability: float = 0.05,
+    removal_probability: float = 0.1,
+    seed: SeedLike = None,
+) -> Tuple[Graph, Dict[int, Tuple[float, float]]]:
+    """Generate a road-network-like graph on a jittered 2-D grid.
+
+    Road networks (the USA-road dataset in the paper) are near-planar, have
+    tiny average degree, a very large diameter and many cut vertices.  This
+    generator reproduces those traits: a ``rows x cols`` grid with a few
+    random diagonals, a fraction of edges removed (creating dead ends and
+    bridges), restricted to its largest connected component.
+
+    Returns
+    -------
+    (graph, coordinates):
+        ``coordinates[node] = (x, y)`` positions used by the geographic
+        subset selection in the USA-road case study.
+    """
+    if rows < 2 or cols < 2:
+        raise GraphError(f"rows and cols must both be >= 2, got ({rows}, {cols})")
+    if not 0 <= diagonal_probability <= 1:
+        raise GraphError(
+            f"diagonal_probability must be in [0, 1], got {diagonal_probability}"
+        )
+    if not 0 <= removal_probability < 1:
+        raise GraphError(
+            f"removal_probability must be in [0, 1), got {removal_probability}"
+        )
+    rng = ensure_rng(seed)
+    graph = Graph()
+    coordinates: Dict[int, Tuple[float, float]] = {}
+
+    def node_id(r: int, c: int) -> int:
+        return r * cols + c
+
+    for r in range(rows):
+        for c in range(cols):
+            node = node_id(r, c)
+            graph.add_node(node)
+            coordinates[node] = (c + rng.uniform(-0.3, 0.3), r + rng.uniform(-0.3, 0.3))
+    for r in range(rows):
+        for c in range(cols):
+            node = node_id(r, c)
+            if c + 1 < cols and rng.random() >= removal_probability:
+                graph.add_edge(node, node_id(r, c + 1))
+            if r + 1 < rows and rng.random() >= removal_probability:
+                graph.add_edge(node, node_id(r + 1, c))
+            if (
+                r + 1 < rows
+                and c + 1 < cols
+                and rng.random() < diagonal_probability
+            ):
+                graph.add_edge(node, node_id(r + 1, c + 1))
+
+    # Keep only the largest connected component so downstream shortest-path
+    # distributions are well defined, exactly as the paper does implicitly by
+    # using connected benchmark graphs.
+    from repro.graphs.components import largest_connected_component
+
+    component = largest_connected_component(graph)
+    graph = graph.subgraph(component)
+    coordinates = {node: coordinates[node] for node in component}
+    return graph, coordinates
+
+
+def path_graph(num_nodes: int) -> Graph:
+    """Return a simple path ``0 - 1 - ... - (n-1)`` (handy for tests)."""
+    graph = Graph()
+    for node in range(num_nodes):
+        graph.add_node(node)
+    for node in range(num_nodes - 1):
+        graph.add_edge(node, node + 1)
+    return graph
+
+
+def cycle_graph(num_nodes: int) -> Graph:
+    """Return a simple cycle on ``num_nodes`` nodes (requires >= 3 nodes)."""
+    if num_nodes < 3:
+        raise GraphError(f"a cycle needs at least 3 nodes, got {num_nodes}")
+    graph = path_graph(num_nodes)
+    graph.add_edge(num_nodes - 1, 0)
+    return graph
+
+
+def complete_graph(num_nodes: int) -> Graph:
+    """Return the complete graph ``K_n``."""
+    graph = Graph()
+    for node in range(num_nodes):
+        graph.add_node(node)
+    for u in range(num_nodes):
+        for v in range(u + 1, num_nodes):
+            graph.add_edge(u, v)
+    return graph
+
+
+def star_graph(num_leaves: int) -> Graph:
+    """Return a star with centre ``0`` and ``num_leaves`` leaves."""
+    graph = Graph()
+    graph.add_node(0)
+    for leaf in range(1, num_leaves + 1):
+        graph.add_edge(0, leaf)
+    return graph
+
+
+def barbell_graph(clique_size: int, path_length: int) -> Graph:
+    """Two ``K_{clique_size}`` cliques joined by a path of ``path_length`` nodes.
+
+    This is the canonical stress test for bi-component decomposition: the
+    path nodes are all cut vertices and carry the highest betweenness.
+    """
+    if clique_size < 3:
+        raise GraphError(f"clique_size must be >= 3, got {clique_size}")
+    graph = complete_graph(clique_size)
+    offset = clique_size
+    previous = clique_size - 1
+    for i in range(path_length):
+        node = offset + i
+        graph.add_edge(previous, node)
+        previous = node
+    second_clique_start = offset + path_length
+    for u in range(second_clique_start, second_clique_start + clique_size):
+        graph.add_node(u)
+    for u in range(second_clique_start, second_clique_start + clique_size):
+        for v in range(u + 1, second_clique_start + clique_size):
+            graph.add_edge(u, v)
+    graph.add_edge(previous, second_clique_start)
+    return graph

@@ -1,0 +1,232 @@
+"""An undirected, unweighted simple graph tuned for sampling algorithms.
+
+Design notes
+------------
+* Nodes may be any hashable objects; the synthetic generators use ``int``
+  node ids ``0..n-1``.
+* Adjacency is stored as ``dict[node, dict[node, None]]``: insertion ordered
+  (deterministic iteration, which matters for reproducible sampling), with
+  O(1) membership tests and O(deg) neighbour iteration.
+* The graph is *simple*: self loops and parallel edges are rejected /
+  collapsed.  The paper treats all evaluation networks as undirected and
+  unweighted, so direction and weights are intentionally unsupported.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import GraphError
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+
+class Graph:
+    """An undirected, unweighted simple graph.
+
+    Examples
+    --------
+    >>> g = Graph.from_edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+    >>> g.number_of_nodes(), g.number_of_edges()
+    (4, 4)
+    >>> sorted(g.neighbors(2))
+    [0, 1, 3]
+    >>> g.degree(2)
+    3
+    """
+
+    __slots__ = ("_adj", "_num_edges")
+
+    def __init__(self) -> None:
+        self._adj: Dict[Node, Dict[Node, None]] = {}
+        self._num_edges: int = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls, edges: Iterable[Edge], nodes: Optional[Iterable[Node]] = None
+    ) -> "Graph":
+        """Build a graph from an iterable of ``(u, v)`` pairs.
+
+        Parameters
+        ----------
+        edges:
+            Edge pairs.  Duplicate edges are collapsed; self loops raise
+            :class:`~repro.errors.GraphError`.
+        nodes:
+            Optional extra nodes to add (possibly isolated).
+        """
+        graph = cls()
+        if nodes is not None:
+            for node in nodes:
+                graph.add_node(node)
+        for u, v in edges:
+            graph.add_edge(u, v)
+        return graph
+
+    def add_node(self, node: Node) -> None:
+        """Add ``node`` if not already present."""
+        if node not in self._adj:
+            self._adj[node] = {}
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        """Add the undirected edge ``{u, v}``, creating endpoints as needed.
+
+        Raises
+        ------
+        GraphError
+            If ``u == v`` (self loops are not allowed in a simple graph).
+        """
+        if u == v:
+            raise GraphError(f"self loops are not allowed (node {u!r})")
+        self.add_node(u)
+        self.add_node(v)
+        if v not in self._adj[u]:
+            self._adj[u][v] = None
+            self._adj[v][u] = None
+            self._num_edges += 1
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove the edge ``{u, v}``.
+
+        Raises
+        ------
+        GraphError
+            If the edge does not exist.
+        """
+        if not self.has_edge(u, v):
+            raise GraphError(f"edge ({u!r}, {v!r}) does not exist")
+        del self._adj[u][v]
+        del self._adj[v][u]
+        self._num_edges -= 1
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and all incident edges.
+
+        Raises
+        ------
+        GraphError
+            If the node does not exist.
+        """
+        if node not in self._adj:
+            raise GraphError(f"node {node!r} does not exist")
+        for neighbor in list(self._adj[node]):
+            del self._adj[neighbor][node]
+            self._num_edges -= 1
+        del self._adj[node]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def has_node(self, node: Node) -> bool:
+        """Return ``True`` if ``node`` is in the graph."""
+        return node in self._adj
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Return ``True`` if the undirected edge ``{u, v}`` exists."""
+        return u in self._adj and v in self._adj[u]
+
+    def neighbors(self, node: Node) -> Iterable[Node]:
+        """Return an iterable view over the neighbours of ``node``.
+
+        Raises
+        ------
+        GraphError
+            If the node does not exist.
+        """
+        try:
+            return self._adj[node].keys()
+        except KeyError:
+            raise GraphError(f"node {node!r} does not exist") from None
+
+    def degree(self, node: Node) -> int:
+        """Return the degree of ``node``."""
+        try:
+            return len(self._adj[node])
+        except KeyError:
+            raise GraphError(f"node {node!r} does not exist") from None
+
+    def number_of_nodes(self) -> int:
+        """Return ``|V|``."""
+        return len(self._adj)
+
+    def number_of_edges(self) -> int:
+        """Return ``|E|`` (each undirected edge counted once)."""
+        return self._num_edges
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over the nodes in insertion order."""
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over each undirected edge exactly once as ``(u, v)``."""
+        seen = set()
+        for u, nbrs in self._adj.items():
+            seen.add(u)
+            for v in nbrs:
+                if v not in seen:
+                    yield (u, v)
+
+    def adjacency(self) -> Dict[Node, List[Node]]:
+        """Return a plain ``dict`` mapping each node to a neighbour list."""
+        return {node: list(nbrs) for node, nbrs in self._adj.items()}
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def copy(self) -> "Graph":
+        """Return a deep copy of the graph structure."""
+        clone = Graph()
+        for node, nbrs in self._adj.items():
+            clone._adj[node] = dict(nbrs)
+        clone._num_edges = self._num_edges
+        return clone
+
+    def subgraph(self, nodes: Iterable[Node]) -> "Graph":
+        """Return the induced subgraph on ``nodes``.
+
+        Nodes not present in the graph are ignored.
+        """
+        keep = {node for node in nodes if node in self._adj}
+        sub = Graph()
+        for node in keep:
+            sub.add_node(node)
+        for node in keep:
+            for neighbor in self._adj[node]:
+                if neighbor in keep and not sub.has_edge(node, neighbor):
+                    sub.add_edge(node, neighbor)
+        return sub
+
+    def relabeled(self) -> Tuple["Graph", Dict[Node, int]]:
+        """Return a copy with nodes relabeled to ``0..n-1`` and the mapping.
+
+        Useful for exporting to array-based tooling; the mapping preserves
+        the original insertion order.
+        """
+        mapping = {node: index for index, node in enumerate(self._adj)}
+        relabeled = Graph()
+        for node in self._adj:
+            relabeled.add_node(mapping[node])
+        for u, v in self.edges():
+            relabeled.add_edge(mapping[u], mapping[v])
+        return relabeled, mapping
+
+    # ------------------------------------------------------------------
+    # Dunder helpers
+    # ------------------------------------------------------------------
+    def __contains__(self, node: Node) -> bool:
+        return node in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._adj)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Graph(nodes={self.number_of_nodes()}, edges={self.number_of_edges()})"
+        )

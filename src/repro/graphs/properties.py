@@ -1,0 +1,85 @@
+"""Graph summary statistics (Table II of the paper: nodes, edges, diameter)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.graphs.biconnected import biconnected_components
+from repro.graphs.components import connected_components
+from repro.graphs.diameter import estimate_diameter, exact_diameter
+from repro.graphs.graph import Graph
+from repro.utils.rng import SeedLike
+
+
+@dataclass
+class GraphSummary:
+    """Summary row for one network (mirrors Table II, plus block structure).
+
+    Attributes
+    ----------
+    num_nodes, num_edges:
+        Basic sizes.
+    diameter:
+        Exact diameter when ``exact`` was requested, otherwise an upper
+        bound estimate from random-source eccentricities.
+    diameter_is_exact:
+        Whether ``diameter`` is exact.
+    num_components:
+        Number of connected components.
+    num_blocks:
+        Number of biconnected components.
+    num_cutpoints:
+        Number of articulation points.
+    max_degree, avg_degree:
+        Degree statistics.
+    """
+
+    num_nodes: int
+    num_edges: int
+    diameter: int
+    diameter_is_exact: bool
+    num_components: int
+    num_blocks: int
+    num_cutpoints: int
+    max_degree: int
+    avg_degree: float
+
+
+def summarize(
+    graph: Graph, *, exact: Optional[bool] = None, seed: SeedLike = 0
+) -> GraphSummary:
+    """Compute a :class:`GraphSummary` for ``graph``.
+
+    Parameters
+    ----------
+    exact:
+        Force exact (``True``) or estimated (``False``) diameter.  By default
+        the diameter is exact for graphs with at most 500 nodes and estimated
+        otherwise.
+    seed:
+        Seed for the diameter estimator.
+    """
+    n = graph.number_of_nodes()
+    m = graph.number_of_edges()
+    if exact is None:
+        exact = n <= 500
+    if n == 0:
+        diameter = 0
+    elif exact:
+        diameter = exact_diameter(graph)
+    else:
+        diameter = estimate_diameter(graph, seed)
+    decomposition = biconnected_components(graph)
+    degrees = [graph.degree(node) for node in graph.nodes()]
+    return GraphSummary(
+        num_nodes=n,
+        num_edges=m,
+        diameter=diameter,
+        diameter_is_exact=bool(exact),
+        num_components=len(connected_components(graph)),
+        num_blocks=len(decomposition.components),
+        num_cutpoints=len(decomposition.cutpoints),
+        max_degree=max(degrees) if degrees else 0,
+        avg_degree=(2.0 * m / n) if n else 0.0,
+    )

@@ -1,0 +1,168 @@
+"""Breadth-first-search primitives: distances, shortest-path DAGs and
+uniform shortest-path sampling.
+
+These are the building blocks shared by the exact Brandes algorithm, the
+sampling baselines and SaPHyRa_bc's sample generator.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence
+
+from repro.errors import GraphError, SamplingError
+from repro.graphs.graph import Graph
+from repro.utils.rng import SeedLike, ensure_rng
+
+Node = Hashable
+
+
+def bfs_distances(graph: Graph, source: Node, *, max_depth: Optional[int] = None) -> Dict[Node, int]:
+    """Return ``{node: hop distance}`` for every node reachable from ``source``.
+
+    Parameters
+    ----------
+    max_depth:
+        If given, stop expanding once this depth is reached (nodes farther
+        than ``max_depth`` are absent from the result).
+    """
+    if not graph.has_node(source):
+        raise GraphError(f"source node {source!r} does not exist")
+    distances: Dict[Node, int] = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        depth = distances[node]
+        if max_depth is not None and depth >= max_depth:
+            continue
+        for neighbor in graph.neighbors(node):
+            if neighbor not in distances:
+                distances[neighbor] = depth + 1
+                queue.append(neighbor)
+    return distances
+
+
+@dataclass
+class ShortestPathDAG:
+    """The shortest-path DAG rooted at ``source``.
+
+    Attributes
+    ----------
+    source:
+        Root of the BFS.
+    distances:
+        ``{node: hop distance from source}`` for reachable nodes.
+    sigma:
+        ``{node: number of distinct shortest paths from source}``.
+    predecessors:
+        ``{node: [predecessors on shortest paths]}``.
+    order:
+        Nodes in non-decreasing distance order (the order they were settled),
+        which is the reverse of the order Brandes' dependency accumulation
+        walks them in.
+    """
+
+    source: Node
+    distances: Dict[Node, int]
+    sigma: Dict[Node, int]
+    predecessors: Dict[Node, List[Node]]
+    order: List[Node]
+
+    def number_of_shortest_paths(self, target: Node) -> int:
+        """Return ``sigma_{source, target}`` (0 if unreachable)."""
+        return self.sigma.get(target, 0)
+
+    def sample_path(self, target: Node, rng: SeedLike = None) -> List[Node]:
+        """Sample a shortest path from ``source`` to ``target`` uniformly.
+
+        The path is returned as a node list ``[source, ..., target]``.
+
+        Raises
+        ------
+        SamplingError
+            If ``target`` is unreachable from ``source``.
+        """
+        if target not in self.distances:
+            raise SamplingError(
+                f"target {target!r} is unreachable from source {self.source!r}"
+            )
+        rng = ensure_rng(rng)
+        path = [target]
+        current = target
+        while current != self.source:
+            preds = self.predecessors[current]
+            weights = [self.sigma[p] for p in preds]
+            current = _weighted_choice(preds, weights, rng)
+            path.append(current)
+        path.reverse()
+        return path
+
+
+def shortest_path_dag(
+    graph: Graph, source: Node, *, max_depth: Optional[int] = None
+) -> ShortestPathDAG:
+    """Run a BFS from ``source`` computing distances, path counts and the DAG."""
+    if not graph.has_node(source):
+        raise GraphError(f"source node {source!r} does not exist")
+    distances: Dict[Node, int] = {source: 0}
+    sigma: Dict[Node, int] = {source: 1}
+    predecessors: Dict[Node, List[Node]] = {source: []}
+    order: List[Node] = []
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        order.append(node)
+        depth = distances[node]
+        if max_depth is not None and depth >= max_depth:
+            continue
+        for neighbor in graph.neighbors(node):
+            if neighbor not in distances:
+                distances[neighbor] = depth + 1
+                sigma[neighbor] = 0
+                predecessors[neighbor] = []
+                queue.append(neighbor)
+            if distances[neighbor] == depth + 1:
+                sigma[neighbor] += sigma[node]
+                predecessors[neighbor].append(node)
+    return ShortestPathDAG(
+        source=source,
+        distances=distances,
+        sigma=sigma,
+        predecessors=predecessors,
+        order=order,
+    )
+
+
+def sample_shortest_path(
+    graph: Graph, source: Node, target: Node, rng: SeedLike = None
+) -> List[Node]:
+    """Sample a uniformly random shortest path between two nodes.
+
+    This is the straightforward (single-direction BFS) sampler; the balanced
+    bidirectional variant in :mod:`repro.graphs.bidirectional` is what the
+    fast samplers use.
+    """
+    dag = shortest_path_dag(graph, source)
+    return dag.sample_path(target, rng)
+
+
+def k_hop_neighborhood(graph: Graph, center: Node, hops: int) -> List[Node]:
+    """Return all nodes within ``hops`` of ``center`` (including ``center``)."""
+    if hops < 0:
+        raise ValueError(f"hops must be >= 0, got {hops}")
+    return list(bfs_distances(graph, center, max_depth=hops))
+
+
+def _weighted_choice(items: Sequence, weights: Sequence[int], rng) -> Node:
+    """Pick one of ``items`` with probability proportional to ``weights``."""
+    total = sum(weights)
+    if total <= 0:
+        raise SamplingError("cannot sample from an empty/zero-weight set")
+    threshold = rng.random() * total
+    cumulative = 0.0
+    for item, weight in zip(items, weights):
+        cumulative += weight
+        if threshold < cumulative:
+            return item
+    return items[-1]

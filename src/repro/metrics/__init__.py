@@ -1,0 +1,31 @@
+"""Ranking-quality and estimation-quality metrics used in the evaluation."""
+
+from __future__ import annotations
+
+from repro.metrics.deviation import average_rank_deviation, rank_deviations
+from repro.metrics.errors import (
+    estimation_within_epsilon,
+    max_absolute_error,
+    mean_absolute_error,
+    signed_relative_errors,
+)
+from repro.metrics.rank_correlation import kendall_tau, spearman_rank_correlation
+from repro.metrics.topk import bottom_half_spearman, jaccard_at_k, precision_at_k
+from repro.metrics.zeros import ZeroStatistics, classify_zeros, relative_error_histogram
+
+__all__ = [
+    "spearman_rank_correlation",
+    "kendall_tau",
+    "precision_at_k",
+    "jaccard_at_k",
+    "bottom_half_spearman",
+    "signed_relative_errors",
+    "max_absolute_error",
+    "mean_absolute_error",
+    "estimation_within_epsilon",
+    "classify_zeros",
+    "ZeroStatistics",
+    "relative_error_histogram",
+    "rank_deviations",
+    "average_rank_deviation",
+]

@@ -1,0 +1,45 @@
+"""Rank deviation (the Fig. 7a metric of the USA-road case study).
+
+For each node the deviation is the absolute difference between its estimated
+rank and its true rank, expressed as a percentage of the subset size; the
+case study reports the average over nodes in a geographic area.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Mapping, Optional
+
+from repro.core.ranking import ranks_from_scores
+
+Node = Hashable
+
+
+def rank_deviations(
+    truth: Mapping[Node, float], estimate: Mapping[Node, float]
+) -> Dict[Node, float]:
+    """Per-node absolute rank deviation as a percentage of the subset size."""
+    keys = list(truth)
+    k = len(keys)
+    if k == 0:
+        return {}
+    truth_ranks = ranks_from_scores({key: truth[key] for key in keys})
+    estimate_ranks = ranks_from_scores(
+        {key: estimate.get(key, 0.0) for key in keys}
+    )
+    return {
+        key: 100.0 * abs(truth_ranks[key] - estimate_ranks[key]) / k for key in keys
+    }
+
+
+def average_rank_deviation(
+    truth: Mapping[Node, float],
+    estimate: Mapping[Node, float],
+    nodes: Optional[Iterable[Node]] = None,
+) -> float:
+    """Average rank deviation over ``nodes`` (default: all ground-truth nodes)."""
+    deviations = rank_deviations(truth, estimate)
+    selected = list(nodes) if nodes is not None else list(deviations)
+    values = [deviations[node] for node in selected if node in deviations]
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

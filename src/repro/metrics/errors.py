@@ -1,0 +1,52 @@
+"""Estimation-error metrics: absolute errors, relative errors, (eps, delta)
+checks."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Mapping
+
+Node = Hashable
+
+
+def max_absolute_error(
+    truth: Mapping[Node, float], estimate: Mapping[Node, float]
+) -> float:
+    """``max_v |truth(v) - estimate(v)|`` over the ground-truth keys."""
+    return max(abs(truth[node] - estimate.get(node, 0.0)) for node in truth)
+
+
+def mean_absolute_error(
+    truth: Mapping[Node, float], estimate: Mapping[Node, float]
+) -> float:
+    """Mean of ``|truth(v) - estimate(v)|`` over the ground-truth keys."""
+    if not truth:
+        return 0.0
+    total = sum(abs(truth[node] - estimate.get(node, 0.0)) for node in truth)
+    return total / len(truth)
+
+
+def estimation_within_epsilon(
+    truth: Mapping[Node, float], estimate: Mapping[Node, float], epsilon: float
+) -> bool:
+    """True iff every node's absolute error is below ``epsilon`` (Eq. 2)."""
+    return max_absolute_error(truth, estimate) < epsilon
+
+
+def signed_relative_errors(
+    truth: Mapping[Node, float], estimate: Mapping[Node, float]
+) -> Dict[Node, float]:
+    """Per-node signed relative error in percent (the Fig. 6 metric).
+
+    ``(estimate / truth - 1) * 100``.  When the true value is 0: the error is
+    0 if the estimate is also 0 and ``inf`` otherwise, matching the paper's
+    convention.
+    """
+    errors: Dict[Node, float] = {}
+    for node, true_value in truth.items():
+        estimated = estimate.get(node, 0.0)
+        if true_value == 0.0:
+            errors[node] = 0.0 if estimated == 0.0 else math.inf
+        else:
+            errors[node] = (estimated / true_value - 1.0) * 100.0
+    return errors

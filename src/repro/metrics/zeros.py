@@ -1,0 +1,109 @@
+"""True-zero / false-zero analysis and the relative-error histogram (Fig. 6).
+
+The paper's key diagnostic for why whole-network estimators rank badly:
+nodes whose betweenness is estimated as exactly zero.  A *true zero* has
+betweenness 0 and is estimated 0 (harmless); a *false zero* has positive
+betweenness but an estimate of 0 (its relative error is -100% and its rank
+is essentially random).  SaPHyRa_bc produces no false zeros (Lemma 19).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Sequence, Tuple
+
+from repro.metrics.errors import signed_relative_errors
+
+Node = Hashable
+
+
+@dataclass
+class ZeroStatistics:
+    """Counts of zero-estimated nodes.
+
+    Attributes
+    ----------
+    num_nodes:
+        Number of evaluated nodes.
+    true_zeros:
+        Nodes with ``bc = 0`` estimated as 0.
+    false_zeros:
+        Nodes with ``bc > 0`` estimated as 0.
+    """
+
+    num_nodes: int
+    true_zeros: int
+    false_zeros: int
+
+    @property
+    def true_zero_fraction(self) -> float:
+        """Fraction of evaluated nodes that are true zeros."""
+        return self.true_zeros / self.num_nodes if self.num_nodes else 0.0
+
+    @property
+    def false_zero_fraction(self) -> float:
+        """Fraction of evaluated nodes that are false zeros."""
+        return self.false_zeros / self.num_nodes if self.num_nodes else 0.0
+
+
+def classify_zeros(
+    truth: Mapping[Node, float], estimate: Mapping[Node, float], *, tolerance: float = 0.0
+) -> ZeroStatistics:
+    """Count true zeros and false zeros of ``estimate`` w.r.t. ``truth``.
+
+    ``tolerance`` treats estimates with absolute value <= tolerance as zero
+    (useful when an estimator adds tiny smoothing terms).
+    """
+    true_zeros = 0
+    false_zeros = 0
+    for node, true_value in truth.items():
+        estimated = abs(estimate.get(node, 0.0))
+        if estimated <= tolerance:
+            if true_value == 0.0:
+                true_zeros += 1
+            else:
+                false_zeros += 1
+    return ZeroStatistics(
+        num_nodes=len(truth), true_zeros=true_zeros, false_zeros=false_zeros
+    )
+
+
+def relative_error_histogram(
+    truth: Mapping[Node, float],
+    estimate: Mapping[Node, float],
+    *,
+    bin_edges: Sequence[float] = (-150.0, -100.0, -50.0, 0.0, 50.0, 100.0, 150.0),
+) -> List[Tuple[str, float]]:
+    """Histogram of signed relative errors in percent (the Fig. 6 plot).
+
+    Errors beyond the last edge (including infinite errors for false
+    positives on zero-centrality nodes) are grouped into a single overflow
+    bucket, as in the paper.  Returns ``[(bucket label, percentage), ...]``.
+    """
+    errors = list(signed_relative_errors(truth, estimate).values())
+    if not errors:
+        return []
+    edges = list(bin_edges)
+    if len(edges) < 2 or any(b <= a for a, b in zip(edges, edges[1:])):
+        raise ValueError("bin_edges must be strictly increasing with >= 2 values")
+    num_bins = len(edges) - 1
+    counts = [0] * (num_bins + 1)  # final slot: overflow / infinite errors
+    for error in errors:
+        if math.isinf(error) or error >= edges[-1]:
+            counts[-1] += 1
+        elif error < edges[0]:
+            counts[0] += 1
+        else:
+            for index in range(num_bins):
+                if edges[index] <= error < edges[index + 1]:
+                    counts[index] += 1
+                    break
+    total = len(errors)
+    labels = [
+        f"[{edges[index]:g}, {edges[index + 1]:g})" for index in range(num_bins)
+    ]
+    labels.append(f">= {edges[-1]:g} or inf")
+    return [
+        (label, 100.0 * count / total) for label, count in zip(labels, counts)
+    ]

@@ -1,0 +1,42 @@
+"""SaPHyRa_bc: ranking node subsets by betweenness centrality (Section IV).
+
+The pipeline is:
+
+1. decompose the graph into biconnected components and build the block-cut
+   tree with out-reach sets (:mod:`repro.graphs.block_cut_tree`);
+2. build the personalized intra-component shortest path (PISP) sample space
+   for the target nodes ``A`` (:mod:`repro.saphyra_bc.isp`);
+3. evaluate the exact subspace — every 2-hop shortest path through a target
+   node — in closed form (:mod:`repro.saphyra_bc.exact_bc`);
+4. sample the approximate subspace with the multistage + rejection sampler
+   ``Gen_bc`` (:mod:`repro.saphyra_bc.gen_bc`), bounding the sample budget
+   with the personalized VC dimension (:mod:`repro.saphyra_bc.vc_bounds`);
+5. combine everything into betweenness estimates with the cutpoint
+   correction ``bc_a`` (:mod:`repro.saphyra_bc.algorithm`).
+"""
+
+from __future__ import annotations
+
+from repro.saphyra_bc.algorithm import BCRankingResult, SaPHyRaBC
+from repro.saphyra_bc.exact_bc import ExactSubspaceEvaluation, exact_two_hop_risks
+from repro.saphyra_bc.gen_bc import GenBC
+from repro.saphyra_bc.isp import PersonalizedISP
+from repro.saphyra_bc.vc_bounds import (
+    VCBoundReport,
+    personalized_vc_dimension,
+    vc_bound_report,
+    vc_from_hop_diameter,
+)
+
+__all__ = [
+    "SaPHyRaBC",
+    "BCRankingResult",
+    "PersonalizedISP",
+    "exact_two_hop_risks",
+    "ExactSubspaceEvaluation",
+    "GenBC",
+    "personalized_vc_dimension",
+    "vc_from_hop_diameter",
+    "vc_bound_report",
+    "VCBoundReport",
+]

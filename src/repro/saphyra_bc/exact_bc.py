@@ -1,0 +1,141 @@
+"""``Exact_bc``: closed-form evaluation of the 2-hop exact subspace.
+
+The exact subspace (Eq. 29) contains every PISP path of length 2 whose
+middle node is a target.  For each target ``v`` its exact risk is
+
+    l-hat_v = sum over ordered same-block pairs (s, t) with d(s, t) = 2
+              and v a common neighbour of s and t of
+              q_st / (sigma_st * gamma * eta)
+
+and the subspace mass is
+
+    lambda-hat = sum over the same pairs of
+                 (#common neighbours in A / sigma_st) * q_st / (gamma * eta).
+
+Both are computed in ``O(K)`` with ``K = sum_{v in B} deg(v)^2`` where ``B``
+is the neighbourhood of the target set (Lemma 18): for each ``s in B`` a
+two-level neighbour scan finds all distance-2 targets ``t`` together with
+``sigma_st`` (the number of common neighbours) and the number of middles
+that are targets.
+
+The crucial property (Lemma 19): any target with non-zero betweenness has at
+least one 2-hop shortest path through it, so ``l-hat_v > 0`` — the exact
+subspace eliminates *false zeros*, which is what lifts the ranking quality
+for low-centrality nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Sequence
+
+from repro.saphyra_bc.isp import PersonalizedISP
+
+Node = Hashable
+
+
+@dataclass
+class ExactSubspaceEvaluation:
+    """Output of ``Exact_bc``.
+
+    Attributes
+    ----------
+    lambda_exact:
+        ``lambda-hat`` — probability of the exact subspace under the PISP
+        distribution.
+    risks:
+        ``l-hat_v`` per target, in target order (PISP units).
+    num_pairs:
+        Number of ordered distance-2 same-block pairs that contributed.
+    work:
+        Number of adjacency entries scanned (the ``K`` of Lemma 18).
+    """
+
+    lambda_exact: float
+    risks: List[float]
+    num_pairs: int
+    work: int
+
+
+def exact_two_hop_risks(
+    space: PersonalizedISP, targets: Sequence[Node]
+) -> ExactSubspaceEvaluation:
+    """Run ``Exact_bc`` for ``targets`` on the personalized ISP space.
+
+    ``targets`` must match ``space.targets`` (the same order is used for the
+    returned risk vector).
+    """
+    graph = space.graph
+    target_list = list(targets)
+    target_index = {node: position for position, node in enumerate(target_list)}
+    target_set = set(target_list)
+
+    # B: all neighbours of target nodes (the only possible endpoints of a
+    # 2-hop path whose middle is a target).
+    boundary: Dict[Node, None] = {}
+    for node in target_list:
+        for neighbor in graph.neighbors(node):
+            boundary[neighbor] = None
+
+    reach_tables = space.bct.out_reach
+    risks_units = [0.0] * len(target_list)
+    lambda_units = 0.0
+    num_pairs = 0
+    work = 0
+
+    for source in boundary:
+        source_neighbors = set(graph.neighbors(source))
+        # sigma2[t]: number of common neighbours of (source, t) == sigma_st
+        # for distance-2 pairs; middles_in_a[t]: how many of them are targets.
+        sigma2: Dict[Node, int] = {}
+        middles_in_a: Dict[Node, int] = {}
+        for middle in graph.neighbors(source):
+            is_target_middle = middle in target_set
+            for endpoint in graph.neighbors(middle):
+                work += 1
+                if endpoint == source or endpoint in source_neighbors:
+                    continue
+                sigma2[endpoint] = sigma2.get(endpoint, 0) + 1
+                if is_target_middle:
+                    middles_in_a[endpoint] = middles_in_a.get(endpoint, 0) + 1
+
+        if not middles_in_a:
+            continue
+
+        # lambda-hat accumulation (one term per ordered pair with >= 1 target
+        # middle), and per-target risk accumulation.
+        pair_block: Dict[Node, int] = {}
+        for endpoint, target_middles in middles_in_a.items():
+            block = space.common_block(source, endpoint)
+            if block is None:
+                continue
+            pair_block[endpoint] = block
+            reach = reach_tables[block]
+            weight = reach[source] * reach[endpoint]
+            lambda_units += (target_middles / sigma2[endpoint]) * weight
+            num_pairs += 1
+
+        for middle in graph.neighbors(source):
+            position = target_index.get(middle)
+            if position is None:
+                continue
+            for endpoint in graph.neighbors(middle):
+                if endpoint == source or endpoint in source_neighbors:
+                    continue
+                block = pair_block.get(endpoint)
+                if block is None:
+                    continue
+                reach = reach_tables[block]
+                weight = reach[source] * reach[endpoint]
+                risks_units[position] += weight / sigma2[endpoint]
+
+    scale = space.personalized_pair_weight
+    if scale <= 0:
+        return ExactSubspaceEvaluation(
+            lambda_exact=0.0, risks=[0.0] * len(target_list), num_pairs=0, work=work
+        )
+    risks = [value / scale for value in risks_units]
+    lambda_exact = min(1.0, lambda_units / scale)
+    return ExactSubspaceEvaluation(
+        lambda_exact=lambda_exact, risks=risks, num_pairs=num_pairs, work=work
+    )

@@ -1,0 +1,130 @@
+"""``Gen_bc``: sampling shortest paths from the approximate subspace.
+
+Algorithm 2 of the paper — multistage sampling followed by rejection:
+
+1. pick a block ``C_i`` (among the blocks containing a target) with
+   probability proportional to its pair weight ``W_i``;
+2. pick a source ``s in C_i`` with probability ``r_i(s)(n - r_i(s)) / W_i``;
+3. pick a target ``t in C_i \\ {s}`` with probability ``r_i(t)/(n - r_i(s))``;
+4. pick a uniformly random shortest ``s``–``t`` path with a balanced
+   bidirectional BFS (inside the block, where the path is guaranteed to
+   stay);
+5. reject and retry if the path lies in the exact subspace (length 2 with a
+   target middle node).
+
+The accepted paths are distributed exactly as ``D-tilde_c^(A)`` (Lemma 20).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Set
+
+from repro.errors import SamplingError
+from repro.graphs.bidirectional import bidirectional_shortest_paths
+from repro.saphyra_bc.isp import PersonalizedISP
+from repro.utils.rng import SeedLike, ensure_rng
+
+Node = Hashable
+
+
+@dataclass
+class GenBCStatistics:
+    """Counters describing the sampler's behaviour (used by diagnostics)."""
+
+    samples_returned: int = 0
+    rejections: int = 0
+    pairs_drawn: int = 0
+    visited_edges: int = 0
+    path_length_histogram: Dict[int, int] = field(default_factory=dict)
+
+
+class GenBC:
+    """Sampler over the approximate PISP subspace.
+
+    Parameters
+    ----------
+    space:
+        The personalized ISP sample space.
+    targets:
+        The target nodes (defines both the rejection test and the sparse
+        losses returned by :meth:`sample_losses`).
+    max_rejections:
+        Safety valve: the number of consecutive rejections after which
+        :class:`~repro.errors.SamplingError` is raised (the exact subspace
+        would have to cover essentially the whole space for this to happen).
+    """
+
+    def __init__(
+        self,
+        space: PersonalizedISP,
+        targets: Sequence[Node],
+        *,
+        max_rejections: int = 100_000,
+    ) -> None:
+        self.space = space
+        self.targets = list(targets)
+        self.target_set: Set[Node] = set(self.targets)
+        self._target_index = {
+            node: position for position, node in enumerate(self.targets)
+        }
+        self.max_rejections = max_rejections
+        self.stats = GenBCStatistics()
+
+    # ------------------------------------------------------------------
+    def sample_path(self, rng: SeedLike = None) -> List[Node]:
+        """Draw one shortest path from ``D-tilde_c^(A)``."""
+        rng = ensure_rng(rng)
+        rejections = 0
+        while True:
+            block_index, source, target = self.space.sample_pair(rng)
+            self.stats.pairs_drawn += 1
+            block_graph = self.space.bct.block_subgraph(block_index)
+            result = bidirectional_shortest_paths(block_graph, source, target)
+            self.stats.visited_edges += result.visited_edges
+            if not result.connected:  # pragma: no cover - blocks are connected
+                raise SamplingError(
+                    f"nodes {source!r} and {target!r} are disconnected inside "
+                    f"block {block_index}; the decomposition is inconsistent"
+                )
+            path = result.sample_path(rng)
+            if self._in_exact_subspace(path):
+                rejections += 1
+                self.stats.rejections += 1
+                if rejections > self.max_rejections:
+                    raise SamplingError(
+                        "rejection sampling exceeded "
+                        f"{self.max_rejections} consecutive rejections; "
+                        "the approximate subspace is (nearly) empty"
+                    )
+                continue
+            self.stats.samples_returned += 1
+            length = len(path) - 1
+            self.stats.path_length_histogram[length] = (
+                self.stats.path_length_histogram.get(length, 0) + 1
+            )
+            return path
+
+    def sample_losses(self, rng: SeedLike = None) -> Dict[int, float]:
+        """Draw one path and return the sparse losses of the target hypotheses.
+
+        The loss of ``h_v`` is 1 iff ``v`` is an inner node of the path.
+        """
+        path = self.sample_path(rng)
+        losses: Dict[int, float] = {}
+        for node in path[1:-1]:
+            position = self._target_index.get(node)
+            if position is not None:
+                losses[position] = 1.0
+        return losses
+
+    # ------------------------------------------------------------------
+    def _in_exact_subspace(self, path: List[Node]) -> bool:
+        """True iff the path has length 2 and its middle node is a target."""
+        return len(path) == 3 and path[1] in self.target_set
+
+    def acceptance_rate(self) -> Optional[float]:
+        """Fraction of drawn pairs that produced an accepted sample."""
+        if self.stats.pairs_drawn == 0:
+            return None
+        return self.stats.samples_returned / self.stats.pairs_drawn

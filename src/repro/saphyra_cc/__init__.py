@@ -1,0 +1,24 @@
+"""SaPHyRa_cc: ranking node subsets by closeness centrality.
+
+The paper's conclusion names closeness centrality as the first measure the
+framework should be extended to; this subpackage is that extension.  The
+mapping mirrors Section II's recipe:
+
+* a sample is a uniformly random node ``t``;
+* the hypothesis ``h_v`` of a target ``v`` "predicts" the normalised distance
+  ``d(v, t) / D`` (with ``D`` an upper bound on distances, so losses live in
+  ``[0, 1]``);
+* the expected risk of ``h_v`` is its normalised average distance — ranking
+  hypotheses by *ascending* risk ranks nodes by *descending* closeness;
+* the exact subspace contains the samples ``t ∈ A``: the pairwise distances
+  among targets are computed exactly with one BFS per target, which is
+  exactly the "samples directly linked to the target nodes" idea of the
+  framework.
+"""
+
+from __future__ import annotations
+
+from repro.saphyra_cc.algorithm import ClosenessRankingResult, SaPHyRaCC
+from repro.saphyra_cc.problem import ClosenessProblem
+
+__all__ = ["SaPHyRaCC", "ClosenessRankingResult", "ClosenessProblem"]

@@ -1,0 +1,27 @@
+"""Statistical learning-theory toolkit: concentration bounds, VC sample sizes
+and error-probability allocation used by the adaptive samplers."""
+
+from __future__ import annotations
+
+from repro.stats.allocation import allocate_error_probabilities
+from repro.stats.bernstein import (
+    RunningStats,
+    empirical_bernstein_bound,
+    sample_variance,
+)
+from repro.stats.hoeffding import hoeffding_bound, hoeffding_sample_size
+from repro.stats.vc import (
+    pi_max_vc_bound,
+    vc_sample_size,
+)
+
+__all__ = [
+    "empirical_bernstein_bound",
+    "sample_variance",
+    "RunningStats",
+    "hoeffding_bound",
+    "hoeffding_sample_size",
+    "vc_sample_size",
+    "pi_max_vc_bound",
+    "allocate_error_probabilities",
+]

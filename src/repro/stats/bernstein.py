@@ -1,0 +1,112 @@
+"""Empirical Bernstein concentration bound (Maurer & Pontil, COLT 2009).
+
+Lemma 3 of the paper: for i.i.d. random variables ``z_1..z_N`` in ``[0, 1]``
+with mean ``mu`` and sample variance ``Var(z)``, with probability at least
+``1 - delta0``::
+
+    mu - mean(z) <= sqrt(2 Var(z) ln(2/delta0) / N) + 7 ln(2/delta0) / (3 (N-1))
+
+The adaptive samplers track, for each hypothesis, only ``sum z`` and
+``sum z^2`` (via :class:`RunningStats`), from which the unbiased sample
+variance follows, so memory stays ``O(k)`` regardless of the number of
+samples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.utils.validation import check_in_unit_interval, check_positive
+
+
+def sample_variance(values: Iterable[float]) -> float:
+    """Unbiased sample variance ``1/(N(N-1)) * sum_{j1<j2} (z_j1 - z_j2)^2``.
+
+    Equals the textbook ``sum (z - mean)^2 / (N - 1)``.  Returns 0.0 for
+    fewer than two values.
+    """
+    data = list(values)
+    n = len(data)
+    if n < 2:
+        return 0.0
+    total = sum(data)
+    total_sq = sum(value * value for value in data)
+    variance = (total_sq - total * total / n) / (n - 1)
+    return max(0.0, variance)
+
+
+def empirical_bernstein_bound(
+    num_samples: int, delta0: float, variance: float, *, value_range: float = 1.0
+) -> float:
+    """Return the one-sided empirical Bernstein deviation ``epsilon(N, delta0, Var)``.
+
+    Parameters
+    ----------
+    num_samples:
+        Number of i.i.d. samples ``N`` (must be >= 2 for a finite bound; with
+        ``N < 2`` the bound is infinite).
+    delta0:
+        Error probability of the bound, in (0, 1).
+    variance:
+        Sample variance of the observations.
+    value_range:
+        The width of the interval the observations live in (1 for the 0-1
+        losses used throughout the paper).
+    """
+    check_in_unit_interval(delta0, "delta0")
+    if variance < 0:
+        raise ValueError(f"variance must be >= 0, got {variance}")
+    check_positive(value_range, "value_range")
+    if num_samples < 2:
+        return math.inf
+    log_term = math.log(2.0 / delta0)
+    return math.sqrt(2.0 * variance * log_term / num_samples) + (
+        7.0 * value_range * log_term / (3.0 * (num_samples - 1))
+    )
+
+
+@dataclass
+class RunningStats:
+    """Streaming sum / sum-of-squares accumulator for one hypothesis.
+
+    Supports both per-sample updates (:meth:`add`) and bulk updates for
+    sparse evaluation, where most samples contribute a loss of exactly zero
+    (:meth:`pad_zeros`), which is the common case for betweenness sampling.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    total_sq: float = 0.0
+
+    def add(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        self.total_sq += value * value
+
+    def pad_zeros(self, num_zeros: int) -> None:
+        """Record ``num_zeros`` observations of exactly 0.0."""
+        if num_zeros < 0:
+            raise ValueError(f"num_zeros must be >= 0, got {num_zeros}")
+        self.count += num_zeros
+
+    def mean(self) -> float:
+        """Sample mean (0.0 when no observations have been recorded)."""
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 for fewer than two observations)."""
+        if self.count < 2:
+            return 0.0
+        centered = self.total_sq - self.total * self.total / self.count
+        return max(0.0, centered / (self.count - 1))
+
+    def bernstein_epsilon(self, delta0: float, *, value_range: float = 1.0) -> float:
+        """Empirical Bernstein deviation for the current observations."""
+        return empirical_bernstein_bound(
+            self.count, delta0, self.variance(), value_range=value_range
+        )

@@ -1,0 +1,38 @@
+"""Hoeffding bound helpers (used for the union-bound baseline sample sizes)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.validation import check_in_unit_interval, check_positive
+
+
+def hoeffding_bound(num_samples: int, delta0: float, *, value_range: float = 1.0) -> float:
+    """Two-sided Hoeffding deviation for ``num_samples`` i.i.d. samples.
+
+    With probability at least ``1 - delta0`` the empirical mean of bounded
+    random variables deviates from the expectation by at most
+    ``value_range * sqrt(ln(2/delta0) / (2 N))``.
+    """
+    check_in_unit_interval(delta0, "delta0")
+    check_positive(value_range, "value_range")
+    if num_samples < 1:
+        return math.inf
+    return value_range * math.sqrt(math.log(2.0 / delta0) / (2.0 * num_samples))
+
+
+def hoeffding_sample_size(
+    epsilon: float, delta: float, num_hypotheses: int = 1, *, value_range: float = 1.0
+) -> int:
+    """Samples needed for an ``(epsilon, delta)`` estimate of ``num_hypotheses``
+    means simultaneously, by Hoeffding + union bound:
+    ``N = range^2 / (2 eps^2) * (ln(2 k) + ln(1/delta))``."""
+    check_in_unit_interval(epsilon, "epsilon")
+    check_in_unit_interval(delta, "delta")
+    check_positive(value_range, "value_range")
+    if num_hypotheses < 1:
+        raise ValueError(f"num_hypotheses must be >= 1, got {num_hypotheses}")
+    needed = (value_range**2 / (2.0 * epsilon**2)) * (
+        math.log(2.0 * num_hypotheses) + math.log(1.0 / delta)
+    )
+    return max(1, math.ceil(needed))

@@ -1,0 +1,73 @@
+"""Vapnik–Chervonenkis sample-complexity helpers.
+
+Lemma 4 of the paper (Theorem 6.8 in Shalev-Shwartz & Ben-David): an
+``(epsilon, delta)``-estimation of the expected risks of a hypothesis class
+with VC dimension ``d`` needs::
+
+    N = c / epsilon^2 * (d + ln(1/delta))        with c ~ 0.5
+
+Lemma 5 gives the bound used throughout SaPHyRa_bc: if no sample is labelled
+positive by more than ``pi_max`` hypotheses, then
+``VC(H) <= floor(log2(pi_max)) + 1``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.validation import check_in_unit_interval, check_non_negative
+
+#: The constant ``c`` of Lemma 4; the paper states "approximately 0.5".
+VC_SAMPLE_CONSTANT = 0.5
+
+
+def vc_sample_size(
+    epsilon: float,
+    delta: float,
+    vc_dimension: float,
+    *,
+    constant: float = VC_SAMPLE_CONSTANT,
+) -> int:
+    """Number of samples sufficient for an ``(epsilon, delta)``-estimation.
+
+    Parameters
+    ----------
+    epsilon, delta:
+        Accuracy and confidence parameters in (0, 1).
+    vc_dimension:
+        VC dimension of the hypothesis class (``>= 0``).
+    constant:
+        The multiplicative constant ``c`` (0.5 by default, as in the paper).
+    """
+    check_in_unit_interval(epsilon, "epsilon")
+    check_in_unit_interval(delta, "delta")
+    check_non_negative(vc_dimension, "vc_dimension")
+    needed = constant / (epsilon**2) * (vc_dimension + math.log(1.0 / delta))
+    return max(1, math.ceil(needed))
+
+
+def pi_max_vc_bound(pi_max: int) -> int:
+    """VC-dimension bound of Lemma 5: ``VC(H) <= floor(log2(pi_max)) + 1``.
+
+    ``pi_max`` is the maximum, over samples ``x``, of the number of
+    hypotheses that output 1 on ``x``.  ``pi_max = 0`` means no hypothesis
+    ever fires and the VC dimension is 0.
+    """
+    if pi_max < 0:
+        raise ValueError(f"pi_max must be >= 0, got {pi_max}")
+    if pi_max == 0:
+        return 0
+    return int(math.floor(math.log2(pi_max))) + 1
+
+
+def diameter_vc_bound(vertex_diameter: int) -> int:
+    """The Riondato–Kornaropoulos VC bound ``floor(log2(VD - 2)) + 1``.
+
+    ``VD`` counts *nodes* on the longest shortest path (hops + 1); a shortest
+    path with ``VD`` nodes has ``VD - 2`` inner nodes, which is ``pi_max``
+    for the full-network hypothesis class.  Values of ``VD`` below 3 give a
+    VC dimension of 0 (no path has an inner node).
+    """
+    if vertex_diameter < 0:
+        raise ValueError(f"vertex_diameter must be >= 0, got {vertex_diameter}")
+    return pi_max_vc_bound(max(0, vertex_diameter - 2))

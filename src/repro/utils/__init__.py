@@ -1,0 +1,22 @@
+"""Small shared utilities: seeded RNG handling, timing and validation."""
+
+from __future__ import annotations
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timing import Timer
+from repro.utils.validation import (
+    check_in_unit_interval,
+    check_non_negative,
+    check_positive,
+    check_probability_pair,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "Timer",
+    "check_positive",
+    "check_non_negative",
+    "check_in_unit_interval",
+    "check_probability_pair",
+]

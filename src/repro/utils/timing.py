@@ -1,0 +1,85 @@
+"""Wall-clock timing helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class Timer:
+    """A context manager measuring elapsed wall-clock seconds.
+
+    Examples
+    --------
+    >>> with Timer() as timer:
+    ...     _ = sum(range(1000))
+    >>> timer.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self._elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._start is not None:
+            self._elapsed = time.perf_counter() - self._start
+            self._start = None
+
+    @property
+    def elapsed(self) -> float:
+        """Elapsed seconds of the last completed ``with`` block (or the
+        running total if called inside the block)."""
+        if self._start is not None:
+            return time.perf_counter() - self._start
+        return self._elapsed
+
+
+@dataclass
+class StageTimings:
+    """Accumulates named per-stage timings for an algorithm run.
+
+    The experiment harness uses this to separate preprocessing (bi-component
+    decomposition, exact-subspace evaluation) from sampling time, mirroring
+    the per-phase discussion in the paper.
+    """
+
+    stages: Dict[str, float] = field(default_factory=dict)
+    order: List[str] = field(default_factory=list)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Add ``seconds`` to stage ``name`` (creating it if needed)."""
+        if seconds < 0:
+            raise ValueError(f"seconds must be non-negative, got {seconds}")
+        if name not in self.stages:
+            self.stages[name] = 0.0
+            self.order.append(name)
+        self.stages[name] += seconds
+
+    def total(self) -> float:
+        """Total seconds across all stages."""
+        return sum(self.stages.values())
+
+    def measure(self, name: str) -> "_StageContext":
+        """Return a context manager that times a block into stage ``name``."""
+        return _StageContext(self, name)
+
+
+class _StageContext:
+    def __init__(self, timings: StageTimings, name: str) -> None:
+        self._timings = timings
+        self._name = name
+        self._timer = Timer()
+
+    def __enter__(self) -> "_StageContext":
+        self._timer.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._timer.__exit__(exc_type, exc, tb)
+        self._timings.add(self._name, self._timer.elapsed)

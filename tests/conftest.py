@@ -1,0 +1,57 @@
+"""Shared fixtures: small graphs with known structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.synthetic import karate_club_graph
+from repro.graphs.generators import (
+    barbell_graph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """K3: one block, no cutpoints, every betweenness is 0."""
+    return complete_graph(3)
+
+
+@pytest.fixture
+def path5() -> Graph:
+    """Path 0-1-2-3-4: every edge is a bridge, nodes 1-3 are cutpoints."""
+    return path_graph(5)
+
+
+@pytest.fixture
+def cycle6() -> Graph:
+    """C6: a single biconnected block."""
+    return cycle_graph(6)
+
+
+@pytest.fixture
+def star6() -> Graph:
+    """Star with centre 0 and 6 leaves: centre has the only non-zero bc."""
+    return star_graph(6)
+
+
+@pytest.fixture
+def barbell() -> Graph:
+    """Two K5 cliques joined by a 3-node path: rich block structure."""
+    return barbell_graph(5, 3)
+
+
+@pytest.fixture
+def karate() -> Graph:
+    """Zachary's karate club (34 nodes, 78 edges)."""
+    return karate_club_graph()
+
+
+@pytest.fixture
+def two_triangles_shared_node() -> Graph:
+    """Two triangles sharing node 0: 0 is the unique cutpoint."""
+    return Graph.from_edges([(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)])

@@ -1,0 +1,103 @@
+"""Tests for the estimator-comparison analysis helper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    AVAILABLE_ESTIMATORS,
+    compare_estimators,
+    comparison_table,
+)
+from repro.centrality.brandes import betweenness_centrality
+
+
+class TestCompareEstimators:
+    def test_basic_comparison(self, karate):
+        rows = compare_estimators(
+            karate,
+            [0, 1, 2, 5, 33],
+            epsilon=0.1,
+            delta=0.1,
+            seed=3,
+            estimators=("saphyra", "kadabra"),
+        )
+        assert [row.name for row in rows] == ["saphyra", "kadabra"]
+        for row in rows:
+            assert row.max_abs_error is not None and row.max_abs_error < 0.1
+            assert row.spearman is not None and row.spearman > 0.5
+            assert row.num_samples > 0
+            assert set(row.scores) == {0, 1, 2, 5, 33}
+        saphyra_row = rows[0]
+        assert saphyra_row.false_zeros == 0
+
+    def test_precomputed_ground_truth(self, karate):
+        truth = betweenness_centrality(karate)
+        rows = compare_estimators(
+            karate,
+            [0, 1, 2],
+            epsilon=0.2,
+            delta=0.2,
+            seed=1,
+            estimators=("saphyra",),
+            ground_truth=truth,
+        )
+        assert rows[0].spearman is not None
+
+    def test_without_ground_truth(self, karate):
+        rows = compare_estimators(
+            karate,
+            [0, 1, 2],
+            epsilon=0.2,
+            delta=0.2,
+            seed=1,
+            estimators=("kadabra",),
+            compute_ground_truth=False,
+        )
+        assert rows[0].spearman is None
+        assert rows[0].max_abs_error is None
+        assert rows[0].scores
+
+    def test_all_available_estimators_run(self, karate):
+        rows = compare_estimators(
+            karate,
+            [0, 1, 33],
+            epsilon=0.2,
+            delta=0.2,
+            seed=2,
+            estimators=AVAILABLE_ESTIMATORS,
+            max_samples_cap=500,
+        )
+        assert len(rows) == len(AVAILABLE_ESTIMATORS)
+
+    def test_unknown_estimator_rejected(self, karate):
+        with pytest.raises(ValueError, match="unknown"):
+            compare_estimators(karate, [0], estimators=("mystery",))
+
+
+class TestComparisonTable:
+    def test_renders(self, karate):
+        rows = compare_estimators(
+            karate,
+            [0, 1, 2],
+            epsilon=0.2,
+            delta=0.2,
+            seed=1,
+            estimators=("saphyra", "kadabra"),
+        )
+        text = comparison_table(rows)
+        assert "estimator" in text
+        assert "saphyra" in text and "kadabra" in text
+
+    def test_renders_without_ground_truth(self, karate):
+        rows = compare_estimators(
+            karate,
+            [0, 1],
+            epsilon=0.2,
+            delta=0.2,
+            seed=1,
+            estimators=("kadabra",),
+            compute_ground_truth=False,
+        )
+        text = comparison_table(rows)
+        assert "-" in text

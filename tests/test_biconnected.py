@@ -1,0 +1,171 @@
+"""Tests for the biconnected-component decomposition."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.biconnected import (
+    articulation_points,
+    biconnected_components,
+    bridges,
+)
+from repro.graphs.components import connected_components
+from repro.graphs.generators import (
+    barbell_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.graph import Graph
+
+
+def brute_force_cutpoints(graph: Graph) -> set:
+    """A node is a cutpoint iff removing it increases the component count
+    within its own connected component."""
+    baseline = len(connected_components(graph))
+    cutpoints = set()
+    for node in list(graph.nodes()):
+        if graph.degree(node) == 0:
+            continue
+        reduced = graph.copy()
+        reduced.remove_node(node)
+        if len(connected_components(reduced)) > baseline:
+            cutpoints.add(node)
+    return cutpoints
+
+
+class TestKnownStructures:
+    def test_path_graph_blocks(self, path5):
+        decomposition = biconnected_components(path5)
+        assert len(decomposition.components) == 4
+        assert all(len(block) == 2 for block in decomposition.components)
+        assert decomposition.cutpoints == {1, 2, 3}
+
+    def test_cycle_is_single_block(self, cycle6):
+        decomposition = biconnected_components(cycle6)
+        assert len(decomposition.components) == 1
+        assert decomposition.cutpoints == set()
+
+    def test_star_center_is_cutpoint(self, star6):
+        decomposition = biconnected_components(star6)
+        assert decomposition.cutpoints == {0}
+        assert len(decomposition.components) == 6
+
+    def test_two_triangles_shared_node(self, two_triangles_shared_node):
+        decomposition = biconnected_components(two_triangles_shared_node)
+        assert len(decomposition.components) == 2
+        assert decomposition.cutpoints == {0}
+        assert all(len(block) == 3 for block in decomposition.components)
+
+    def test_barbell(self, barbell):
+        decomposition = biconnected_components(barbell)
+        sizes = sorted(len(block) for block in decomposition.components)
+        # Two K5 blocks plus 4 bridge blocks along the 3-node path.
+        assert sizes == [2, 2, 2, 2, 5, 5]
+        assert len(decomposition.cutpoints) == 5
+
+    def test_karate(self, karate):
+        decomposition = biconnected_components(karate)
+        assert decomposition.cutpoints == brute_force_cutpoints(karate)
+        # Each edge appears in exactly one block.
+        edge_count = sum(
+            karate.subgraph(block).number_of_edges()
+            for block in decomposition.components
+        )
+        assert edge_count == karate.number_of_edges()
+
+    def test_isolated_node_has_no_block(self):
+        graph = Graph.from_edges([(0, 1)], nodes=[5])
+        decomposition = biconnected_components(graph)
+        assert decomposition.components_of(5) == []
+
+    def test_empty_graph(self):
+        decomposition = biconnected_components(Graph())
+        assert decomposition.components == []
+        assert decomposition.cutpoints == set()
+
+
+class TestDecompositionQueries:
+    def test_components_of_cutpoint(self, two_triangles_shared_node):
+        decomposition = biconnected_components(two_triangles_shared_node)
+        assert len(decomposition.components_of(0)) == 2
+        assert len(decomposition.components_of(1)) == 1
+
+    def test_share_component(self, two_triangles_shared_node):
+        decomposition = biconnected_components(two_triangles_shared_node)
+        assert decomposition.share_component(1, 2)
+        assert decomposition.share_component(0, 3)
+        assert not decomposition.share_component(1, 3)
+
+    def test_is_cutpoint(self, path5):
+        decomposition = biconnected_components(path5)
+        assert decomposition.is_cutpoint(2)
+        assert not decomposition.is_cutpoint(0)
+
+
+class TestBridges:
+    def test_path_all_bridges(self, path5):
+        assert len(bridges(path5)) == 4
+
+    def test_cycle_no_bridges(self, cycle6):
+        assert bridges(cycle6) == []
+
+    def test_barbell_bridges(self, barbell):
+        assert len(bridges(barbell)) == 4
+
+
+class TestArticulationPoints:
+    def test_wrapper_matches_decomposition(self, karate):
+        assert articulation_points(karate) == biconnected_components(karate).cutpoints
+
+
+class TestAgainstBruteForce:
+    @given(st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=40, deadline=None)
+    def test_cutpoints_match_brute_force(self, seed):
+        rng = random.Random(seed)
+        graph = erdos_renyi_graph(rng.randint(4, 18), 0.22, seed=rng.randint(0, 999))
+        decomposition = biconnected_components(graph)
+        assert decomposition.cutpoints == brute_force_cutpoints(graph)
+
+    @given(st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=40, deadline=None)
+    def test_every_edge_in_exactly_one_block(self, seed):
+        rng = random.Random(seed)
+        graph = erdos_renyi_graph(rng.randint(4, 18), 0.25, seed=rng.randint(0, 999))
+        decomposition = biconnected_components(graph)
+        edge_to_blocks = {}
+        for index, block in enumerate(decomposition.components):
+            block_graph = graph.subgraph(block)
+            for u, v in block_graph.edges():
+                edge_to_blocks.setdefault(frozenset((u, v)), []).append(index)
+        for edge in graph.edges():
+            assert len(edge_to_blocks.get(frozenset(edge), [])) >= 1
+        total_edges_in_blocks = sum(
+            graph.subgraph(block).number_of_edges()
+            for block in decomposition.components
+        )
+        assert total_edges_in_blocks == graph.number_of_edges()
+
+    @given(st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=30, deadline=None)
+    def test_blocks_are_2_connected_or_edges(self, seed):
+        rng = random.Random(seed)
+        graph = erdos_renyi_graph(rng.randint(4, 14), 0.3, seed=rng.randint(0, 999))
+        decomposition = biconnected_components(graph)
+        for block in decomposition.components:
+            block_graph = graph.subgraph(block)
+            if len(block) == 2:
+                assert block_graph.number_of_edges() == 1
+                continue
+            # Removing any single node keeps the block connected.
+            for node in block:
+                reduced = block_graph.copy()
+                reduced.remove_node(node)
+                assert len(connected_components(reduced)) == 1

@@ -1,0 +1,118 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_unknown_command_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["frobnicate"])
+
+
+class TestDatasetsCommand:
+    def test_lists_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        for name in ("karate", "flickr", "usa-road"):
+            assert name in output
+
+
+class TestRankCommand:
+    def test_rank_karate(self, capsys):
+        code = main(
+            ["rank", "--dataset", "karate", "--subset-size", "8",
+             "--epsilon", "0.1", "--delta", "0.1", "--seed", "3", "--top", "5"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "dataset=karate" in output
+        assert "rank | node" in output
+
+    def test_rank_explicit_targets(self, capsys):
+        code = main(
+            ["rank", "--dataset", "karate", "--targets", "0, 1, 33",
+             "--epsilon", "0.1", "--delta", "0.1", "--seed", "3"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "33" in output
+
+    def test_rank_edge_list(self, tmp_path, capsys):
+        path = tmp_path / "toy.txt"
+        path.write_text("0 1\n1 2\n2 0\n2 3\n3 4\n4 2\n")
+        code = main(
+            ["rank", "--edge-list", str(path), "--subset-size", "4",
+             "--epsilon", "0.2", "--delta", "0.2", "--seed", "1"]
+        )
+        assert code == 0
+        assert "estimated betweenness" in capsys.readouterr().out
+
+
+class TestCompareCommand:
+    def test_compare_on_karate(self, capsys):
+        code = main(
+            ["compare", "--dataset", "karate", "--subset-size", "8",
+             "--epsilon", "0.2", "--delta", "0.2", "--seed", "2",
+             "--estimators", "saphyra,kadabra"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "estimator" in output and "saphyra" in output
+
+
+class TestTableCommand:
+    def test_table2(self, capsys):
+        code = main(
+            ["table", "2", "--scale", "0.12", "--seed", "1",
+             "--datasets", "flickr,usa-road"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "|" in output and "flickr" in output
+
+    def test_table3(self, capsys):
+        code = main(["table", "3", "--scale", "0.3", "--seed", "1"])
+        assert code == 0
+        assert "NYC" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        code = main(
+            ["table", "1", "--scale", "0.1", "--seed", "1", "--datasets", "flickr"]
+        )
+        assert code == 0
+        assert "VC" in capsys.readouterr().out
+
+
+class TestFigureCommand:
+    def test_figure6_small(self, capsys):
+        code = main(
+            ["figure", "6", "--scale", "0.1", "--num-subsets", "1",
+             "--subset-size", "15", "--datasets", "flickr",
+             "--epsilons", "0.2"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "true zeros" in output
+
+    def test_figure3_small(self, capsys):
+        code = main(
+            ["figure", "3", "--scale", "0.1", "--num-subsets", "1",
+             "--subset-size", "15", "--datasets", "flickr",
+             "--epsilons", "0.2,0.1"]
+        )
+        assert code == 0
+        assert "Fig. 3" in capsys.readouterr().out

@@ -1,0 +1,57 @@
+"""Tests for connected components."""
+
+from __future__ import annotations
+
+from repro.graphs.components import (
+    connected_components,
+    is_connected,
+    largest_connected_component,
+)
+from repro.graphs.graph import Graph
+
+
+class TestConnectedComponents:
+    def test_single_component(self, karate):
+        components = connected_components(karate)
+        assert len(components) == 1
+        assert len(components[0]) == 34
+
+    def test_multiple_components(self):
+        graph = Graph.from_edges([(0, 1), (2, 3), (3, 4)], nodes=[9])
+        components = connected_components(graph)
+        sizes = sorted(len(component) for component in components)
+        assert sizes == [1, 2, 3]
+
+    def test_empty_graph(self):
+        assert connected_components(Graph()) == []
+
+    def test_partition_covers_all_nodes(self):
+        graph = Graph.from_edges([(0, 1), (2, 3)], nodes=[7])
+        components = connected_components(graph)
+        covered = sorted(node for component in components for node in component)
+        assert covered == [0, 1, 2, 3, 7]
+
+
+class TestLargestComponent:
+    def test_largest(self):
+        graph = Graph.from_edges([(0, 1), (2, 3), (3, 4), (4, 5)])
+        assert sorted(largest_connected_component(graph)) == [2, 3, 4, 5]
+
+    def test_empty(self):
+        assert largest_connected_component(Graph()) == []
+
+
+class TestIsConnected:
+    def test_connected(self, karate):
+        assert is_connected(karate)
+
+    def test_disconnected(self):
+        assert not is_connected(Graph.from_edges([(0, 1), (2, 3)]))
+
+    def test_empty_is_not_connected(self):
+        assert not is_connected(Graph())
+
+    def test_single_node_connected(self):
+        graph = Graph()
+        graph.add_node(0)
+        assert is_connected(graph)

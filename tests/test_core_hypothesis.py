@@ -1,0 +1,84 @@
+"""Tests for hypothesis classes and losses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hypothesis import (
+    CallableHypothesisClass,
+    SetMembershipHypothesisClass,
+    zero_one_loss,
+)
+
+
+class TestZeroOneLoss:
+    def test_equal(self):
+        assert zero_one_loss(1.0, 1.0) == 0.0
+        assert zero_one_loss(0.0, 0.0) == 0.0
+
+    def test_different(self):
+        assert zero_one_loss(1.0, 0.0) == 1.0
+        assert zero_one_loss(0.0, 1.0) == 1.0
+
+
+class TestCallableHypothesisClass:
+    def make(self):
+        return CallableHypothesisClass(
+            {
+                "even": lambda x: 1.0 if x % 2 == 0 else 0.0,
+                "big": lambda x: 1.0 if x >= 5 else 0.0,
+            }
+        )
+
+    def test_names_and_len(self):
+        hypotheses = self.make()
+        assert list(hypotheses.names) == ["even", "big"]
+        assert len(hypotheses) == 2
+
+    def test_losses_sparse(self):
+        hypotheses = self.make()
+        # Default labelling is constant 0 with 0-1 loss, so the loss equals
+        # the prediction.
+        assert hypotheses.losses(6) == {0: 1.0, 1: 1.0}
+        assert hypotheses.losses(3) == {}
+        assert hypotheses.losses(2) == {0: 1.0}
+
+    def test_custom_labeling_and_loss(self):
+        hypotheses = CallableHypothesisClass(
+            {"h": lambda x: x},
+            labeling=lambda x: 1.0,
+            loss=lambda prediction, label: abs(prediction - label),
+        )
+        assert hypotheses.losses(0.25) == {0: 0.75}
+        assert hypotheses.losses(1.0) == {}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CallableHypothesisClass({})
+
+
+class TestSetMembershipHypothesisClass:
+    def test_losses(self):
+        hypotheses = SetMembershipHypothesisClass(
+            ["a", "b", "c"], keys_of=lambda sample: sample
+        )
+        assert hypotheses.losses(["a", "c"]) == {0: 1.0, 2: 1.0}
+        assert hypotheses.losses([]) == {}
+
+    def test_unknown_keys_ignored(self):
+        hypotheses = SetMembershipHypothesisClass([1, 2], keys_of=lambda sample: sample)
+        assert hypotheses.losses([1, 99]) == {0: 1.0}
+
+    def test_index_of(self):
+        hypotheses = SetMembershipHypothesisClass([10, 20], keys_of=lambda s: s)
+        assert hypotheses.index_of(20) == 1
+        with pytest.raises(KeyError):
+            hypotheses.index_of(30)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            SetMembershipHypothesisClass([1, 1], keys_of=lambda s: s)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SetMembershipHypothesisClass([], keys_of=lambda s: s)

@@ -1,0 +1,62 @@
+"""Tests for risk computation and ranking helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hypothesis import SetMembershipHypothesisClass
+from repro.core.ranking import rank_scores, ranking_to_ranks, ranks_from_scores
+from repro.core.risk import empirical_risks, exact_expected_risks
+from repro.core.sample_space import WeightedSample
+
+
+class TestExactExpectedRisks:
+    def test_weighted_sum(self):
+        hypotheses = SetMembershipHypothesisClass(["a", "b"], keys_of=lambda s: s)
+        samples = [
+            WeightedSample(["a"], 0.5),
+            WeightedSample(["a", "b"], 0.3),
+            WeightedSample([], 0.2),
+        ]
+        risks = exact_expected_risks(hypotheses, samples)
+        assert risks[0] == pytest.approx(0.8)
+        assert risks[1] == pytest.approx(0.3)
+
+    def test_zero_probability_samples_skipped(self):
+        hypotheses = SetMembershipHypothesisClass(["a"], keys_of=lambda s: s)
+        risks = exact_expected_risks(hypotheses, [WeightedSample(["a"], 0.0)])
+        assert risks == [0.0]
+
+
+class TestEmpiricalRisks:
+    def test_average(self):
+        hypotheses = SetMembershipHypothesisClass(["a", "b"], keys_of=lambda s: s)
+        samples = [["a"], ["a", "b"], [], ["b"]]
+        risks = empirical_risks(hypotheses, samples)
+        assert risks[0] == pytest.approx(0.5)
+        assert risks[1] == pytest.approx(0.5)
+
+    def test_empty_sample_list(self):
+        hypotheses = SetMembershipHypothesisClass(["a"], keys_of=lambda s: s)
+        assert empirical_risks(hypotheses, []) == [0.0]
+
+
+class TestRanking:
+    def test_rank_scores_descending(self):
+        ranking = rank_scores({"a": 0.1, "b": 0.9, "c": 0.5})
+        assert ranking == ["b", "c", "a"]
+
+    def test_ties_broken_by_name(self):
+        ranking = rank_scores({3: 0.5, 1: 0.5, 2: 0.7})
+        assert ranking == [2, 1, 3]
+
+    def test_ranking_to_ranks(self):
+        assert ranking_to_ranks(["x", "y", "z"]) == {"x": 1, "y": 2, "z": 3}
+
+    def test_ranks_from_scores(self):
+        ranks = ranks_from_scores({10: 0.0, 20: 1.0})
+        assert ranks == {20: 1, 10: 2}
+
+    def test_empty(self):
+        assert rank_scores({}) == []
+        assert ranking_to_ranks([]) == {}

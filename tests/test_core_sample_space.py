@@ -1,0 +1,79 @@
+"""Tests for the enumerated sample space and its partition."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.sample_space import EnumeratedSampleSpace, WeightedSample
+from repro.errors import SamplingError
+
+
+def uniform_space(values, is_exact=None):
+    probability = 1.0 / len(values)
+    return EnumeratedSampleSpace(
+        [WeightedSample(value, probability) for value in values], is_exact=is_exact
+    )
+
+
+class TestConstruction:
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            EnumeratedSampleSpace([WeightedSample("a", 0.4)])
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedSample("a", -0.1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EnumeratedSampleSpace([])
+
+    def test_partition_masses(self):
+        space = uniform_space(range(10), is_exact=lambda value: value < 3)
+        assert space.lambda_exact == pytest.approx(0.3)
+        assert space.lambda_approximate == pytest.approx(0.7)
+        assert len(list(space.exact_samples())) == 3
+        assert len(list(space.approximate_samples())) == 7
+        assert len(list(space.all_samples())) == 10
+
+    def test_default_partition_everything_approximate(self):
+        space = uniform_space(range(4))
+        assert space.lambda_exact == 0.0
+        assert space.lambda_approximate == pytest.approx(1.0)
+
+
+class TestSampling:
+    def test_sample_approximate_excludes_exact(self):
+        space = uniform_space(range(6), is_exact=lambda value: value < 3)
+        rng = random.Random(1)
+        draws = {space.sample_approximate(rng) for _ in range(200)}
+        assert draws == {3, 4, 5}
+
+    def test_sample_approximate_conditional_distribution(self):
+        # P(x) proportional to original probabilities within the subspace.
+        space = EnumeratedSampleSpace(
+            [
+                WeightedSample("exact", 0.5),
+                WeightedSample("common", 0.4),
+                WeightedSample("rare", 0.1),
+            ],
+            is_exact=lambda value: value == "exact",
+        )
+        rng = random.Random(3)
+        counts = Counter(space.sample_approximate(rng) for _ in range(2000))
+        assert counts["common"] / 2000 == pytest.approx(0.8, abs=0.05)
+        assert counts["rare"] / 2000 == pytest.approx(0.2, abs=0.05)
+
+    def test_sample_full_covers_everything(self):
+        space = uniform_space(range(5), is_exact=lambda value: value == 0)
+        rng = random.Random(5)
+        draws = {space.sample_full(rng) for _ in range(300)}
+        assert draws == {0, 1, 2, 3, 4}
+
+    def test_empty_approximate_subspace_raises(self):
+        space = uniform_space(range(3), is_exact=lambda value: True)
+        with pytest.raises(SamplingError):
+            space.sample_approximate(random.Random(0))

@@ -1,0 +1,164 @@
+"""Tests for the SaPHyRa orchestrator (Algorithm 1) on enumerated problems."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.estimation import ExactEvaluation
+from repro.core.hypothesis import SetMembershipHypothesisClass
+from repro.core.problem import EnumeratedProblem
+from repro.core.sample_space import EnumeratedSampleSpace, WeightedSample
+from repro.core.saphyra import SaPHyRa
+from repro.metrics.rank_correlation import spearman_rank_correlation
+
+
+def make_problem(num_items=40, exact_first=5, seed_names=("a", "b", "c", "d")):
+    """A synthetic hypothesis-ranking problem with known risks.
+
+    Samples are integers 0..num_items-1, uniform; hypothesis ``h_i`` fires on
+    samples divisible by (i + 2), so the true risks are roughly 1/(i+2).
+    """
+    values = list(range(num_items))
+    space = EnumeratedSampleSpace(
+        [WeightedSample(value, 1.0 / num_items) for value in values],
+        is_exact=lambda value: value < exact_first,
+    )
+    hypotheses = SetMembershipHypothesisClass(
+        list(seed_names),
+        keys_of=lambda value: [
+            name
+            for index, name in enumerate(seed_names)
+            if value % (index + 2) == 0
+        ],
+    )
+    return EnumeratedProblem(space, hypotheses)
+
+
+class TestExactEvaluation:
+    def test_exact_risks_match_enumeration(self):
+        problem = make_problem()
+        evaluation = problem.exact_evaluation()
+        assert isinstance(evaluation, ExactEvaluation)
+        assert evaluation.lambda_exact == pytest.approx(5 / 40)
+        # Hypothesis "a" (divisible by 2) fires on samples 0, 2, 4 of the
+        # exact subspace -> 3/40.
+        assert evaluation.risks[0] == pytest.approx(3 / 40)
+
+    def test_true_risks(self):
+        problem = make_problem()
+        truth = problem.true_risks()
+        assert truth["a"] == pytest.approx(20 / 40)
+        assert truth["b"] == pytest.approx(14 / 40)  # multiples of 3 below 40
+
+    def test_vc_dimension_from_pi_max(self):
+        problem = make_problem()
+        # A sample divisible by 2, 3, 4 and 5 (e.g. 0) is exact; the largest
+        # approximate-subspace sample fires at most 3 hypotheses (e.g. 12 ->
+        # a, b, c), so the bound is floor(log2(3)) + 1 = 2.
+        assert problem.vc_dimension() <= 3
+
+
+class TestOrchestrator:
+    def test_combined_estimates_within_epsilon(self):
+        problem = make_problem()
+        truth = problem.true_risks()
+        result = SaPHyRa(epsilon=0.05, delta=0.05, seed=3).rank(problem)
+        for name, risk in zip(result.names, result.risks):
+            assert abs(risk - truth[name]) < 0.05
+
+    def test_ranking_matches_truth_on_well_separated_risks(self):
+        problem = make_problem()
+        truth = problem.true_risks()
+        result = SaPHyRa(epsilon=0.03, delta=0.05, seed=5).rank(problem)
+        correlation = spearman_rank_correlation(truth, result.scores())
+        assert correlation == pytest.approx(1.0)
+
+    def test_combination_identity(self):
+        """l_i = l-hat_i + lambda * l-tilde_i holds exactly in the output."""
+        problem = make_problem()
+        result = SaPHyRa(epsilon=0.1, delta=0.1, seed=7).rank(problem)
+        for combined, exact, approx in zip(
+            result.risks, result.exact_risks, result.approximate_risks
+        ):
+            assert combined == pytest.approx(
+                exact + result.lambda_approximate * approx
+            )
+
+    def test_everything_exact_short_circuits(self):
+        values = list(range(10))
+        space = EnumeratedSampleSpace(
+            [WeightedSample(value, 0.1) for value in values],
+            is_exact=lambda value: True,
+        )
+        hypotheses = SetMembershipHypothesisClass(
+            ["even"], keys_of=lambda value: ["even"] if value % 2 == 0 else []
+        )
+        problem = EnumeratedProblem(space, hypotheses)
+        result = SaPHyRa(epsilon=0.05, delta=0.05, seed=1).rank(problem)
+        assert result.converged_by == "exact"
+        assert result.num_samples == 0
+        assert result.risks[0] == pytest.approx(0.5)
+
+    def test_result_metadata(self):
+        problem = make_problem()
+        result = SaPHyRa(epsilon=0.1, delta=0.1, seed=2).rank(problem)
+        assert result.epsilon == 0.1
+        assert result.lambda_exact + result.lambda_approximate == pytest.approx(1.0)
+        assert result.epsilon_prime >= result.epsilon
+        assert result.num_samples > 0
+        assert set(result.ranking) == set(result.names)
+        assert len(result) == 4
+        assert "sampling" in result.stage_seconds
+
+    def test_deterministic_given_seed(self):
+        problem = make_problem()
+        first = SaPHyRa(epsilon=0.1, delta=0.1, seed=42).rank(problem)
+        second = SaPHyRa(epsilon=0.1, delta=0.1, seed=42).rank(make_problem())
+        assert first.risks == second.risks
+        assert first.ranking == second.ranking
+
+    def test_invalid_epsilon_delta(self):
+        with pytest.raises(ValueError):
+            SaPHyRa(epsilon=0.0, delta=0.1)
+        with pytest.raises(ValueError):
+            SaPHyRa(epsilon=0.1, delta=1.0)
+
+    def test_max_samples_cap(self):
+        problem = make_problem()
+        result = SaPHyRa(epsilon=0.02, delta=0.05, seed=1, max_samples_cap=128).rank(
+            problem
+        )
+        assert result.num_samples <= 128
+
+
+class TestVarianceReduction:
+    def test_partitioning_reduces_samples_for_small_risks(self):
+        """Claim 8: with the high-probability samples moved to the exact
+        subspace, the sampler needs fewer samples to reach the same epsilon."""
+        values = list(range(100))
+        hypotheses = SetMembershipHypothesisClass(
+            ["rare"], keys_of=lambda value: ["rare"] if value < 10 else []
+        )
+        # Partitioned: the 8 most frequent firing samples are exact.
+        partitioned = EnumeratedProblem(
+            EnumeratedSampleSpace(
+                [WeightedSample(value, 0.01) for value in values],
+                is_exact=lambda value: value < 8,
+            ),
+            hypotheses,
+        )
+        unpartitioned = EnumeratedProblem(
+            EnumeratedSampleSpace(
+                [WeightedSample(value, 0.01) for value in values],
+                is_exact=lambda value: False,
+            ),
+            hypotheses,
+        )
+        partitioned_result = SaPHyRa(epsilon=0.02, delta=0.1, seed=3).rank(partitioned)
+        unpartitioned_result = SaPHyRa(epsilon=0.02, delta=0.1, seed=3).rank(
+            unpartitioned
+        )
+        truth = partitioned.true_risks()["rare"]
+        assert abs(partitioned_result.scores()["rare"] - truth) < 0.02
+        assert abs(unpartitioned_result.scores()["rare"] - truth) < 0.02
+        assert partitioned_result.num_samples <= unpartitioned_result.num_samples

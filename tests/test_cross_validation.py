@@ -1,0 +1,123 @@
+"""Cross-validation against independent implementations (networkx / scipy).
+
+The library is self-contained — it never imports networkx or scipy — but the
+test environment ships both, so they make excellent independent oracles for
+the graph substrate and the rank-correlation metrics.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+networkx = pytest.importorskip("networkx")
+scipy_stats = pytest.importorskip("scipy.stats")
+
+from repro.centrality.brandes import betweenness_centrality
+from repro.centrality.closeness import closeness_centrality
+from repro.graphs.biconnected import biconnected_components
+from repro.graphs.components import largest_connected_component
+from repro.graphs.diameter import exact_diameter
+from repro.graphs.generators import erdos_renyi_graph
+from repro.graphs.graph import Graph
+from repro.metrics.rank_correlation import kendall_tau, spearman_rank_correlation
+
+
+def to_networkx(graph: Graph):
+    nx_graph = networkx.Graph()
+    nx_graph.add_nodes_from(graph.nodes())
+    nx_graph.add_edges_from(graph.edges())
+    return nx_graph
+
+
+def random_connected_graph(seed: int) -> Graph:
+    rng = random.Random(seed)
+    graph = erdos_renyi_graph(rng.randint(8, 40), 0.15, seed=rng.randint(0, 9999))
+    return graph.subgraph(largest_connected_component(graph))
+
+
+class TestBetweennessAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_networkx(self, seed):
+        graph = random_connected_graph(seed)
+        if graph.number_of_nodes() < 3:
+            pytest.skip("degenerate sample")
+        ours = betweenness_centrality(graph, normalized=False)
+        theirs = networkx.betweenness_centrality(to_networkx(graph), normalized=False)
+        n = graph.number_of_nodes()
+        for node in graph.nodes():
+            # networkx reports the unordered-pair sum; Eq. 3 uses ordered pairs.
+            assert ours[node] == pytest.approx(2 * theirs[node], abs=1e-9)
+
+    def test_karate_normalized_relationship(self, karate):
+        ours = betweenness_centrality(karate, normalized=True)
+        theirs = networkx.betweenness_centrality(to_networkx(karate), normalized=False)
+        n = karate.number_of_nodes()
+        for node in karate.nodes():
+            assert ours[node] == pytest.approx(2 * theirs[node] / (n * (n - 1)))
+
+
+class TestClosenessAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_networkx_wf_improved(self, seed):
+        graph = random_connected_graph(seed)
+        if graph.number_of_nodes() < 3:
+            pytest.skip("degenerate sample")
+        ours = closeness_centrality(graph)
+        theirs = networkx.closeness_centrality(to_networkx(graph), wf_improved=True)
+        for node in graph.nodes():
+            assert ours[node] == pytest.approx(theirs[node], abs=1e-9)
+
+
+class TestStructureAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_articulation_points(self, seed):
+        graph = random_connected_graph(seed)
+        ours = biconnected_components(graph).cutpoints
+        theirs = set(networkx.articulation_points(to_networkx(graph)))
+        assert ours == theirs
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_biconnected_node_sets(self, seed):
+        graph = random_connected_graph(seed)
+        ours = {frozenset(block) for block in biconnected_components(graph).components}
+        theirs = {
+            frozenset(block)
+            for block in networkx.biconnected_components(to_networkx(graph))
+            if len(block) >= 2
+        }
+        assert ours == theirs
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_diameter(self, seed):
+        graph = random_connected_graph(seed)
+        if graph.number_of_nodes() < 2:
+            pytest.skip("degenerate sample")
+        assert exact_diameter(graph) == networkx.diameter(to_networkx(graph))
+
+
+class TestRankCorrelationAgainstScipy:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_spearman_matches_scipy_without_ties(self, seed):
+        rng = random.Random(seed)
+        keys = list(range(rng.randint(5, 40)))
+        truth = {key: rng.random() for key in keys}
+        estimate = {key: rng.random() for key in keys}
+        ours = spearman_rank_correlation(truth, estimate)
+        theirs = scipy_stats.spearmanr(
+            [truth[key] for key in keys], [estimate[key] for key in keys]
+        ).statistic
+        assert ours == pytest.approx(theirs, abs=1e-9)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_kendall_matches_scipy_without_ties(self, seed):
+        rng = random.Random(seed)
+        keys = list(range(rng.randint(5, 30)))
+        truth = {key: rng.random() for key in keys}
+        estimate = {key: rng.random() for key in keys}
+        ours = kendall_tau(truth, estimate)
+        theirs = scipy_stats.kendalltau(
+            [truth[key] for key in keys], [estimate[key] for key in keys]
+        ).statistic
+        assert ours == pytest.approx(theirs, abs=1e-9)

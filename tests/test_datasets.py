@@ -1,0 +1,193 @@
+"""Tests for dataset surrogates, the registry, subsets and ground truth."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.centrality.brandes import betweenness_centrality
+from repro.datasets.ground_truth import GroundTruthCache, exact_betweenness
+from repro.datasets.registry import PAPER_NETWORKS, available_datasets, load
+from repro.datasets.subsets import (
+    geographic_subset,
+    l_hop_subset,
+    random_subset,
+    random_subsets,
+    road_areas,
+    subsets_by_size,
+)
+from repro.datasets.synthetic import (
+    karate_club_graph,
+    road_surrogate,
+    social_surrogate,
+)
+from repro.errors import DatasetError, GraphError
+from repro.graphs.components import is_connected
+
+
+class TestSyntheticGenerators:
+    def test_karate_club(self):
+        graph = karate_club_graph()
+        assert graph.number_of_nodes() == 34
+        assert graph.number_of_edges() == 78
+        assert is_connected(graph)
+
+    def test_social_surrogate_structure(self):
+        graph = social_surrogate(300, pendant_fraction=0.4, seed=1)
+        assert graph.number_of_nodes() == 300
+        assert is_connected(graph)
+        leaves = sum(1 for node in graph.nodes() if graph.degree(node) == 1)
+        assert leaves >= 0.3 * 300  # pendants plus possibly some core leaves
+
+    def test_social_surrogate_no_pendants(self):
+        graph = social_surrogate(100, pendant_fraction=0.0, seed=2)
+        leaves = sum(1 for node in graph.nodes() if graph.degree(node) == 1)
+        assert leaves == 0
+
+    def test_social_surrogate_deterministic(self):
+        a = social_surrogate(120, seed=9)
+        b = social_surrogate(120, seed=9)
+        assert set(map(frozenset, a.edges())) == set(map(frozenset, b.edges()))
+
+    def test_social_surrogate_validation(self):
+        with pytest.raises(GraphError):
+            social_surrogate(5)
+        with pytest.raises(GraphError):
+            social_surrogate(100, pendant_fraction=1.0)
+        with pytest.raises(GraphError):
+            social_surrogate(20, pendant_fraction=0.9, edges_per_node=4)
+
+    def test_road_surrogate(self):
+        graph, coordinates = road_surrogate(12, 15, seed=4)
+        assert is_connected(graph)
+        assert set(coordinates) == set(graph.nodes())
+
+
+class TestRegistry:
+    def test_available_datasets(self):
+        names = available_datasets()
+        assert set(PAPER_NETWORKS) <= set(names)
+        assert "karate" in names
+
+    @pytest.mark.parametrize("name", ["flickr", "livejournal", "orkut"])
+    def test_social_datasets_connected(self, name):
+        dataset = load(name, scale=0.1, seed=0)
+        assert is_connected(dataset.graph)
+        assert dataset.coordinates is None
+        assert dataset.paper_reference["nodes"] > 1e6
+
+    def test_usa_road_has_coordinates(self):
+        dataset = load("usa-road", scale=0.3, seed=0)
+        assert dataset.coordinates is not None
+        assert set(dataset.coordinates) == set(dataset.graph.nodes())
+
+    def test_scale_changes_size(self):
+        small = load("flickr", scale=0.1, seed=0)
+        large = load("flickr", scale=0.3, seed=0)
+        assert large.graph.number_of_nodes() > small.graph.number_of_nodes()
+
+    def test_deterministic(self):
+        a = load("orkut", scale=0.1, seed=3)
+        b = load("orkut", scale=0.1, seed=3)
+        assert a.graph.number_of_edges() == b.graph.number_of_edges()
+
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError):
+            load("not-a-dataset")
+
+    def test_invalid_scale(self):
+        with pytest.raises(DatasetError):
+            load("flickr", scale=0.0)
+
+    def test_zero_fraction_structure_differs_between_surrogates(self):
+        flickr = load("flickr", scale=0.15, seed=1).graph
+        orkut = load("orkut", scale=0.15, seed=1).graph
+        flickr_truth = betweenness_centrality(flickr)
+        orkut_truth = betweenness_centrality(orkut)
+        flickr_zeros = sum(1 for value in flickr_truth.values() if value == 0.0)
+        orkut_zeros = sum(1 for value in orkut_truth.values() if value == 0.0)
+        # Flickr surrogate has a much larger fringe of zero-betweenness nodes.
+        assert flickr_zeros / len(flickr_truth) > orkut_zeros / len(orkut_truth)
+
+
+class TestSubsets:
+    def test_random_subset(self, karate):
+        subset = random_subset(karate, 10, seed=1)
+        assert len(subset) == 10
+        assert len(set(subset)) == 10
+        assert all(karate.has_node(node) for node in subset)
+
+    def test_random_subset_too_large(self, karate):
+        with pytest.raises(DatasetError):
+            random_subset(karate, 100, seed=1)
+
+    def test_random_subsets_independent(self, karate):
+        subsets = random_subsets(karate, 5, 10, seed=2)
+        assert len(subsets) == 5
+        assert len({tuple(sorted(subset)) for subset in subsets}) > 1
+
+    def test_l_hop_subset(self, karate):
+        subset = l_hop_subset(karate, 0, 1)
+        assert set(subset) == {0} | set(karate.neighbors(0))
+
+    def test_geographic_subset(self):
+        coordinates = {1: (0.0, 0.0), 2: (5.0, 5.0), 3: (10.0, 10.0)}
+        inside = geographic_subset(coordinates, (0, 6), (0, 6))
+        assert sorted(inside) == [1, 2]
+
+    def test_geographic_subset_invalid_range(self):
+        with pytest.raises(ValueError):
+            geographic_subset({1: (0, 0)}, (5, 1), (0, 1))
+
+    def test_road_areas_nested_sizes(self):
+        dataset = load("usa-road", scale=0.4, seed=1)
+        areas = road_areas(dataset.coordinates, graph=dataset.graph)
+        assert set(areas) == {"NYC", "BAY", "CO", "FL"}
+        assert len(areas["NYC"]) < len(areas["FL"])
+        for nodes in areas.values():
+            assert all(dataset.graph.has_node(node) for node in nodes)
+
+    def test_road_areas_empty_coordinates(self):
+        with pytest.raises(DatasetError):
+            road_areas({})
+
+    def test_subsets_by_size(self, karate):
+        table = subsets_by_size(karate, [5, 10], 3, seed=4)
+        assert set(table) == {5, 10}
+        assert all(len(subset) == 5 for subset in table[5])
+        assert len(table[10]) == 3
+
+
+class TestGroundTruth:
+    def test_exact_betweenness_matches_brandes(self, karate):
+        assert exact_betweenness(karate) == betweenness_centrality(karate)
+
+    def test_memory_cache_computes_once(self, karate, monkeypatch):
+        cache = GroundTruthCache()
+        calls = {"count": 0}
+        import repro.datasets.ground_truth as module
+
+        original = module.betweenness_centrality
+
+        def counting(graph, **kwargs):
+            calls["count"] += 1
+            return original(graph, **kwargs)
+
+        monkeypatch.setattr(module, "betweenness_centrality", counting)
+        cache.get("karate", karate)
+        cache.get("karate", karate)
+        assert calls["count"] == 1
+
+    def test_disk_cache_round_trip(self, karate, tmp_path):
+        cache = GroundTruthCache(cache_dir=tmp_path)
+        first = cache.get("karate", karate)
+        # A fresh cache instance reads the JSON file instead of recomputing.
+        reloaded = GroundTruthCache(cache_dir=tmp_path).get("karate", karate)
+        assert reloaded == first
+        assert list(tmp_path.glob("*.json"))
+
+    def test_disk_cache_ignores_stale_entries(self, karate, path5, tmp_path):
+        cache = GroundTruthCache(cache_dir=tmp_path)
+        cache.get("shared-key", path5)
+        # Same key but different graph size: the stale file is ignored.
+        values = GroundTruthCache(cache_dir=tmp_path).get("shared-key", karate)
+        assert len(values) == karate.number_of_nodes()

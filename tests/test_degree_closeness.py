@@ -1,0 +1,56 @@
+"""Tests for degree and closeness centralities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.centrality.closeness import closeness_centrality
+from repro.centrality.degree import degree_centrality
+from repro.graphs.generators import complete_graph, path_graph, star_graph
+from repro.graphs.graph import Graph
+
+
+class TestDegreeCentrality:
+    def test_star(self):
+        centrality = degree_centrality(star_graph(5))
+        assert centrality[0] == pytest.approx(1.0)
+        assert centrality[1] == pytest.approx(1 / 5)
+
+    def test_unnormalized(self):
+        centrality = degree_centrality(star_graph(5), normalized=False)
+        assert centrality[0] == 5
+
+    def test_complete_graph_all_one(self):
+        centrality = degree_centrality(complete_graph(4))
+        assert all(value == pytest.approx(1.0) for value in centrality.values())
+
+    def test_single_node(self):
+        graph = Graph()
+        graph.add_node(0)
+        assert degree_centrality(graph) == {0: 0.0}
+
+
+class TestClosenessCentrality:
+    def test_path_center_highest(self):
+        centrality = closeness_centrality(path_graph(5))
+        assert centrality[2] == max(centrality.values())
+        assert centrality[0] == min(centrality.values())
+
+    def test_complete_graph(self):
+        centrality = closeness_centrality(complete_graph(5))
+        assert all(value == pytest.approx(1.0) for value in centrality.values())
+
+    def test_restricted_nodes(self, karate):
+        subset = closeness_centrality(karate, nodes=[0, 1, 2])
+        assert set(subset) == {0, 1, 2}
+
+    def test_disconnected_component_scaled_down(self):
+        graph = Graph.from_edges([(0, 1), (2, 3), (3, 4)])
+        centrality = closeness_centrality(graph)
+        # Node 3 is the centre of a 3-node component in a 5-node graph.
+        assert 0 < centrality[3] < 1
+        assert centrality[0] < centrality[3]
+
+    def test_isolated_node_zero(self):
+        graph = Graph.from_edges([(0, 1)], nodes=[2])
+        assert closeness_centrality(graph)[2] == 0.0

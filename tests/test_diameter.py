@@ -1,0 +1,94 @@
+"""Tests for diameter estimation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graphs.components import largest_connected_component
+from repro.graphs.diameter import (
+    eccentricity,
+    estimate_diameter,
+    estimate_subset_diameter,
+    exact_diameter,
+    exact_subset_diameter,
+    two_sweep_lower_bound,
+)
+from repro.graphs.generators import cycle_graph, erdos_renyi_graph, path_graph
+from repro.graphs.graph import Graph
+
+
+class TestExact:
+    def test_path(self):
+        assert exact_diameter(path_graph(6)) == 5
+
+    def test_cycle(self):
+        assert exact_diameter(cycle_graph(8)) == 4
+
+    def test_karate(self, karate):
+        assert exact_diameter(karate) == 5
+
+    def test_eccentricity(self, path5):
+        assert eccentricity(path5, 0) == 4
+        assert eccentricity(path5, 2) == 2
+
+
+class TestEstimates:
+    def test_two_sweep_is_lower_bound(self, karate):
+        assert two_sweep_lower_bound(karate, seed=1) <= exact_diameter(karate)
+
+    def test_two_sweep_exact_on_path(self):
+        assert two_sweep_lower_bound(path_graph(10), seed=3) == 9
+
+    def test_estimate_is_upper_bound(self, karate):
+        assert estimate_diameter(karate, seed=2) >= exact_diameter(karate)
+
+    def test_estimate_single_node(self):
+        graph = Graph()
+        graph.add_node(0)
+        assert estimate_diameter(graph, seed=1) == 0
+
+    def test_estimate_empty_raises(self):
+        with pytest.raises(GraphError):
+            estimate_diameter(Graph())
+
+    def test_two_sweep_empty_raises(self):
+        with pytest.raises(GraphError):
+            two_sweep_lower_bound(Graph())
+
+    @given(st.integers(min_value=0, max_value=50_000))
+    @settings(max_examples=30, deadline=None)
+    def test_estimate_bounds_random_graphs(self, seed):
+        rng = random.Random(seed)
+        graph = erdos_renyi_graph(rng.randint(4, 25), 0.2, seed=rng.randint(0, 999))
+        component = largest_connected_component(graph)
+        if len(component) < 2:
+            return
+        graph = graph.subgraph(component)
+        exact = exact_diameter(graph)
+        estimate = estimate_diameter(graph, seed=rng.randint(0, 999))
+        assert exact <= estimate <= 2 * exact
+
+
+class TestSubsetDiameter:
+    def test_exact_subset(self, path5):
+        assert exact_subset_diameter(path5, [0, 4]) == 4
+        assert exact_subset_diameter(path5, [1, 2]) == 1
+        assert exact_subset_diameter(path5, [2]) == 0
+
+    def test_estimate_is_upper_bound(self, karate):
+        subset = list(range(0, 20, 2))
+        exact = exact_subset_diameter(karate, subset)
+        estimate = estimate_subset_diameter(karate, subset, seed=5)
+        assert estimate >= exact
+
+    def test_small_subsets(self, karate):
+        assert estimate_subset_diameter(karate, [3], seed=1) == 0
+        assert estimate_subset_diameter(karate, [], seed=1) == 0
+
+    def test_missing_nodes_ignored(self, karate):
+        assert estimate_subset_diameter(karate, [0, 999], seed=1) == 0

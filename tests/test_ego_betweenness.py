@@ -1,0 +1,76 @@
+"""Tests for the ego-betweenness heuristic baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.ego import EgoBetweenness, ego_betweenness
+from repro.centrality.brandes import betweenness_centrality
+from repro.errors import GraphError
+from repro.graphs.generators import complete_graph, path_graph, star_graph
+from repro.graphs.graph import Graph
+from repro.metrics.rank_correlation import spearman_rank_correlation
+
+
+class TestEgoBetweenness:
+    def test_star_center_matches_exact(self, star6):
+        # The centre's ego network is the whole star, so the heuristic is
+        # exact for it.
+        exact = betweenness_centrality(star6)
+        assert ego_betweenness(star6, 0) == pytest.approx(exact[0])
+
+    def test_leaf_is_zero(self, star6):
+        assert ego_betweenness(star6, 3) == 0.0
+
+    def test_complete_graph_all_zero(self):
+        graph = complete_graph(5)
+        assert all(ego_betweenness(graph, node) == 0.0 for node in graph.nodes())
+
+    def test_path_inner_node(self):
+        # For node 1 on the path 0-1-2-3 the ego network is 0-1-2, so only
+        # the (0, 2) pair is seen: 2 ordered pairs / (4*3).
+        graph = path_graph(4)
+        assert ego_betweenness(graph, 1) == pytest.approx(2 / 12)
+
+    def test_zero_exact_betweenness_implies_zero_ego(self, karate):
+        # A node on no shortest path at all is on no ego-network shortest
+        # path either (its neighbours are pairwise adjacent).
+        exact = betweenness_centrality(karate)
+        for node in karate.nodes():
+            if exact[node] == 0.0:
+                assert ego_betweenness(karate, node) == 0.0
+
+    def test_unnormalized(self):
+        graph = path_graph(4)
+        assert ego_betweenness(graph, 1, normalized=False) == pytest.approx(2.0)
+
+    def test_missing_node(self, karate):
+        with pytest.raises(GraphError):
+            ego_betweenness(karate, 999)
+
+
+class TestEgoEstimator:
+    def test_all_nodes(self, karate):
+        result = EgoBetweenness().estimate(karate)
+        assert set(result.scores) == set(karate.nodes())
+        assert result.converged_by == "heuristic"
+        assert result.num_samples == 0
+
+    def test_subset_only(self, karate):
+        result = EgoBetweenness(nodes=[0, 1, 2]).estimate(karate)
+        assert set(result.scores) == {0, 1, 2}
+
+    def test_ranking_correlates_but_not_guaranteed(self, karate):
+        """The heuristic ranking is informative on the karate club but the
+        values themselves systematically underestimate betweenness — the
+        'no guarantee' behaviour the paper contrasts against."""
+        exact = betweenness_centrality(karate)
+        result = EgoBetweenness().estimate(karate)
+        correlation = spearman_rank_correlation(exact, result.scores)
+        assert correlation > 0.5
+        worst_error = max(abs(exact[v] - result.scores[v]) for v in karate.nodes())
+        assert worst_error > 0.05  # far outside any epsilon one would request
+
+    def test_tiny_graph_rejected(self):
+        with pytest.raises(GraphError):
+            EgoBetweenness().estimate(Graph.from_edges([(0, 1)]))

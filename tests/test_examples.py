@@ -1,0 +1,69 @@
+"""Smoke tests: the example scripts must run end to end.
+
+Only the fast examples are executed directly; the slower ones are run with
+reduced command-line parameters.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str]) -> None:
+    script = EXAMPLES_DIR / name
+    assert script.exists(), f"missing example {name}"
+    old_argv = sys.argv
+    sys.argv = [str(script)] + argv
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py", [])
+        output = capsys.readouterr().out
+        assert "Spearman rank correlation" in output
+
+    def test_framework_other_centrality(self, capsys):
+        run_example("framework_other_centrality.py", [])
+        output = capsys.readouterr().out
+        assert "k-path" in output
+
+    def test_closeness_ranking(self, capsys):
+        run_example(
+            "closeness_ranking.py", ["--scale", "0.1", "--subset-size", "8"]
+        )
+        output = capsys.readouterr().out
+        assert "closeness" in output
+
+    @pytest.mark.slow
+    def test_social_subset_ranking(self, capsys):
+        run_example(
+            "social_subset_ranking.py",
+            ["--scale", "0.1", "--subset-size", "15", "--epsilon", "0.2"],
+        )
+        output = capsys.readouterr().out
+        assert "SaPHyRa_bc" in output
+
+    @pytest.mark.slow
+    def test_compare_baselines(self, capsys):
+        run_example(
+            "compare_baselines.py",
+            ["--scale", "0.12", "--subset-size", "15", "--epsilon", "0.2"],
+        )
+        output = capsys.readouterr().out
+        assert "KADABRA" in output
+
+    @pytest.mark.slow
+    def test_road_network_analysis(self, capsys):
+        run_example("road_network_analysis.py", ["--scale", "0.3", "--epsilon", "0.2"])
+        output = capsys.readouterr().out
+        assert "Geographic areas" in output

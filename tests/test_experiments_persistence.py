@@ -1,0 +1,97 @@
+"""Tests for experiment-result persistence (JSON / CSV round trips)."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments.figures import SubsetSizeRow
+from repro.experiments.persistence import load_rows_json, save_rows_csv, save_rows_json
+from repro.experiments.runner import EpsilonSweepRow
+
+
+def make_rows():
+    return [
+        EpsilonSweepRow(
+            dataset="flickr",
+            algorithm="saphyra",
+            epsilon=0.1,
+            mean_time_seconds=0.5,
+            mean_spearman=0.95,
+            spearman_ci_low=0.9,
+            spearman_ci_high=1.0,
+            mean_samples=1200.0,
+            num_subsets=3,
+        ),
+        EpsilonSweepRow(
+            dataset="orkut",
+            algorithm="kadabra",
+            epsilon=0.05,
+            mean_time_seconds=2.5,
+            mean_spearman=0.4,
+            spearman_ci_low=0.2,
+            spearman_ci_high=0.6,
+            mean_samples=8000.0,
+            num_subsets=3,
+        ),
+    ]
+
+
+class TestJsonRoundTrip:
+    def test_round_trip(self, tmp_path):
+        rows = make_rows()
+        path = tmp_path / "sweep.json"
+        save_rows_json(rows, path)
+        loaded = load_rows_json(path, EpsilonSweepRow)
+        assert loaded == rows
+
+    def test_json_is_readable(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_rows_json(make_rows(), path)
+        payload = json.loads(path.read_text())
+        assert payload[0]["dataset"] == "flickr"
+
+    def test_extra_fields_ignored_on_load(self, tmp_path):
+        path = tmp_path / "rows.json"
+        payload = [
+            {
+                "dataset": "flickr",
+                "algorithm": "saphyra",
+                "subset_size": 10,
+                "mean_spearman": 0.9,
+                "spearman_ci_low": 0.8,
+                "spearman_ci_high": 1.0,
+                "unknown_field": 42,
+            }
+        ]
+        path.write_text(json.dumps(payload))
+        rows = load_rows_json(path, SubsetSizeRow)
+        assert rows[0].subset_size == 10
+
+    def test_non_dataclass_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_rows_json([{"not": "a dataclass"}], tmp_path / "bad.json")
+
+
+class TestCsv:
+    def test_csv_contents(self, tmp_path):
+        path = tmp_path / "sweep.csv"
+        save_rows_csv(make_rows(), path)
+        with open(path, newline="") as handle:
+            reader = list(csv.DictReader(handle))
+        assert len(reader) == 2
+        assert reader[0]["dataset"] == "flickr"
+        assert float(reader[1]["epsilon"]) == 0.05
+
+    def test_csv_column_subset(self, tmp_path):
+        path = tmp_path / "sweep.csv"
+        save_rows_csv(make_rows(), path, columns=["dataset", "epsilon"])
+        header = path.read_text().splitlines()[0]
+        assert header == "dataset,epsilon"
+
+    def test_empty_rows(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        save_rows_csv([], path)
+        assert path.read_text() == ""

@@ -1,0 +1,111 @@
+"""Tests for the Gen_bc sampler over the approximate subspace."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.errors import SamplingError
+from repro.graphs.generators import path_graph
+from repro.saphyra_bc.exact_bc import exact_two_hop_risks
+from repro.saphyra_bc.gen_bc import GenBC
+from repro.saphyra_bc.isp import PersonalizedISP
+
+
+class TestPathValidity:
+    def test_paths_are_valid_shortest_paths(self, karate):
+        targets = [0, 1, 2, 3, 4]
+        space = PersonalizedISP(karate, targets=targets)
+        generator = GenBC(space, targets)
+        rng = random.Random(3)
+        for _ in range(100):
+            path = generator.sample_path(rng)
+            assert len(path) >= 2
+            assert len(set(path)) == len(path)
+            for u, v in zip(path, path[1:]):
+                assert karate.has_edge(u, v)
+            # Paths never come from the exact subspace.
+            assert not (len(path) == 3 and path[1] in generator.target_set)
+
+    def test_paths_within_one_block(self, barbell):
+        targets = list(barbell.nodes())[:5]
+        space = PersonalizedISP(barbell, targets=targets)
+        generator = GenBC(space, targets)
+        rng = random.Random(7)
+        for _ in range(50):
+            path = generator.sample_path(rng)
+            assert space.common_block(path[0], path[-1]) is not None
+
+    def test_statistics_tracked(self, karate):
+        targets = [0, 1]
+        space = PersonalizedISP(karate, targets=targets)
+        generator = GenBC(space, targets)
+        rng = random.Random(1)
+        for _ in range(30):
+            generator.sample_path(rng)
+        assert generator.stats.samples_returned == 30
+        assert generator.stats.pairs_drawn >= 30
+        assert generator.acceptance_rate() <= 1.0
+        assert sum(generator.stats.path_length_histogram.values()) == 30
+
+
+class TestLossSampling:
+    def test_losses_only_for_inner_targets(self, karate):
+        targets = [0, 1, 2, 3]
+        space = PersonalizedISP(karate, targets=targets)
+        generator = GenBC(space, targets)
+        rng = random.Random(9)
+        for _ in range(50):
+            losses = generator.sample_losses(rng)
+            assert all(0 <= index < len(targets) for index in losses)
+            assert all(value == 1.0 for value in losses.values())
+
+    def test_empirical_means_match_conditional_expectation(self, karate):
+        """The empirical hit frequency from Gen_bc should approximate the
+        exhaustively computed conditional expectation on D-tilde."""
+        targets = [0, 1, 2, 31, 33]
+        space = PersonalizedISP(karate, targets=targets)
+        exact = exact_two_hop_risks(space, targets)
+        # Conditional expectation on the approximate subspace.
+        target_set = set(targets)
+        expected = {node: 0.0 for node in targets}
+        mass = 0.0
+        for path, probability in space.enumerate_paths():
+            in_exact = len(path) == 3 and path[1] in target_set
+            if in_exact:
+                continue
+            mass += probability
+            for inner in path[1:-1]:
+                if inner in target_set:
+                    expected[inner] += probability
+        expected = {node: value / mass for node, value in expected.items()}
+
+        generator = GenBC(space, targets)
+        rng = random.Random(123)
+        draws = 4000
+        counts = Counter()
+        for _ in range(draws):
+            for index in generator.sample_losses(rng):
+                counts[targets[index]] += 1
+        for node in targets:
+            assert counts[node] / draws == pytest.approx(expected[node], abs=0.03)
+        # Consistency: lambda_exact + mass == 1.
+        assert exact.lambda_exact + mass == pytest.approx(1.0, abs=1e-9)
+
+
+class TestRejectionSafety:
+    def test_exhausted_rejections_raise(self):
+        """A path graph P3 with both inner nodes as targets: every length-2
+        path is exact, shorter blocks only produce length-1 paths, so with the
+        exact subspace covering everything interesting the sampler still
+        terminates (length-1 paths are never exact).  Force the pathological
+        case by marking every path as exact."""
+        graph = path_graph(3)
+        targets = [1]
+        space = PersonalizedISP(graph, targets=targets)
+        generator = GenBC(space, targets, max_rejections=10)
+        generator._in_exact_subspace = lambda path: True  # type: ignore[assignment]
+        with pytest.raises(SamplingError):
+            generator.sample_path(random.Random(0))

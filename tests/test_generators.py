@@ -1,0 +1,163 @@
+"""Tests for the random-graph generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.components import is_connected
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    barbell_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_road_graph,
+    path_graph,
+    powerlaw_cluster_graph,
+    star_graph,
+    watts_strogatz_graph,
+)
+
+
+class TestDeterministicGenerators:
+    def test_path_graph(self):
+        graph = path_graph(5)
+        assert graph.number_of_nodes() == 5
+        assert graph.number_of_edges() == 4
+        assert graph.degree(0) == 1 and graph.degree(2) == 2
+
+    def test_cycle_graph(self):
+        graph = cycle_graph(6)
+        assert graph.number_of_edges() == 6
+        assert all(graph.degree(node) == 2 for node in graph.nodes())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_complete_graph(self):
+        graph = complete_graph(5)
+        assert graph.number_of_edges() == 10
+
+    def test_star_graph(self):
+        graph = star_graph(7)
+        assert graph.degree(0) == 7
+        assert graph.number_of_edges() == 7
+
+    def test_barbell_graph(self):
+        graph = barbell_graph(4, 2)
+        assert graph.number_of_nodes() == 4 + 2 + 4
+        assert is_connected(graph)
+
+    def test_barbell_requires_clique(self):
+        with pytest.raises(GraphError):
+            barbell_graph(2, 1)
+
+
+class TestErdosRenyi:
+    def test_zero_probability(self):
+        graph = erdos_renyi_graph(20, 0.0, seed=1)
+        assert graph.number_of_edges() == 0
+        assert graph.number_of_nodes() == 20
+
+    def test_probability_one_is_complete(self):
+        graph = erdos_renyi_graph(6, 1.0, seed=1)
+        assert graph.number_of_edges() == 15
+
+    def test_deterministic_given_seed(self):
+        a = erdos_renyi_graph(30, 0.2, seed=5)
+        b = erdos_renyi_graph(30, 0.2, seed=5)
+        assert set(map(frozenset, a.edges())) == set(map(frozenset, b.edges()))
+
+    def test_expected_density_roughly_matches(self):
+        graph = erdos_renyi_graph(200, 0.05, seed=3)
+        expected = 0.05 * 200 * 199 / 2
+        assert 0.5 * expected < graph.number_of_edges() < 1.5 * expected
+
+    def test_invalid_probability(self):
+        with pytest.raises(GraphError):
+            erdos_renyi_graph(10, 1.5)
+
+    def test_negative_nodes(self):
+        with pytest.raises(GraphError):
+            erdos_renyi_graph(-1, 0.5)
+
+
+class TestBarabasiAlbert:
+    def test_sizes(self):
+        graph = barabasi_albert_graph(100, 3, seed=2)
+        assert graph.number_of_nodes() == 100
+        # m edges per new node after the initial star of m+1 nodes.
+        assert graph.number_of_edges() == 3 + (100 - 4) * 3
+
+    def test_connected(self):
+        assert is_connected(barabasi_albert_graph(80, 2, seed=4))
+
+    def test_heavy_tail(self):
+        graph = barabasi_albert_graph(300, 2, seed=1)
+        max_degree = max(graph.degree(node) for node in graph.nodes())
+        assert max_degree > 10  # hubs emerge
+
+    def test_invalid_parameters(self):
+        with pytest.raises(GraphError):
+            barabasi_albert_graph(3, 3)
+        with pytest.raises(GraphError):
+            barabasi_albert_graph(10, 0)
+
+
+class TestPowerlawCluster:
+    def test_connected_and_sized(self):
+        graph = powerlaw_cluster_graph(120, 3, 0.4, seed=6)
+        assert graph.number_of_nodes() == 120
+        assert is_connected(graph)
+
+    def test_deterministic(self):
+        a = powerlaw_cluster_graph(60, 2, 0.5, seed=9)
+        b = powerlaw_cluster_graph(60, 2, 0.5, seed=9)
+        assert set(map(frozenset, a.edges())) == set(map(frozenset, b.edges()))
+
+    def test_invalid_triangle_probability(self):
+        with pytest.raises(GraphError):
+            powerlaw_cluster_graph(30, 2, 1.5)
+
+
+class TestWattsStrogatz:
+    def test_degree_preserved_without_rewiring(self):
+        graph = watts_strogatz_graph(20, 4, 0.0, seed=1)
+        assert all(graph.degree(node) == 4 for node in graph.nodes())
+
+    def test_edge_count_stable_under_rewiring(self):
+        graph = watts_strogatz_graph(30, 4, 0.3, seed=2)
+        assert graph.number_of_edges() == 30 * 2
+
+    def test_odd_neighbors_rejected(self):
+        with pytest.raises(GraphError):
+            watts_strogatz_graph(10, 3, 0.1)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(GraphError):
+            watts_strogatz_graph(4, 4, 0.1)
+
+
+class TestGridRoad:
+    def test_returns_graph_and_coordinates(self):
+        graph, coords = grid_road_graph(8, 10, seed=3)
+        assert graph.number_of_nodes() == len(coords)
+        assert is_connected(graph)
+
+    def test_low_average_degree(self):
+        graph, _ = grid_road_graph(15, 15, seed=3)
+        avg = 2 * graph.number_of_edges() / graph.number_of_nodes()
+        assert avg < 4.5
+
+    def test_deterministic(self):
+        a, _ = grid_road_graph(6, 6, seed=11)
+        b, _ = grid_road_graph(6, 6, seed=11)
+        assert set(map(frozenset, a.edges())) == set(map(frozenset, b.edges()))
+
+    def test_invalid_sizes(self):
+        with pytest.raises(GraphError):
+            grid_road_graph(1, 5)
+        with pytest.raises(GraphError):
+            grid_road_graph(5, 5, removal_probability=1.0)

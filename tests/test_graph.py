@@ -1,0 +1,178 @@
+"""Tests for the Graph data structure."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = Graph()
+        assert graph.number_of_nodes() == 0
+        assert graph.number_of_edges() == 0
+        assert list(graph.nodes()) == []
+        assert list(graph.edges()) == []
+
+    def test_from_edges(self):
+        graph = Graph.from_edges([(0, 1), (1, 2)])
+        assert graph.number_of_nodes() == 3
+        assert graph.number_of_edges() == 2
+
+    def test_from_edges_with_isolated_nodes(self):
+        graph = Graph.from_edges([(0, 1)], nodes=[5, 6])
+        assert graph.has_node(5)
+        assert graph.has_node(6)
+        assert graph.degree(5) == 0
+
+    def test_duplicate_edges_collapse(self):
+        graph = Graph.from_edges([(0, 1), (1, 0), (0, 1)])
+        assert graph.number_of_edges() == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            Graph.from_edges([(3, 3)])
+
+    def test_string_nodes_supported(self):
+        graph = Graph.from_edges([("a", "b"), ("b", "c")])
+        assert graph.degree("b") == 2
+
+
+class TestMutation:
+    def test_add_node_idempotent(self):
+        graph = Graph()
+        graph.add_node(1)
+        graph.add_node(1)
+        assert graph.number_of_nodes() == 1
+
+    def test_add_edge_creates_endpoints(self):
+        graph = Graph()
+        graph.add_edge(1, 2)
+        assert graph.has_node(1) and graph.has_node(2)
+
+    def test_remove_edge(self):
+        graph = Graph.from_edges([(0, 1), (1, 2)])
+        graph.remove_edge(0, 1)
+        assert not graph.has_edge(0, 1)
+        assert graph.number_of_edges() == 1
+        assert graph.has_node(0)
+
+    def test_remove_missing_edge_raises(self):
+        graph = Graph.from_edges([(0, 1)])
+        with pytest.raises(GraphError):
+            graph.remove_edge(0, 2)
+
+    def test_remove_node(self):
+        graph = Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+        graph.remove_node(1)
+        assert not graph.has_node(1)
+        assert graph.number_of_edges() == 1
+        assert graph.degree(0) == 1
+
+    def test_remove_missing_node_raises(self):
+        with pytest.raises(GraphError):
+            Graph().remove_node(0)
+
+
+class TestQueries:
+    def test_neighbors(self):
+        graph = Graph.from_edges([(0, 1), (0, 2), (0, 3)])
+        assert sorted(graph.neighbors(0)) == [1, 2, 3]
+        assert list(graph.neighbors(1)) == [0]
+
+    def test_neighbors_missing_node_raises(self):
+        with pytest.raises(GraphError):
+            list(Graph().neighbors(9))
+
+    def test_degree_missing_node_raises(self):
+        with pytest.raises(GraphError):
+            Graph().degree(9)
+
+    def test_has_edge_symmetric(self):
+        graph = Graph.from_edges([(0, 1)])
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(1, 0)
+        assert not graph.has_edge(0, 2)
+
+    def test_edges_each_once(self):
+        graph = Graph.from_edges([(0, 1), (1, 2), (2, 0)])
+        edges = {frozenset(edge) for edge in graph.edges()}
+        assert edges == {frozenset({0, 1}), frozenset({1, 2}), frozenset({0, 2})}
+        assert len(list(graph.edges())) == 3
+
+    def test_dunder_contains_len_iter(self):
+        graph = Graph.from_edges([(0, 1), (1, 2)])
+        assert 0 in graph
+        assert 9 not in graph
+        assert len(graph) == 3
+        assert sorted(graph) == [0, 1, 2]
+
+    def test_adjacency_export(self):
+        graph = Graph.from_edges([(0, 1), (1, 2)])
+        adjacency = graph.adjacency()
+        assert adjacency[1] == [0, 2] or adjacency[1] == [2, 0]
+        # Export is a copy; mutating it does not touch the graph.
+        adjacency[1].append(99)
+        assert 99 not in graph.neighbors(1)
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self):
+        graph = Graph.from_edges([(0, 1), (1, 2)])
+        clone = graph.copy()
+        clone.add_edge(2, 3)
+        assert not graph.has_node(3)
+        assert clone.number_of_edges() == 3
+
+    def test_subgraph_induced_edges(self):
+        graph = Graph.from_edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+        sub = graph.subgraph([0, 1, 2])
+        assert sub.number_of_nodes() == 3
+        assert sub.number_of_edges() == 3
+        assert not sub.has_node(3)
+
+    def test_subgraph_ignores_unknown_nodes(self):
+        graph = Graph.from_edges([(0, 1)])
+        sub = graph.subgraph([0, 1, 99])
+        assert sub.number_of_nodes() == 2
+
+    def test_relabeled(self):
+        graph = Graph.from_edges([("x", "y"), ("y", "z")])
+        relabeled, mapping = graph.relabeled()
+        assert sorted(mapping.values()) == [0, 1, 2]
+        assert relabeled.number_of_edges() == 2
+        assert relabeled.has_edge(mapping["x"], mapping["y"])
+
+
+@st.composite
+def edge_lists(draw):
+    n = draw(st.integers(min_value=2, max_value=12))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    return draw(st.lists(st.sampled_from(possible), max_size=30))
+
+
+class TestGraphProperties:
+    @given(edge_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_handshake_lemma(self, edges):
+        graph = Graph.from_edges(edges)
+        degree_sum = sum(graph.degree(node) for node in graph.nodes())
+        assert degree_sum == 2 * graph.number_of_edges()
+
+    @given(edge_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_edges_iteration_matches_edge_count(self, edges):
+        graph = Graph.from_edges(edges)
+        assert len(list(graph.edges())) == graph.number_of_edges()
+
+    @given(edge_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_copy_equals_original(self, edges):
+        graph = Graph.from_edges(edges)
+        clone = graph.copy()
+        assert set(map(frozenset, clone.edges())) == set(map(frozenset, graph.edges()))
+        assert list(clone.nodes()) == list(graph.nodes())

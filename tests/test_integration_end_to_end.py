@@ -1,0 +1,120 @@
+"""End-to-end integration tests crossing all the layers of the library.
+
+These are the "does the whole paper pipeline hang together" checks: build a
+synthetic dataset, compute ground truth, run SaPHyRa_bc and the baselines,
+and verify both the (epsilon, delta) guarantee and the paper's qualitative
+claims (no false zeros, ranking quality at least as good as the baselines,
+subset runs cheaper than full runs).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import KADABRA
+from repro.centrality.brandes import betweenness_centrality
+from repro.datasets import load, random_subset
+from repro.metrics import (
+    classify_zeros,
+    estimation_within_epsilon,
+    spearman_rank_correlation,
+)
+from repro.saphyra_bc import SaPHyRaBC
+
+
+@pytest.fixture(scope="module")
+def flickr_small():
+    dataset = load("flickr", scale=0.15, seed=1)
+    truth = betweenness_centrality(dataset.graph)
+    return dataset, truth
+
+
+@pytest.fixture(scope="module")
+def road_small():
+    dataset = load("usa-road", scale=0.3, seed=1)
+    truth = betweenness_centrality(dataset.graph)
+    return dataset, truth
+
+
+class TestSocialPipeline:
+    def test_subset_ranking_guarantee_and_quality(self, flickr_small):
+        dataset, truth = flickr_small
+        targets = random_subset(dataset.graph, 40, seed=5)
+        truth_subset = {node: truth[node] for node in targets}
+
+        result = SaPHyRaBC(epsilon=0.05, delta=0.05, seed=17).rank(
+            dataset.graph, targets
+        )
+        assert estimation_within_epsilon(truth_subset, result.scores, 0.05)
+        assert classify_zeros(truth_subset, result.scores).false_zeros == 0
+        assert spearman_rank_correlation(truth_subset, result.scores) > 0.8
+
+    def test_saphyra_ranking_not_worse_than_kadabra(self, flickr_small):
+        dataset, truth = flickr_small
+        targets = random_subset(dataset.graph, 40, seed=6)
+        truth_subset = {node: truth[node] for node in targets}
+
+        saphyra = SaPHyRaBC(epsilon=0.1, delta=0.05, seed=3).rank(
+            dataset.graph, targets
+        )
+        kadabra = KADABRA(epsilon=0.1, delta=0.05, seed=3).estimate(dataset.graph)
+        saphyra_quality = spearman_rank_correlation(truth_subset, saphyra.scores)
+        kadabra_quality = spearman_rank_correlation(
+            truth_subset, kadabra.subset_scores(targets)
+        )
+        # The paper's headline claim, with a small slack for sampling noise on
+        # the tiny test graph.
+        assert saphyra_quality >= kadabra_quality - 0.05
+
+    def test_subset_run_uses_fewer_samples_than_full(self, flickr_small):
+        dataset, _ = flickr_small
+        targets = random_subset(dataset.graph, 20, seed=9)
+        subset_run = SaPHyRaBC(epsilon=0.05, delta=0.05, seed=2).rank(
+            dataset.graph, targets
+        )
+        full_run = SaPHyRaBC(epsilon=0.05, delta=0.05, seed=2).rank(dataset.graph)
+        assert subset_run.num_samples <= full_run.num_samples
+
+
+class TestRoadPipeline:
+    def test_geographic_subset_ranking(self, road_small):
+        from repro.datasets import road_areas
+
+        dataset, truth = road_small
+        areas = road_areas(dataset.coordinates, graph=dataset.graph)
+        nodes = areas["CO"]
+        truth_subset = {node: truth[node] for node in nodes}
+        result = SaPHyRaBC(epsilon=0.05, delta=0.05, seed=4).rank(dataset.graph, nodes)
+        assert estimation_within_epsilon(truth_subset, result.scores, 0.05)
+        assert spearman_rank_correlation(truth_subset, result.scores) > 0.8
+
+    def test_road_graph_tiny_vc_dimension(self, road_small):
+        """Road networks have tiny blocks, so the personalized VC bound is
+        much smaller than the diameter-based bound (the Table I effect)."""
+        from repro.graphs.diameter import estimate_diameter
+        from repro.saphyra_bc.vc_bounds import vc_from_hop_diameter
+
+        dataset, _ = road_small
+        targets = random_subset(dataset.graph, 25, seed=2)
+        result = SaPHyRaBC(epsilon=0.1, delta=0.1, seed=2).rank(dataset.graph, targets)
+        diameter_vc = vc_from_hop_diameter(estimate_diameter(dataset.graph, seed=1))
+        assert result.vc_dimension <= diameter_vc
+
+
+class TestRepeatedGuarantee:
+    def test_epsilon_delta_over_repetitions(self, flickr_small):
+        """Run SaPHyRa_bc several times with different seeds; the fraction of
+        runs violating the epsilon bound must be far below delta."""
+        dataset, truth = flickr_small
+        targets = random_subset(dataset.graph, 25, seed=1)
+        truth_subset = {node: truth[node] for node in targets}
+        epsilon, delta = 0.1, 0.2
+        violations = 0
+        runs = 10
+        for seed in range(runs):
+            result = SaPHyRaBC(epsilon=epsilon, delta=delta, seed=seed).rank(
+                dataset.graph, targets
+            )
+            if not estimation_within_epsilon(truth_subset, result.scores, epsilon):
+                violations += 1
+        assert violations <= max(1, int(delta * runs))

@@ -1,0 +1,169 @@
+"""Tests for the (personalized) ISP sample space.
+
+The central correctness check is the identity of Lemma 13 / Lemma 15:
+
+    bc(v) = gamma * eta * E_{p ~ D_c^(A)}[g(v, p)] + bc_a(v)   for v in A,
+
+verified by exhaustively enumerating the PISP space on small graphs and
+comparing against exact Brandes betweenness.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.centrality.brandes import betweenness_centrality
+from repro.errors import GraphError
+from repro.graphs.components import largest_connected_component
+from repro.graphs.generators import erdos_renyi_graph, path_graph
+from repro.graphs.graph import Graph
+from repro.saphyra_bc.isp import PersonalizedISP
+
+
+def isp_expected_risks(space: PersonalizedISP) -> dict:
+    """E_{p ~ D_c^(A)}[g(v, p)] for every node, by exhaustive enumeration."""
+    risks = {node: 0.0 for node in space.graph.nodes()}
+    for path, probability in space.enumerate_paths():
+        for inner in path[1:-1]:
+            risks[inner] += probability
+    return risks
+
+
+class TestScalars:
+    def test_full_personalization_eta_is_one(self, karate):
+        space = PersonalizedISP(karate)
+        assert space.eta == pytest.approx(1.0)
+        assert space.gamma_eta == pytest.approx(space.gamma)
+
+    def test_subset_eta_at_most_one(self, karate):
+        space = PersonalizedISP(karate, targets=[0, 1, 2])
+        assert 0 < space.eta <= 1.0
+
+    def test_single_block_gamma_one(self, cycle6):
+        space = PersonalizedISP(cycle6)
+        assert space.gamma == pytest.approx(1.0)
+        assert space.included_blocks == [0]
+
+    def test_included_blocks_only_those_with_targets(self, two_triangles_shared_node):
+        # Targets only in the first triangle {0,1,2}.
+        space = PersonalizedISP(two_triangles_shared_node, targets=[1, 2])
+        assert len(space.included_blocks) == 1
+
+    def test_missing_target_rejected(self, karate):
+        with pytest.raises(GraphError):
+            PersonalizedISP(karate, targets=[0, 999])
+
+    def test_duplicate_targets_rejected(self, karate):
+        with pytest.raises(ValueError):
+            PersonalizedISP(karate, targets=[0, 0])
+
+    def test_tiny_graph_rejected(self):
+        graph = Graph()
+        graph.add_node(0)
+        with pytest.raises(GraphError):
+            PersonalizedISP(graph)
+
+
+class TestEnumerationProbabilities:
+    def test_probabilities_sum_to_one(self, karate):
+        space = PersonalizedISP(karate)
+        total = sum(probability for _, probability in space.enumerate_paths())
+        assert total == pytest.approx(1.0)
+
+    def test_personalized_probabilities_sum_to_one(self, karate):
+        space = PersonalizedISP(karate, targets=[1, 2, 3, 7])
+        total = sum(probability for _, probability in space.enumerate_paths())
+        assert total == pytest.approx(1.0)
+
+    def test_paths_stay_within_one_block(self, barbell):
+        space = PersonalizedISP(barbell)
+        for path, _ in space.enumerate_paths():
+            assert space.common_block(path[0], path[-1]) is not None
+
+
+class TestCentralityIdentity:
+    def check_identity(self, graph, targets=None):
+        bc = betweenness_centrality(graph)
+        space = PersonalizedISP(graph, targets=targets)
+        risks = isp_expected_risks(space)
+        nodes = targets if targets is not None else list(graph.nodes())
+        for node in nodes:
+            reconstructed = space.gamma_eta * risks[node] + space.bc_a(node)
+            assert reconstructed == pytest.approx(bc[node], abs=1e-9), node
+
+    def test_karate_full(self, karate):
+        self.check_identity(karate)
+
+    def test_karate_subset(self, karate):
+        self.check_identity(karate, targets=[0, 4, 8, 16, 32])
+
+    def test_path_graph(self):
+        self.check_identity(path_graph(6))
+
+    def test_barbell(self, barbell):
+        self.check_identity(barbell)
+
+    def test_two_triangles(self, two_triangles_shared_node):
+        self.check_identity(two_triangles_shared_node)
+
+    @given(st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=20, deadline=None)
+    def test_random_graphs(self, seed):
+        rng = random.Random(seed)
+        graph = erdos_renyi_graph(rng.randint(4, 12), 0.35, seed=rng.randint(0, 999))
+        component = largest_connected_component(graph)
+        if len(component) < 3:
+            return
+        graph = graph.subgraph(component)
+        self.check_identity(graph)
+
+    @given(st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=15, deadline=None)
+    def test_random_graphs_with_subsets(self, seed):
+        rng = random.Random(seed)
+        graph = erdos_renyi_graph(rng.randint(5, 12), 0.3, seed=rng.randint(0, 999))
+        component = largest_connected_component(graph)
+        if len(component) < 4:
+            return
+        graph = graph.subgraph(component)
+        targets = rng.sample(list(graph.nodes()), 3)
+        self.check_identity(graph, targets=targets)
+
+
+class TestPairSampling:
+    def test_pair_distribution_matches_weights(self, two_triangles_shared_node):
+        """Sampled (s, t) pairs should follow q_st restricted to I(A)."""
+        space = PersonalizedISP(two_triangles_shared_node)
+        rng = random.Random(17)
+        counts = Counter()
+        draws = 6000
+        for _ in range(draws):
+            block, source, target = space.sample_pair(rng)
+            counts[(block, source, target)] += 1
+        n = space.n
+        for (block, source, target), count in counts.items():
+            reach = space.bct.out_reach[block]
+            expected = reach[source] * reach[target] / space.personalized_pair_weight
+            assert count / draws == pytest.approx(expected, abs=0.03)
+
+    def test_sampled_pairs_in_included_blocks(self, karate):
+        space = PersonalizedISP(karate, targets=[1, 2, 3])
+        rng = random.Random(5)
+        for _ in range(200):
+            block, source, target = space.sample_pair(rng)
+            assert block in space.included_blocks
+            assert source != target
+            block_nodes = set(space.bct.block_nodes(block))
+            assert source in block_nodes and target in block_nodes
+
+    def test_pair_weight_helper(self, karate):
+        space = PersonalizedISP(karate)
+        block = space.included_blocks[0]
+        nodes = space.bct.block_nodes(block)
+        weight = space.pair_weight(block, nodes[0], nodes[1])
+        assert weight >= 1

@@ -1,0 +1,98 @@
+"""Tests for k-path centrality (the framework's second instantiation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.centrality.kpath import (
+    KPathCentralityEstimator,
+    KPathProblem,
+    kpath_centrality_exact,
+)
+from repro.errors import GraphError
+from repro.graphs.generators import complete_graph, cycle_graph, star_graph
+from repro.graphs.graph import Graph
+from repro.metrics.rank_correlation import spearman_rank_correlation
+
+
+class TestExactKPath:
+    def test_cycle_symmetry(self):
+        exact = kpath_centrality_exact(cycle_graph(6), k=3)
+        values = list(exact.values())
+        assert max(values) == pytest.approx(min(values))
+
+    def test_star_center_dominates(self):
+        exact = kpath_centrality_exact(star_graph(5), k=2)
+        assert exact[0] > max(exact[leaf] for leaf in range(1, 6))
+
+    def test_k1_matches_neighbor_formula(self):
+        graph = complete_graph(4)
+        exact = kpath_centrality_exact(graph, k=1)
+        # From a random start, one step lands on each specific node with
+        # probability (1/n) * sum over its neighbours of 1/deg = 3/(4*3) = 1/4.
+        assert all(value == pytest.approx(0.25) for value in exact.values())
+
+    def test_values_are_probabilities(self, karate):
+        exact = kpath_centrality_exact(karate, k=2)
+        assert all(0.0 <= value <= 1.0 for value in exact.values())
+
+    def test_isolated_node_rejected(self):
+        graph = Graph.from_edges([(0, 1)], nodes=[2])
+        with pytest.raises(GraphError):
+            kpath_centrality_exact(graph, k=2)
+
+    def test_invalid_k(self, karate):
+        with pytest.raises(ValueError):
+            kpath_centrality_exact(karate, k=0)
+
+
+class TestKPathProblem:
+    def test_exact_evaluation_matches_formula(self, karate):
+        problem = KPathProblem(karate, [0, 1, 2], k=4)
+        evaluation = problem.exact_evaluation()
+        assert evaluation.lambda_exact == pytest.approx(0.25)
+        n = karate.number_of_nodes()
+        expected = sum(1 / karate.degree(u) for u in karate.neighbors(0)) / (n * 4)
+        assert evaluation.risks[0] == pytest.approx(expected)
+
+    def test_sample_losses_sparse(self, karate):
+        problem = KPathProblem(karate, [0, 1, 2], k=3)
+        losses = problem.sample_losses(rng=5)
+        assert all(index in (0, 1, 2) for index in losses)
+        assert all(value == 1.0 for value in losses.values())
+
+    def test_duplicate_targets_rejected(self, karate):
+        with pytest.raises(ValueError):
+            KPathProblem(karate, [0, 0], k=2)
+
+    def test_missing_target_rejected(self, karate):
+        with pytest.raises(GraphError):
+            KPathProblem(karate, [999], k=2)
+
+    def test_vc_dimension_bounded_by_k(self, karate):
+        problem = KPathProblem(karate, list(range(20)), k=3)
+        assert problem.vc_dimension() <= 2  # floor(log2(3)) + 1
+
+
+class TestEstimator:
+    def test_estimates_match_exact(self, karate):
+        k = 3
+        targets = sorted(karate.nodes())[:12]
+        estimator = KPathCentralityEstimator(k=k, epsilon=0.03, delta=0.05, seed=9)
+        result = estimator.rank(karate, targets)
+        exact = kpath_centrality_exact(karate, k)
+        for node in targets:
+            assert abs(result.scores()[node] - exact[node]) < 0.03
+        correlation = spearman_rank_correlation(
+            {node: exact[node] for node in targets}, result.scores()
+        )
+        assert correlation > 0.9
+
+    def test_k1_is_fully_exact(self, karate):
+        estimator = KPathCentralityEstimator(k=1, epsilon=0.05, delta=0.05, seed=1)
+        result = estimator.rank(karate, [0, 1, 2])
+        assert result.converged_by == "exact"
+        assert result.num_samples == 0
+        exact = kpath_centrality_exact(karate, 1)
+        for node in (0, 1, 2):
+            assert result.scores()[node] == pytest.approx(exact[node])

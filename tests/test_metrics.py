@@ -1,0 +1,185 @@
+"""Tests for ranking-quality and estimation-error metrics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.deviation import average_rank_deviation, rank_deviations
+from repro.metrics.errors import (
+    estimation_within_epsilon,
+    max_absolute_error,
+    mean_absolute_error,
+    signed_relative_errors,
+)
+from repro.metrics.rank_correlation import (
+    kendall_tau,
+    rank_displacements,
+    spearman_rank_correlation,
+)
+from repro.metrics.zeros import classify_zeros, relative_error_histogram
+
+
+class TestSpearman:
+    def test_identical_rankings(self):
+        truth = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert spearman_rank_correlation(truth, dict(truth)) == pytest.approx(1.0)
+
+    def test_reversed_ranking(self):
+        truth = {"a": 3.0, "b": 2.0, "c": 1.0, "d": 0.5}
+        estimate = {"a": 0.5, "b": 1.0, "c": 2.0, "d": 3.0}
+        assert spearman_rank_correlation(truth, estimate) == pytest.approx(-1.0)
+
+    def test_formula_example(self):
+        # Swapping two adjacent items in a 4-element ranking: sum d^2 = 2.
+        truth = {1: 4.0, 2: 3.0, 3: 2.0, 4: 1.0}
+        estimate = {1: 4.0, 2: 2.0, 3: 3.0, 4: 1.0}
+        expected = 1 - 6 * 2 / (4 * 15)
+        assert spearman_rank_correlation(truth, estimate) == pytest.approx(expected)
+
+    def test_scale_invariance(self):
+        truth = {i: float(i) for i in range(10)}
+        estimate = {i: 100.0 * i + 5 for i in range(10)}
+        assert spearman_rank_correlation(truth, estimate) == pytest.approx(1.0)
+
+    def test_single_node(self):
+        assert spearman_rank_correlation({"a": 1.0}, {"a": 0.2}) == 1.0
+
+    def test_missing_node_raises(self):
+        with pytest.raises(ValueError):
+            spearman_rank_correlation({"a": 1.0, "b": 2.0}, {"a": 1.0})
+
+    def test_ties_broken_by_id(self):
+        # Both estimates are 0; ranks follow node ids, as the paper specifies.
+        truth = {1: 0.2, 2: 0.1}
+        estimate = {1: 0.0, 2: 0.0}
+        assert spearman_rank_correlation(truth, estimate) == pytest.approx(1.0)
+
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=50),
+            st.floats(min_value=0, max_value=1, allow_nan=False),
+            min_size=2,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bounded(self, truth):
+        estimate = {key: 1.0 - value for key, value in truth.items()}
+        value = spearman_rank_correlation(truth, estimate)
+        assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9
+
+
+class TestKendall:
+    def test_identical(self):
+        truth = {i: float(i) for i in range(6)}
+        assert kendall_tau(truth, dict(truth)) == pytest.approx(1.0)
+
+    def test_reversed(self):
+        truth = {i: float(i) for i in range(6)}
+        estimate = {i: -float(i) for i in range(6)}
+        assert kendall_tau(truth, estimate) == pytest.approx(-1.0)
+
+    def test_agrees_in_sign_with_spearman(self):
+        truth = {i: float(i) for i in range(8)}
+        estimate = {i: float(i if i != 0 else 7.5) for i in range(8)}
+        assert kendall_tau(truth, estimate) * spearman_rank_correlation(
+            truth, estimate
+        ) >= 0
+
+    def test_rank_displacements(self):
+        truth = {1: 3.0, 2: 2.0, 3: 1.0}
+        estimate = {1: 1.0, 2: 2.0, 3: 3.0}
+        displacements = rank_displacements(truth, estimate)
+        assert displacements == {1: 2, 2: 0, 3: -2}
+
+
+class TestErrors:
+    def test_max_and_mean_absolute_error(self):
+        truth = {1: 0.5, 2: 0.2}
+        estimate = {1: 0.6, 2: 0.15}
+        assert max_absolute_error(truth, estimate) == pytest.approx(0.1)
+        assert mean_absolute_error(truth, estimate) == pytest.approx(0.075)
+
+    def test_estimation_within_epsilon(self):
+        truth = {1: 0.5}
+        assert estimation_within_epsilon(truth, {1: 0.52}, 0.05)
+        assert not estimation_within_epsilon(truth, {1: 0.6}, 0.05)
+
+    def test_signed_relative_errors(self):
+        truth = {1: 0.5, 2: 0.0, 3: 0.0, 4: 0.2}
+        estimate = {1: 0.25, 2: 0.0, 3: 0.1, 4: 0.3}
+        errors = signed_relative_errors(truth, estimate)
+        assert errors[1] == pytest.approx(-50.0)
+        assert errors[2] == 0.0
+        assert math.isinf(errors[3])
+        assert errors[4] == pytest.approx(50.0)
+
+    def test_missing_estimates_treated_as_zero(self):
+        truth = {1: 0.5}
+        assert max_absolute_error(truth, {}) == pytest.approx(0.5)
+        assert signed_relative_errors(truth, {})[1] == pytest.approx(-100.0)
+
+
+class TestZeros:
+    def test_classification(self):
+        truth = {1: 0.0, 2: 0.3, 3: 0.0, 4: 0.1}
+        estimate = {1: 0.0, 2: 0.0, 3: 0.0, 4: 0.05}
+        stats = classify_zeros(truth, estimate)
+        assert stats.num_nodes == 4
+        assert stats.true_zeros == 2
+        assert stats.false_zeros == 1
+        assert stats.true_zero_fraction == pytest.approx(0.5)
+        assert stats.false_zero_fraction == pytest.approx(0.25)
+
+    def test_tolerance(self):
+        truth = {1: 0.3}
+        estimate = {1: 1e-9}
+        assert classify_zeros(truth, estimate).false_zeros == 0
+        assert classify_zeros(truth, estimate, tolerance=1e-6).false_zeros == 1
+
+    def test_empty(self):
+        stats = classify_zeros({}, {})
+        assert stats.true_zero_fraction == 0.0
+
+    def test_histogram_percentages_sum_to_100(self):
+        truth = {i: 0.1 * (i + 1) for i in range(10)}
+        estimate = {i: 0.1 * (i + 1) * (1.2 if i % 2 else 0.3) for i in range(10)}
+        histogram = relative_error_histogram(truth, estimate)
+        assert sum(percent for _, percent in histogram) == pytest.approx(100.0)
+
+    def test_histogram_overflow_bucket(self):
+        truth = {1: 0.0}
+        estimate = {1: 0.5}  # infinite relative error
+        histogram = relative_error_histogram(truth, estimate)
+        assert histogram[-1][1] == pytest.approx(100.0)
+
+    def test_histogram_invalid_edges(self):
+        with pytest.raises(ValueError):
+            relative_error_histogram({1: 1.0}, {1: 1.0}, bin_edges=(0.0,))
+
+
+class TestRankDeviation:
+    def test_zero_for_identical(self):
+        truth = {1: 0.5, 2: 0.4, 3: 0.1}
+        assert average_rank_deviation(truth, dict(truth)) == 0.0
+
+    def test_per_node_values(self):
+        truth = {1: 3.0, 2: 2.0, 3: 1.0, 4: 0.5}
+        estimate = {1: 0.5, 2: 2.0, 3: 1.0, 4: 3.0}
+        deviations = rank_deviations(truth, estimate)
+        assert deviations[2] == pytest.approx(0.0)
+        assert deviations[1] == pytest.approx(100.0 * 3 / 4)
+
+    def test_subset_average(self):
+        truth = {1: 3.0, 2: 2.0, 3: 1.0, 4: 0.5}
+        estimate = {1: 0.5, 2: 2.0, 3: 1.0, 4: 3.0}
+        assert average_rank_deviation(truth, estimate, nodes=[2, 3]) < \
+            average_rank_deviation(truth, estimate, nodes=[1, 4])
+
+    def test_empty(self):
+        assert average_rank_deviation({}, {}) == 0.0
+        assert rank_deviations({}, {}) == {}

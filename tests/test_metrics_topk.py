@@ -1,0 +1,68 @@
+"""Tests for the top-k agreement metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.topk import bottom_half_spearman, jaccard_at_k, precision_at_k
+
+
+TRUTH = {node: 10.0 - node for node in range(10)}  # best node is 0
+
+
+class TestPrecisionAtK:
+    def test_perfect(self):
+        assert precision_at_k(TRUTH, dict(TRUTH), 3) == 1.0
+
+    def test_partial_overlap(self):
+        estimate = dict(TRUTH)
+        estimate[0] = -1.0  # true best drops out of the estimated top-3
+        assert precision_at_k(TRUTH, estimate, 3) == pytest.approx(2 / 3)
+
+    def test_k_larger_than_set(self):
+        assert precision_at_k(TRUTH, dict(TRUTH), 50) == 1.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            precision_at_k(TRUTH, TRUTH, 0)
+
+    def test_missing_estimates_default_to_zero(self):
+        # Truth favours high node ids; an empty estimate makes every score 0
+        # and ties resolve toward low ids, so the top-3 sets are disjoint.
+        reversed_truth = {node: float(node) for node in range(10)}
+        assert precision_at_k(reversed_truth, {}, 3) == 0.0
+
+
+class TestJaccardAtK:
+    def test_perfect(self):
+        assert jaccard_at_k(TRUTH, dict(TRUTH), 4) == 1.0
+
+    def test_disjoint_is_low(self):
+        estimate = {node: float(node) for node in range(10)}  # reversed
+        assert jaccard_at_k(TRUTH, estimate, 3) == 0.0
+
+    def test_bounded(self):
+        estimate = dict(TRUTH)
+        estimate[1] = 0.0
+        value = jaccard_at_k(TRUTH, estimate, 3)
+        assert 0.0 <= value <= 1.0
+
+
+class TestBottomHalfSpearman:
+    def test_perfect(self):
+        assert bottom_half_spearman(TRUTH, dict(TRUTH)) == pytest.approx(1.0)
+
+    def test_detects_tail_shuffling(self):
+        estimate = dict(TRUTH)
+        # Shuffle only the low-centrality tail; the full Spearman stays high
+        # but the bottom-half correlation drops.
+        estimate[8], estimate[9] = estimate[9], estimate[8]
+        estimate[6], estimate[7] = estimate[7], estimate[6]
+        from repro.metrics.rank_correlation import spearman_rank_correlation
+
+        assert bottom_half_spearman(TRUTH, estimate) < spearman_rank_correlation(
+            TRUTH, estimate
+        )
+
+    def test_tiny_input(self):
+        assert bottom_half_spearman({1: 1.0, 2: 0.5}, {1: 1.0, 2: 0.5}) == 1.0

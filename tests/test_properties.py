@@ -1,0 +1,37 @@
+"""Tests for graph summaries (Table II support)."""
+
+from __future__ import annotations
+
+from repro.graphs.generators import path_graph
+from repro.graphs.graph import Graph
+from repro.graphs.properties import summarize
+
+
+class TestSummarize:
+    def test_karate_summary(self, karate):
+        summary = summarize(karate)
+        assert summary.num_nodes == 34
+        assert summary.num_edges == 78
+        assert summary.diameter == 5
+        assert summary.diameter_is_exact
+        assert summary.num_components == 1
+        assert summary.num_cutpoints == 1
+        assert summary.max_degree == 17
+        assert abs(summary.avg_degree - 2 * 78 / 34) < 1e-12
+
+    def test_path_summary(self):
+        summary = summarize(path_graph(6))
+        assert summary.diameter == 5
+        assert summary.num_blocks == 5
+        assert summary.num_cutpoints == 4
+
+    def test_empty_graph(self):
+        summary = summarize(Graph())
+        assert summary.num_nodes == 0
+        assert summary.diameter == 0
+        assert summary.avg_degree == 0.0
+
+    def test_estimated_diameter_flag(self, karate):
+        summary = summarize(karate, exact=False, seed=3)
+        assert not summary.diameter_is_exact
+        assert summary.diameter >= 5

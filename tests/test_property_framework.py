@@ -1,0 +1,94 @@
+"""Property-based tests of the generic SaPHyRa framework on random
+enumerated problems with known ground truth."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hypothesis import SetMembershipHypothesisClass
+from repro.core.problem import EnumeratedProblem
+from repro.core.sample_space import EnumeratedSampleSpace, WeightedSample
+from repro.core.saphyra import SaPHyRa
+from repro.metrics.rank_correlation import spearman_rank_correlation
+
+
+def random_problem(seed: int) -> EnumeratedProblem:
+    """A random discrete hypothesis-ranking problem.
+
+    Samples are integers with random (normalised) probabilities; each of the
+    3-6 hypotheses fires on a random subset of the samples; a random slice of
+    the samples forms the exact subspace.
+    """
+    rng = random.Random(seed)
+    num_samples = rng.randint(10, 60)
+    raw_weights = [rng.random() + 1e-3 for _ in range(num_samples)]
+    total = sum(raw_weights)
+    values = list(range(num_samples))
+    samples = [
+        WeightedSample(value, weight / total)
+        for value, weight in zip(values, raw_weights)
+    ]
+    num_hypotheses = rng.randint(3, 6)
+    firing_sets = {
+        name: {value for value in values if rng.random() < rng.uniform(0.05, 0.6)}
+        for name in range(num_hypotheses)
+    }
+    exact_fraction = rng.uniform(0.0, 0.5)
+    exact_threshold = int(exact_fraction * num_samples)
+    space = EnumeratedSampleSpace(
+        samples, is_exact=lambda value: value < exact_threshold
+    )
+    hypotheses = SetMembershipHypothesisClass(
+        list(firing_sets),
+        keys_of=lambda value: [
+            name for name, fired in firing_sets.items() if value in fired
+        ],
+    )
+    return EnumeratedProblem(space, hypotheses)
+
+
+class TestFrameworkProperties:
+    @given(st.integers(min_value=0, max_value=1_000_000))
+    @settings(max_examples=15, deadline=None)
+    def test_estimates_within_epsilon(self, seed):
+        problem = random_problem(seed)
+        truth = problem.true_risks()
+        epsilon = 0.08
+        result = SaPHyRa(epsilon=epsilon, delta=0.05, seed=seed).rank(problem)
+        for name, risk in zip(result.names, result.risks):
+            # 2x slack keeps the probabilistic guarantee from flaking.
+            assert abs(risk - truth[name]) < 2 * epsilon
+
+    @given(st.integers(min_value=0, max_value=1_000_000))
+    @settings(max_examples=15, deadline=None)
+    def test_combination_identity_and_bounds(self, seed):
+        problem = random_problem(seed)
+        result = SaPHyRa(epsilon=0.1, delta=0.1, seed=seed).rank(problem)
+        assert 0.0 <= result.lambda_exact <= 1.0
+        for combined, exact, approx in zip(
+            result.risks, result.exact_risks, result.approximate_risks
+        ):
+            assert abs(combined - (exact + result.lambda_approximate * approx)) < 1e-9
+            assert -1e-9 <= combined <= 1.0 + 1e-9
+
+    @given(st.integers(min_value=0, max_value=1_000_000))
+    @settings(max_examples=10, deadline=None)
+    def test_ranking_correlates_with_truth(self, seed):
+        problem = random_problem(seed)
+        truth = problem.true_risks()
+        result = SaPHyRa(epsilon=0.03, delta=0.05, seed=seed).rank(problem)
+        correlation = spearman_rank_correlation(truth, result.scores())
+        # With epsilon much smaller than typical risk gaps the ranking should
+        # be strongly correlated; allow slack for adversarial near-ties.
+        assert correlation > 0.2
+
+    @given(st.integers(min_value=0, max_value=1_000_000))
+    @settings(max_examples=10, deadline=None)
+    def test_exact_risks_never_exceed_combined(self, seed):
+        problem = random_problem(seed)
+        result = SaPHyRa(epsilon=0.1, delta=0.1, seed=seed).rank(problem)
+        for combined, exact in zip(result.risks, result.exact_risks):
+            assert combined >= exact - 1e-9

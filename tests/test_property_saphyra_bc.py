@@ -1,0 +1,102 @@
+"""Property-based tests: SaPHyRa_bc against exact Brandes on random graphs.
+
+These are the strongest correctness checks in the suite: for arbitrary
+random connected graphs and arbitrary target subsets, the estimate must stay
+within epsilon of the exact value (checked with a generous margin so the
+probabilistic guarantee cannot make the suite flaky) and must never produce
+false zeros.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.centrality.brandes import betweenness_centrality
+from repro.graphs.components import largest_connected_component
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    grid_road_graph,
+)
+from repro.saphyra_bc import SaPHyRaBC
+
+
+def _connected_er_graph(rng):
+    graph = erdos_renyi_graph(rng.randint(8, 30), 0.2, seed=rng.randint(0, 9999))
+    component = largest_connected_component(graph)
+    return graph.subgraph(component)
+
+
+class TestEpsilonGuaranteeProperty:
+    @given(st.integers(min_value=0, max_value=1_000_000))
+    @settings(max_examples=12, deadline=None)
+    def test_er_graphs(self, seed):
+        rng = random.Random(seed)
+        graph = _connected_er_graph(rng)
+        if graph.number_of_nodes() < 4:
+            return
+        targets = rng.sample(list(graph.nodes()), min(6, graph.number_of_nodes()))
+        truth = betweenness_centrality(graph)
+        result = SaPHyRaBC(epsilon=0.1, delta=0.05, seed=seed).rank(graph, targets)
+        for node in targets:
+            # 2x margin: the guarantee itself is probabilistic.
+            assert abs(result.scores[node] - truth[node]) < 0.2
+
+    @given(st.integers(min_value=0, max_value=1_000_000))
+    @settings(max_examples=8, deadline=None)
+    def test_ba_graphs(self, seed):
+        rng = random.Random(seed)
+        graph = barabasi_albert_graph(rng.randint(15, 40), 2, seed=rng.randint(0, 9999))
+        targets = rng.sample(list(graph.nodes()), 8)
+        truth = betweenness_centrality(graph)
+        result = SaPHyRaBC(epsilon=0.1, delta=0.05, seed=seed).rank(graph, targets)
+        for node in targets:
+            assert abs(result.scores[node] - truth[node]) < 0.2
+
+    @given(st.integers(min_value=0, max_value=1_000_000))
+    @settings(max_examples=6, deadline=None)
+    def test_road_like_graphs(self, seed):
+        rng = random.Random(seed)
+        graph, _ = grid_road_graph(
+            rng.randint(4, 7), rng.randint(4, 7), seed=rng.randint(0, 9999)
+        )
+        if graph.number_of_nodes() < 6:
+            return
+        targets = rng.sample(list(graph.nodes()), min(6, graph.number_of_nodes()))
+        truth = betweenness_centrality(graph)
+        result = SaPHyRaBC(epsilon=0.1, delta=0.05, seed=seed).rank(graph, targets)
+        for node in targets:
+            assert abs(result.scores[node] - truth[node]) < 0.2
+
+
+class TestNoFalseZeroProperty:
+    @given(st.integers(min_value=0, max_value=1_000_000))
+    @settings(max_examples=10, deadline=None)
+    def test_no_false_zeros(self, seed):
+        rng = random.Random(seed)
+        graph = _connected_er_graph(rng)
+        if graph.number_of_nodes() < 4:
+            return
+        targets = list(graph.nodes())
+        truth = betweenness_centrality(graph)
+        result = SaPHyRaBC(epsilon=0.2, delta=0.2, seed=seed).rank(graph, targets)
+        for node in targets:
+            if truth[node] > 1e-12:
+                assert result.scores[node] > 0.0
+
+
+class TestScoreSanityProperty:
+    @given(st.integers(min_value=0, max_value=1_000_000))
+    @settings(max_examples=10, deadline=None)
+    def test_scores_in_unit_interval(self, seed):
+        rng = random.Random(seed)
+        graph = _connected_er_graph(rng)
+        if graph.number_of_nodes() < 4:
+            return
+        targets = rng.sample(list(graph.nodes()), min(5, graph.number_of_nodes()))
+        result = SaPHyRaBC(epsilon=0.2, delta=0.2, seed=seed).rank(graph, targets)
+        for value in result.scores.values():
+            assert -1e-9 <= value <= 1.0 + 1e-9

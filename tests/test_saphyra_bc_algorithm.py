@@ -1,0 +1,147 @@
+"""End-to-end tests for the SaPHyRa_bc algorithm."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.centrality.brandes import betweenness_centrality
+from repro.datasets.synthetic import social_surrogate
+from repro.errors import GraphError
+from repro.graphs.block_cut_tree import build_block_cut_tree
+from repro.graphs.generators import complete_graph, path_graph
+from repro.graphs.graph import Graph
+from repro.metrics.rank_correlation import spearman_rank_correlation
+from repro.metrics.zeros import classify_zeros
+from repro.saphyra_bc.algorithm import SaPHyRaBC
+
+
+class TestValidation:
+    def test_requires_connected_graph(self):
+        graph = Graph.from_edges([(0, 1), (2, 3), (3, 4)])
+        with pytest.raises(GraphError, match="connected"):
+            SaPHyRaBC(seed=1).rank(graph, [0, 1])
+
+    def test_requires_three_nodes(self):
+        with pytest.raises(GraphError):
+            SaPHyRaBC(seed=1).rank(Graph.from_edges([(0, 1)]), [0])
+
+    def test_requires_targets_nonempty(self, karate):
+        with pytest.raises(ValueError):
+            SaPHyRaBC(seed=1).rank(karate, [])
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            SaPHyRaBC(epsilon=0.0)
+
+
+class TestAccuracy:
+    def test_epsilon_guarantee_on_karate_subset(self, karate):
+        targets = [0, 1, 2, 5, 9, 11, 25, 33]
+        truth = betweenness_centrality(karate)
+        result = SaPHyRaBC(epsilon=0.03, delta=0.05, seed=4).rank(karate, targets)
+        for node in targets:
+            assert abs(result.scores[node] - truth[node]) < 0.03
+
+    def test_epsilon_guarantee_full_network(self, karate):
+        truth = betweenness_centrality(karate)
+        result = SaPHyRaBC(epsilon=0.05, delta=0.05, seed=8).rank(karate)
+        for node in karate.nodes():
+            assert abs(result.scores[node] - truth[node]) < 0.05
+
+    def test_ranking_quality_on_karate(self, karate):
+        targets = list(karate.nodes())
+        truth = betweenness_centrality(karate)
+        result = SaPHyRaBC(epsilon=0.02, delta=0.05, seed=2).rank(karate, targets)
+        correlation = spearman_rank_correlation(truth, result.scores)
+        assert correlation > 0.9
+
+    def test_no_false_zeros(self, karate):
+        targets = list(karate.nodes())
+        truth = betweenness_centrality(karate)
+        result = SaPHyRaBC(epsilon=0.1, delta=0.1, seed=6).rank(karate, targets)
+        zeros = classify_zeros(truth, result.scores)
+        assert zeros.false_zeros == 0
+
+    def test_exact_on_single_block_small_centralities(self):
+        """On K5 every betweenness is 0 and the estimate must be exactly 0."""
+        graph = complete_graph(5)
+        result = SaPHyRaBC(epsilon=0.1, delta=0.1, seed=1).rank(graph, [0, 1, 2])
+        assert all(value == pytest.approx(0.0, abs=1e-9) for value in result.scores.values())
+
+    def test_path_graph_cutpoint_scores(self):
+        """On a path all betweenness comes from bc_a; the estimate is exact."""
+        graph = path_graph(7)
+        truth = betweenness_centrality(graph)
+        result = SaPHyRaBC(epsilon=0.05, delta=0.05, seed=3).rank(graph, list(graph.nodes()))
+        for node in graph.nodes():
+            assert result.scores[node] == pytest.approx(truth[node], abs=1e-9)
+
+    def test_social_surrogate_subset(self):
+        graph = social_surrogate(150, pendant_fraction=0.4, seed=5)
+        truth = betweenness_centrality(graph)
+        targets = sorted(graph.nodes())[::5]
+        result = SaPHyRaBC(epsilon=0.05, delta=0.05, seed=9).rank(graph, targets)
+        truth_subset = {node: truth[node] for node in targets}
+        assert spearman_rank_correlation(truth_subset, result.scores) > 0.85
+        for node in targets:
+            assert abs(result.scores[node] - truth[node]) < 0.05
+
+
+class TestResultStructure:
+    def test_metadata(self, karate):
+        targets = [0, 1, 2, 3]
+        result = SaPHyRaBC(epsilon=0.1, delta=0.1, seed=1).rank(karate, targets)
+        assert result.targets == targets
+        assert set(result.ranking) == set(targets)
+        assert len(result) == 4
+        assert 0.0 < result.eta <= 1.0
+        assert result.gamma > 0
+        assert 0.0 <= result.lambda_exact <= 1.0
+        assert result.vc_dimension >= 0
+        assert result.epsilon == 0.1
+        assert "preprocess" in result.stage_seconds
+        assert result.wall_time_seconds > 0
+
+    def test_ranking_sorted_by_score(self, karate):
+        result = SaPHyRaBC(epsilon=0.1, delta=0.1, seed=2).rank(karate, [0, 1, 2, 3, 4])
+        scores = [result.scores[node] for node in result.ranking]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_deterministic_given_seed(self, karate):
+        first = SaPHyRaBC(epsilon=0.1, delta=0.1, seed=11).rank(karate, [0, 1, 2, 3])
+        second = SaPHyRaBC(epsilon=0.1, delta=0.1, seed=11).rank(karate, [0, 1, 2, 3])
+        assert first.scores == second.scores
+        assert first.ranking == second.ranking
+
+    def test_reusing_block_cut_tree(self, karate):
+        tree = build_block_cut_tree(karate)
+        result = SaPHyRaBC(epsilon=0.1, delta=0.1, seed=1).rank(
+            karate, [0, 1, 2], block_cut_tree=tree
+        )
+        assert len(result.ranking) == 3
+
+    def test_max_samples_cap(self, karate):
+        result = SaPHyRaBC(
+            epsilon=0.02, delta=0.05, seed=1, max_samples_cap=200
+        ).rank(karate, [0, 1, 2, 3])
+        assert result.num_samples <= 200
+
+
+class TestAblation:
+    def test_disabling_exact_subspace_still_accurate_but_can_false_zero(self, karate):
+        truth = betweenness_centrality(karate)
+        targets = list(karate.nodes())
+        ablated = SaPHyRaBC(
+            epsilon=0.05, delta=0.05, seed=3, use_exact_subspace=False
+        ).rank(karate, targets)
+        for node in targets:
+            assert abs(ablated.scores[node] - truth[node]) < 0.05
+        assert ablated.lambda_exact == pytest.approx(0.0)
+
+    def test_exact_subspace_reduces_samples(self, karate):
+        targets = list(karate.nodes())
+        with_exact = SaPHyRaBC(epsilon=0.03, delta=0.05, seed=5).rank(karate, targets)
+        without_exact = SaPHyRaBC(
+            epsilon=0.03, delta=0.05, seed=5, use_exact_subspace=False
+        ).rank(karate, targets)
+        assert with_exact.num_samples <= without_exact.num_samples

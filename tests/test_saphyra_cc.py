@@ -1,0 +1,106 @@
+"""Tests for SaPHyRa_cc (closeness-centrality ranking, the framework extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.centrality.closeness import closeness_centrality
+from repro.errors import GraphError, SamplingError
+from repro.graphs.generators import complete_graph, path_graph
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import bfs_distances
+from repro.metrics.rank_correlation import spearman_rank_correlation
+from repro.saphyra_cc import ClosenessProblem, SaPHyRaCC
+
+
+class TestClosenessProblem:
+    def test_validation(self, karate):
+        with pytest.raises(GraphError):
+            ClosenessProblem(Graph.from_edges([(0, 1), (2, 3)]), [0])
+        with pytest.raises(ValueError):
+            ClosenessProblem(karate, [])
+        with pytest.raises(ValueError):
+            ClosenessProblem(karate, [0, 0])
+        with pytest.raises(GraphError):
+            ClosenessProblem(karate, [999])
+        with pytest.raises(ValueError):
+            ClosenessProblem(karate, [0], distance_bound=0)
+
+    def test_exact_evaluation(self, karate):
+        targets = [0, 5, 33]
+        problem = ClosenessProblem(karate, targets, distance_bound=5)
+        evaluation = problem.exact_evaluation()
+        assert evaluation.lambda_exact == pytest.approx(3 / 34)
+        # Exact risk of node 0: distances to the other targets / (n * D).
+        distances = bfs_distances(karate, 0)
+        expected = (distances[5] + distances[33]) / (34 * 5)
+        assert evaluation.risks[0] == pytest.approx(expected)
+
+    def test_sample_losses_dense_and_bounded(self, karate):
+        problem = ClosenessProblem(karate, [0, 1, 2], distance_bound=5)
+        losses = problem.sample_losses(rng=3)
+        assert set(losses) == {0, 1, 2}
+        assert all(0.0 <= value <= 1.0 for value in losses.values())
+
+    def test_sample_losses_all_targets_raises(self):
+        graph = complete_graph(4)
+        problem = ClosenessProblem(graph, list(graph.nodes()), distance_bound=1)
+        with pytest.raises(SamplingError):
+            problem.sample_losses(rng=1)
+
+    def test_vc_dimension_small(self, karate):
+        problem = ClosenessProblem(karate, [0, 1, 2, 3], distance_bound=5)
+        assert 0 <= problem.vc_dimension() <= 3
+
+    def test_risk_round_trip(self, karate):
+        problem = ClosenessProblem(karate, [0], distance_bound=5)
+        # A node at average distance 2 has closeness 0.5.
+        risk = 2.0 * (34 - 1) / (34 * 5)
+        assert problem.risk_to_average_distance(risk) == pytest.approx(2.0)
+        assert problem.risk_to_closeness(risk) == pytest.approx(0.5)
+
+
+class TestSaPHyRaCC:
+    def test_matches_exact_closeness_on_karate(self, karate):
+        targets = sorted(karate.nodes())[:12]
+        result = SaPHyRaCC(epsilon=0.03, delta=0.05, seed=7).rank(karate, targets)
+        exact = closeness_centrality(karate, nodes=targets)
+        correlation = spearman_rank_correlation(exact, result.closeness)
+        assert correlation > 0.85
+        # Average distances are within a loose absolute tolerance (epsilon is
+        # expressed on the normalised distance, diameter bound <= 10).
+        for node in targets:
+            exact_average = 1.0 / exact[node]
+            assert abs(result.average_distance[node] - exact_average) < 0.6
+
+    def test_all_targets_short_circuits_to_exact(self):
+        graph = path_graph(6)
+        result = SaPHyRaCC(epsilon=0.05, delta=0.05, seed=1).rank(
+            graph, list(graph.nodes())
+        )
+        assert result.num_samples == 0
+        exact = closeness_centrality(graph)
+        for node in graph.nodes():
+            assert result.closeness[node] == pytest.approx(exact[node], rel=1e-6)
+
+    def test_result_structure(self, karate):
+        result = SaPHyRaCC(epsilon=0.1, delta=0.1, seed=2).rank(karate, [0, 1, 2])
+        assert len(result) == 3
+        assert set(result.ranking) == {0, 1, 2}
+        assert result.lambda_exact == pytest.approx(3 / 34)
+        assert result.distance_bound >= 5
+        assert result.framework is not None
+
+    def test_deterministic(self, karate):
+        first = SaPHyRaCC(epsilon=0.1, delta=0.1, seed=5).rank(karate, [0, 3, 9])
+        second = SaPHyRaCC(epsilon=0.1, delta=0.1, seed=5).rank(karate, [0, 3, 9])
+        assert first.closeness == second.closeness
+
+    def test_ranking_descending_closeness(self, karate):
+        result = SaPHyRaCC(epsilon=0.1, delta=0.1, seed=3).rank(karate, [0, 9, 16])
+        values = [result.closeness[node] for node in result.ranking]
+        assert values == sorted(values, reverse=True)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SaPHyRaCC(epsilon=0.0, delta=0.1)

@@ -1,0 +1,81 @@
+"""Tests for the per-hypothesis error-probability allocation (Eq. 13)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.stats.allocation import allocate_error_probabilities, solve_delta_for_epsilon
+from repro.stats.bernstein import empirical_bernstein_bound
+
+
+class TestSolveDelta:
+    def test_solution_achieves_target(self):
+        target = 0.05
+        variance = 0.04
+        num_samples = 5000
+        delta0 = solve_delta_for_epsilon(target, num_samples, variance)
+        achieved = empirical_bernstein_bound(num_samples, delta0, variance)
+        assert achieved <= target * 1.01
+
+    def test_larger_variance_needs_larger_delta(self):
+        small = solve_delta_for_epsilon(0.05, 5000, 0.001)
+        large = solve_delta_for_epsilon(0.05, 5000, 0.2)
+        assert large >= small
+
+    def test_impossible_target_returns_half(self):
+        # Tiny sample budget with huge variance: even delta=0.5 cannot reach
+        # the target, so the solver gives up at 0.5.
+        assert solve_delta_for_epsilon(0.0001, 10, 0.25) == 0.5
+
+    def test_few_samples_returns_half(self):
+        assert solve_delta_for_epsilon(0.1, 1, 0.1) == 0.5
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            solve_delta_for_epsilon(0.0, 100, 0.1)
+
+
+class TestAllocation:
+    def test_budget_constraint(self):
+        variances = [0.01, 0.1, 0.25, 0.0]
+        delta = 0.05
+        rounds = 4
+        allocations = allocate_error_probabilities(
+            variances, target_epsilon=0.05, delta=delta, num_rounds=rounds,
+            max_samples=10_000,
+        )
+        assert len(allocations) == len(variances)
+        assert sum(2 * value for value in allocations) == pytest.approx(
+            delta / rounds, rel=1e-6
+        )
+
+    def test_high_variance_gets_larger_share(self):
+        allocations = allocate_error_probabilities(
+            [0.001, 0.25], target_epsilon=0.05, delta=0.05, num_rounds=3,
+            max_samples=50_000,
+        )
+        assert allocations[1] >= allocations[0]
+
+    def test_all_positive(self):
+        allocations = allocate_error_probabilities(
+            [0.0, 0.0, 0.0], target_epsilon=0.1, delta=0.1, num_rounds=1,
+            max_samples=1000,
+        )
+        assert all(value > 0 for value in allocations)
+
+    def test_empty_input(self):
+        assert allocate_error_probabilities(
+            [], target_epsilon=0.1, delta=0.1, num_rounds=1, max_samples=100
+        ) == []
+
+    def test_invalid_rounds(self):
+        with pytest.raises(ValueError):
+            allocate_error_probabilities(
+                [0.1], target_epsilon=0.1, delta=0.1, num_rounds=0, max_samples=100
+            )
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            allocate_error_probabilities(
+                [0.1], target_epsilon=0.1, delta=0.0, num_rounds=1, max_samples=100
+            )

@@ -1,0 +1,132 @@
+"""Tests for the empirical Bernstein bound and running statistics."""
+
+from __future__ import annotations
+
+import math
+import random
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.bernstein import (
+    RunningStats,
+    empirical_bernstein_bound,
+    sample_variance,
+)
+
+
+class TestSampleVariance:
+    def test_matches_statistics_module(self):
+        data = [0.1, 0.4, 0.4, 0.9, 0.0, 1.0]
+        assert sample_variance(data) == pytest.approx(statistics.variance(data))
+
+    def test_constant_data(self):
+        assert sample_variance([0.5] * 10) == pytest.approx(0.0)
+
+    def test_fewer_than_two_values(self):
+        assert sample_variance([]) == 0.0
+        assert sample_variance([0.7]) == 0.0
+
+    def test_pairwise_definition(self):
+        # 1/(N(N-1)) sum_{j1<j2} (z_j1 - z_j2)^2 equals the unbiased variance.
+        data = [0.0, 0.0, 1.0, 1.0, 1.0]
+        n = len(data)
+        pairwise = sum(
+            (data[i] - data[j]) ** 2 for i in range(n) for j in range(i + 1, n)
+        ) / (n * (n - 1))
+        assert sample_variance(data) == pytest.approx(pairwise)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1), min_size=2, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_non_negative(self, data):
+        assert sample_variance(data) >= 0.0
+
+
+class TestEmpiricalBernsteinBound:
+    def test_decreases_with_samples(self):
+        small = empirical_bernstein_bound(100, 0.05, 0.1)
+        large = empirical_bernstein_bound(10_000, 0.05, 0.1)
+        assert large < small
+
+    def test_increases_with_variance(self):
+        low = empirical_bernstein_bound(1000, 0.05, 0.01)
+        high = empirical_bernstein_bound(1000, 0.05, 0.25)
+        assert high > low
+
+    def test_decreases_with_delta(self):
+        strict = empirical_bernstein_bound(1000, 0.001, 0.1)
+        loose = empirical_bernstein_bound(1000, 0.1, 0.1)
+        assert loose < strict
+
+    def test_zero_variance_still_positive(self):
+        assert empirical_bernstein_bound(1000, 0.05, 0.0) > 0.0
+
+    def test_too_few_samples_infinite(self):
+        assert empirical_bernstein_bound(1, 0.05, 0.1) == math.inf
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            empirical_bernstein_bound(100, 0.0, 0.1)
+
+    def test_negative_variance_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_bernstein_bound(100, 0.05, -0.1)
+
+    def test_coverage_on_bernoulli_means(self):
+        """The bound should cover the true mean far more often than 1-delta."""
+        rng = random.Random(0)
+        mean = 0.3
+        delta = 0.1
+        failures = 0
+        trials = 200
+        for _ in range(trials):
+            samples = [1.0 if rng.random() < mean else 0.0 for _ in range(400)]
+            estimate = sum(samples) / len(samples)
+            bound = empirical_bernstein_bound(
+                len(samples), delta, sample_variance(samples)
+            )
+            if abs(estimate - mean) > bound:
+                failures += 1
+        assert failures / trials <= 2 * delta
+
+
+class TestRunningStats:
+    def test_mean_and_variance_match_reference(self):
+        data = [0.0, 1.0, 1.0, 0.0, 1.0, 0.5]
+        stats = RunningStats()
+        for value in data:
+            stats.add(value)
+        assert stats.mean() == pytest.approx(statistics.fmean(data))
+        assert stats.variance() == pytest.approx(statistics.variance(data))
+
+    def test_pad_zeros_equivalent_to_adding_zeros(self):
+        padded = RunningStats()
+        explicit = RunningStats()
+        for value in (1.0, 1.0, 0.5):
+            padded.add(value)
+            explicit.add(value)
+        padded.pad_zeros(7)
+        for _ in range(7):
+            explicit.add(0.0)
+        assert padded.count == explicit.count
+        assert padded.mean() == pytest.approx(explicit.mean())
+        assert padded.variance() == pytest.approx(explicit.variance())
+
+    def test_pad_zeros_negative_rejected(self):
+        with pytest.raises(ValueError):
+            RunningStats().pad_zeros(-1)
+
+    def test_empty_stats(self):
+        stats = RunningStats()
+        assert stats.mean() == 0.0
+        assert stats.variance() == 0.0
+        assert stats.bernstein_epsilon(0.05) == math.inf
+
+    def test_bernstein_epsilon_consistent(self):
+        stats = RunningStats()
+        for value in [0.0, 1.0] * 50:
+            stats.add(value)
+        direct = empirical_bernstein_bound(stats.count, 0.05, stats.variance())
+        assert stats.bernstein_epsilon(0.05) == pytest.approx(direct)

@@ -1,0 +1,90 @@
+"""Tests for VC sample sizes, the pi_max bound and Hoeffding helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.stats.hoeffding import hoeffding_bound, hoeffding_sample_size
+from repro.stats.vc import diameter_vc_bound, pi_max_vc_bound, vc_sample_size
+
+
+class TestVcSampleSize:
+    def test_formula(self):
+        # N = c/eps^2 (d + ln 1/delta)
+        expected = math.ceil(0.5 / 0.05**2 * (3 + math.log(1 / 0.01)))
+        assert vc_sample_size(0.05, 0.01, 3) == expected
+
+    def test_monotone_in_epsilon(self):
+        assert vc_sample_size(0.01, 0.1, 2) > vc_sample_size(0.1, 0.1, 2)
+
+    def test_monotone_in_vc(self):
+        assert vc_sample_size(0.05, 0.1, 10) > vc_sample_size(0.05, 0.1, 1)
+
+    def test_monotone_in_delta(self):
+        assert vc_sample_size(0.05, 0.001, 2) > vc_sample_size(0.05, 0.1, 2)
+
+    def test_zero_vc_allowed(self):
+        assert vc_sample_size(0.1, 0.1, 0) >= 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            vc_sample_size(0.0, 0.1, 1)
+        with pytest.raises(ValueError):
+            vc_sample_size(0.1, 1.5, 1)
+        with pytest.raises(ValueError):
+            vc_sample_size(0.1, 0.1, -1)
+
+
+class TestPiMaxBound:
+    @pytest.mark.parametrize(
+        "pi_max,expected",
+        [(0, 0), (1, 1), (2, 2), (3, 2), (4, 3), (7, 3), (8, 4), (1023, 10)],
+    )
+    def test_values(self, pi_max, expected):
+        assert pi_max_vc_bound(pi_max) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            pi_max_vc_bound(-1)
+
+    def test_monotone(self):
+        values = [pi_max_vc_bound(k) for k in range(1, 50)]
+        assert values == sorted(values)
+
+
+class TestDiameterVcBound:
+    def test_small_diameters(self):
+        assert diameter_vc_bound(0) == 0
+        assert diameter_vc_bound(2) == 0
+        assert diameter_vc_bound(3) == 1
+
+    def test_matches_pi_max(self):
+        assert diameter_vc_bound(10) == pi_max_vc_bound(8)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            diameter_vc_bound(-2)
+
+
+class TestHoeffding:
+    def test_bound_decreases_with_samples(self):
+        assert hoeffding_bound(10_000, 0.05) < hoeffding_bound(100, 0.05)
+
+    def test_bound_infinite_without_samples(self):
+        assert hoeffding_bound(0, 0.05) == math.inf
+
+    def test_sample_size_covers_bound(self):
+        epsilon, delta = 0.05, 0.01
+        n = hoeffding_sample_size(epsilon, delta)
+        assert hoeffding_bound(n, delta) <= epsilon * 1.05
+
+    def test_sample_size_union_bound_grows_with_hypotheses(self):
+        assert hoeffding_sample_size(0.05, 0.01, 100) > hoeffding_sample_size(
+            0.05, 0.01, 1
+        )
+
+    def test_invalid_hypothesis_count(self):
+        with pytest.raises(ValueError):
+            hoeffding_sample_size(0.05, 0.01, 0)

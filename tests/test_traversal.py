@@ -1,0 +1,119 @@
+"""Tests for BFS distances, shortest-path DAGs and path sampling."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.errors import GraphError, SamplingError
+from repro.graphs.generators import cycle_graph, path_graph
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import (
+    bfs_distances,
+    k_hop_neighborhood,
+    sample_shortest_path,
+    shortest_path_dag,
+)
+
+
+class TestBFSDistances:
+    def test_path_graph_distances(self, path5):
+        distances = bfs_distances(path5, 0)
+        assert distances == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_max_depth(self, path5):
+        distances = bfs_distances(path5, 0, max_depth=2)
+        assert distances == {0: 0, 1: 1, 2: 2}
+
+    def test_disconnected_nodes_absent(self):
+        graph = Graph.from_edges([(0, 1)], nodes=[2])
+        assert 2 not in bfs_distances(graph, 0)
+
+    def test_missing_source_raises(self, path5):
+        with pytest.raises(GraphError):
+            bfs_distances(path5, 99)
+
+
+class TestShortestPathDAG:
+    def test_sigma_counts_on_cycle(self):
+        # On an even cycle the antipodal node has exactly 2 shortest paths.
+        graph = cycle_graph(6)
+        dag = shortest_path_dag(graph, 0)
+        assert dag.sigma[3] == 2
+        assert dag.sigma[1] == 1
+
+    def test_sigma_on_grid_like_square(self):
+        graph = Graph.from_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+        dag = shortest_path_dag(graph, 0)
+        assert dag.sigma[3] == 2
+        assert sorted(dag.predecessors[3]) == [1, 2]
+
+    def test_order_is_by_distance(self, karate):
+        dag = shortest_path_dag(karate, 0)
+        distances = [dag.distances[node] for node in dag.order]
+        assert distances == sorted(distances)
+
+    def test_number_of_shortest_paths_unreachable(self):
+        graph = Graph.from_edges([(0, 1)], nodes=[2])
+        dag = shortest_path_dag(graph, 0)
+        assert dag.number_of_shortest_paths(2) == 0
+
+    def test_missing_source_raises(self):
+        with pytest.raises(GraphError):
+            shortest_path_dag(Graph(), 0)
+
+
+class TestSamplePath:
+    def test_path_validity(self, karate):
+        rng = random.Random(1)
+        for _ in range(20):
+            nodes = list(karate.nodes())
+            source, target = rng.sample(nodes, 2)
+            path = sample_shortest_path(karate, source, target, rng)
+            assert path[0] == source and path[-1] == target
+            dag = shortest_path_dag(karate, source)
+            assert len(path) - 1 == dag.distances[target]
+            for u, v in zip(path, path[1:]):
+                assert karate.has_edge(u, v)
+
+    def test_unreachable_target_raises(self):
+        graph = Graph.from_edges([(0, 1)], nodes=[2])
+        with pytest.raises(SamplingError):
+            sample_shortest_path(graph, 0, 2)
+
+    def test_uniformity_on_square(self):
+        # Two shortest paths 0-1-3 and 0-2-3; each should appear ~half the time.
+        graph = Graph.from_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+        rng = random.Random(7)
+        dag = shortest_path_dag(graph, 0)
+        counts = Counter(tuple(dag.sample_path(3, rng)) for _ in range(400))
+        assert set(counts) == {(0, 1, 3), (0, 2, 3)}
+        assert 120 < counts[(0, 1, 3)] < 280
+
+    def test_uniformity_three_parallel_paths(self):
+        graph = Graph.from_edges(
+            [(0, 1), (1, 4), (0, 2), (2, 4), (0, 3), (3, 4)]
+        )
+        rng = random.Random(3)
+        dag = shortest_path_dag(graph, 0)
+        counts = Counter(dag.sample_path(4, rng)[1] for _ in range(600))
+        for middle in (1, 2, 3):
+            assert 130 < counts[middle] < 270
+
+
+class TestKHopNeighborhood:
+    def test_zero_hops(self, karate):
+        assert k_hop_neighborhood(karate, 0, 0) == [0]
+
+    def test_one_hop_is_closed_neighborhood(self, karate):
+        neighborhood = set(k_hop_neighborhood(karate, 0, 1))
+        assert neighborhood == {0} | set(karate.neighbors(0))
+
+    def test_negative_hops_rejected(self, karate):
+        with pytest.raises(ValueError):
+            k_hop_neighborhood(karate, 0, -1)
+
+    def test_large_hops_cover_component(self, path5):
+        assert sorted(k_hop_neighborhood(path5, 0, 10)) == [0, 1, 2, 3, 4]

@@ -1,0 +1,76 @@
+"""Tests for repro.utils.rng."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.utils.rng import ensure_rng, shuffled, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_returns_random_instance(self):
+        assert isinstance(ensure_rng(None), random.Random)
+
+    def test_int_seed_is_deterministic(self):
+        assert ensure_rng(42).random() == ensure_rng(42).random()
+
+    def test_different_seeds_differ(self):
+        assert ensure_rng(1).random() != ensure_rng(2).random()
+
+    def test_existing_rng_passes_through(self):
+        rng = random.Random(7)
+        assert ensure_rng(rng) is rng
+
+    def test_bool_seed_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng(True)
+
+    def test_float_seed_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng(1.5)
+
+    def test_string_seed_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        children = spawn_rngs(ensure_rng(3), 5)
+        assert len(children) == 5
+
+    def test_children_are_deterministic(self):
+        first = [rng.random() for rng in spawn_rngs(ensure_rng(3), 3)]
+        second = [rng.random() for rng in spawn_rngs(ensure_rng(3), 3)]
+        assert first == second
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rngs(ensure_rng(3), 2)
+        values_a = [children[0].random() for _ in range(3)]
+        values_b = [children[1].random() for _ in range(3)]
+        assert values_a != values_b
+
+    def test_zero_children(self):
+        assert spawn_rngs(ensure_rng(0), 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(ensure_rng(0), -1)
+
+
+class TestShuffled:
+    def test_preserves_elements(self):
+        items = list(range(20))
+        result = shuffled(items, ensure_rng(5))
+        assert sorted(result) == items
+
+    def test_does_not_mutate_input(self):
+        items = list(range(10))
+        copy = list(items)
+        shuffled(items, ensure_rng(5))
+        assert items == copy
+
+    def test_deterministic_given_seed(self):
+        assert shuffled(range(10), ensure_rng(9)) == shuffled(range(10), ensure_rng(9))

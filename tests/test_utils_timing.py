@@ -1,0 +1,69 @@
+"""Tests for repro.utils.timing."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.utils.timing import StageTimings, Timer
+
+
+class TestTimer:
+    def test_elapsed_non_negative(self):
+        with Timer() as timer:
+            pass
+        assert timer.elapsed >= 0.0
+
+    def test_measures_sleep(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.009
+
+    def test_elapsed_inside_block(self):
+        with Timer() as timer:
+            time.sleep(0.005)
+            running = timer.elapsed
+        assert running > 0.0
+        assert timer.elapsed >= running
+
+    def test_elapsed_frozen_after_exit(self):
+        with Timer() as timer:
+            pass
+        first = timer.elapsed
+        time.sleep(0.005)
+        assert timer.elapsed == first
+
+
+class TestStageTimings:
+    def test_add_and_total(self):
+        timings = StageTimings()
+        timings.add("a", 1.0)
+        timings.add("b", 2.0)
+        timings.add("a", 0.5)
+        assert timings.stages == {"a": 1.5, "b": 2.0}
+        assert timings.total() == pytest.approx(3.5)
+
+    def test_order_tracks_first_appearance(self):
+        timings = StageTimings()
+        timings.add("later", 1.0)
+        timings.add("earlier", 1.0)
+        timings.add("later", 1.0)
+        assert timings.order == ["later", "earlier"]
+
+    def test_negative_seconds_rejected(self):
+        with pytest.raises(ValueError):
+            StageTimings().add("a", -1.0)
+
+    def test_measure_context_manager(self):
+        timings = StageTimings()
+        with timings.measure("work"):
+            time.sleep(0.005)
+        assert timings.stages["work"] >= 0.004
+
+    def test_measure_accumulates(self):
+        timings = StageTimings()
+        for _ in range(2):
+            with timings.measure("work"):
+                time.sleep(0.003)
+        assert timings.stages["work"] >= 0.005

@@ -1,0 +1,117 @@
+"""Tests for the personalized VC-dimension bounds (Table I machinery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.block_cut_tree import build_block_cut_tree
+from repro.graphs.generators import cycle_graph, path_graph
+from repro.saphyra_bc.isp import PersonalizedISP
+from repro.saphyra_bc.vc_bounds import (
+    bs_bound,
+    max_block_diameter,
+    personalized_vc_dimension,
+    vc_bound_report,
+    vc_from_hop_diameter,
+)
+
+
+class TestVcFromHopDiameter:
+    @pytest.mark.parametrize(
+        "diameter,expected", [(0, 0), (1, 0), (2, 1), (3, 2), (5, 3), (9, 4)]
+    )
+    def test_values(self, diameter, expected):
+        assert vc_from_hop_diameter(diameter) == expected
+
+
+class TestBlockDiameter:
+    def test_path_graph_blocks_are_edges(self):
+        tree = build_block_cut_tree(path_graph(10))
+        assert max_block_diameter(tree, seed=1) == 1
+
+    def test_cycle_single_block(self):
+        tree = build_block_cut_tree(cycle_graph(10))
+        assert max_block_diameter(tree, seed=1) == 5
+
+    def test_karate(self, karate):
+        tree = build_block_cut_tree(karate)
+        # The giant block dominates; its diameter is at most the graph's.
+        assert 1 <= max_block_diameter(tree, seed=1) <= 5
+
+
+class TestBsBound:
+    def test_bounded_by_subset_size(self, karate):
+        tree = build_block_cut_tree(karate)
+        assert bs_bound(tree, [0, 1], seed=1) <= 2
+
+    def test_bounded_by_block_diameter(self):
+        # On a path every block is a single edge -> no inner nodes at all.
+        tree = build_block_cut_tree(path_graph(8))
+        assert bs_bound(tree, [2, 3, 4], seed=1) == 0
+
+    def test_true_upper_bound_on_enumeration(self, karate):
+        """BS(A) bound must dominate the actual max number of targets that are
+        inner nodes of one PISP path."""
+        targets = [0, 1, 2, 3, 5, 8, 13, 21]
+        tree = build_block_cut_tree(karate)
+        bound = bs_bound(tree, targets, seed=3)
+        space = PersonalizedISP(karate, targets=targets)
+        target_set = set(targets)
+        actual = 0
+        for path, _ in space.enumerate_paths():
+            inner_targets = sum(1 for node in path[1:-1] if node in target_set)
+            actual = max(actual, inner_targets)
+        assert bound >= actual
+
+    def test_empty_intersection_gives_zero(self, two_triangles_shared_node):
+        tree = build_block_cut_tree(two_triangles_shared_node)
+        assert bs_bound(tree, [1], included_blocks=[], seed=1) == 0
+
+
+class TestPersonalizedVc:
+    def test_smaller_subsets_never_larger_bound(self, karate):
+        tree = build_block_cut_tree(karate)
+        small = personalized_vc_dimension(tree, [0, 1], seed=1)
+        large = personalized_vc_dimension(tree, list(karate.nodes()), seed=1)
+        assert small <= large
+
+    def test_non_negative(self, karate):
+        tree = build_block_cut_tree(karate)
+        assert personalized_vc_dimension(tree, [5], seed=1) >= 0
+
+
+class TestReport:
+    def test_report_orderings(self, karate):
+        """Table I's message: VC_subset <= VC_full <= VC_RK (up to estimate
+        noise the orderings of the underlying quantities must hold)."""
+        tree = build_block_cut_tree(karate)
+        report = vc_bound_report(karate, tree, [0, 1, 2, 3], seed=2)
+        assert report.max_block_diameter <= report.vertex_diameter
+        assert report.bicomponent_vc <= report.riondato_vc
+        assert report.personalized_vc <= report.bicomponent_vc
+        assert report.bs_value <= 4
+
+    def test_report_as_dict(self, karate):
+        tree = build_block_cut_tree(karate)
+        report = vc_bound_report(karate, tree, [0, 1], seed=2)
+        data = report.as_dict()
+        assert set(data) == {
+            "VD(V)",
+            "BD(V)",
+            "BS(A)",
+            "VC Riondato et al.",
+            "VC SaPHyRa (full)",
+            "VC SaPHyRa (subset)",
+        }
+
+    def test_road_like_graph_gains(self):
+        """On a long path (road-like), the block diameter is 1 while the graph
+        diameter is huge — the bi-component VC bound collapses to 0."""
+        graph = path_graph(200)
+        tree = build_block_cut_tree(graph)
+        report = vc_bound_report(graph, tree, [50, 100, 150], seed=1)
+        assert report.vertex_diameter >= 199
+        assert report.max_block_diameter == 1
+        assert report.riondato_vc >= 7
+        assert report.bicomponent_vc == 0
+        assert report.personalized_vc == 0
