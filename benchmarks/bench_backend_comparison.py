@@ -1,0 +1,103 @@
+"""Dict vs CSR backend timings for the traversal kernels.
+
+Every benchmark in this module runs the same kernel once per backend so the
+speedup of the CSR engine (see :mod:`repro.graphs.csr`) is tracked in the
+benchmark trajectory alongside the paper's tables and figures.  Compare rows
+pairwise, e.g.::
+
+    pytest benchmarks/bench_backend_comparison.py --benchmark-only \
+        --benchmark-group-by=func,param:topology
+
+Expected shape of the results: on low-diameter (social-style) graphs the CSR
+backend wins by >= 3x on full-BFS kernels (Brandes most of all, since the
+backward pass vectorises too); on high-diameter road grids the frontiers are
+thin, the vectorised path rarely engages, and CSR wins only modestly.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.centrality.brandes import single_source_dependencies
+from repro.centrality.closeness import closeness_centrality
+from repro.graphs import csr as csr_module
+from repro.graphs.bidirectional import bidirectional_shortest_paths
+from repro.graphs.generators import barabasi_albert_graph, grid_road_graph
+from repro.graphs.traversal import bfs_distances
+
+BACKENDS = ("dict", "csr")
+TOPOLOGIES = ("social", "road")
+
+
+def _make_graph(topology: str):
+    if topology == "social":
+        return barabasi_albert_graph(20000, 5, seed=7)
+    return grid_road_graph(120, 120, seed=7)[0]
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    built = {name: _make_graph(name) for name in TOPOLOGIES}
+    # Prime the CSR snapshots so construction cost does not pollute the
+    # kernel timings (snapshots are cached per graph anyway).
+    for graph in built.values():
+        csr_module.as_csr(graph).adjacency_lists()
+    return built
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+def test_bench_bfs(benchmark, graphs, topology, backend):
+    graph = graphs[topology]
+    sources = list(graph.nodes())[:8]
+    state = {"index": 0}
+
+    def one_bfs():
+        source = sources[state["index"] % len(sources)]
+        state["index"] += 1
+        return bfs_distances(graph, source, backend=backend)
+
+    distances = benchmark(one_bfs)
+    assert len(distances) == graph.number_of_nodes()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+def test_bench_brandes_single_source(benchmark, graphs, topology, backend):
+    graph = graphs[topology]
+    source = next(iter(graph.nodes()))
+    dependencies = benchmark(
+        single_source_dependencies, graph, source, backend=backend
+    )
+    assert dependencies
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+def test_bench_bidirectional(benchmark, graphs, topology, backend):
+    graph = graphs[topology]
+    nodes = list(graph.nodes())
+    rng = random.Random(3)
+    pairs = [tuple(rng.sample(nodes, 2)) for _ in range(64)]
+    state = {"index": 0}
+
+    def one_query():
+        source, target = pairs[state["index"] % len(pairs)]
+        state["index"] += 1
+        return bidirectional_shortest_paths(
+            graph, source, target, backend=backend
+        )
+
+    result = benchmark(one_query)
+    assert result.distance is None or result.distance >= 1
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+def test_bench_closeness_sweep(benchmark, graphs, topology, backend):
+    graph = graphs[topology]
+    nodes = list(graph.nodes())[:16]
+    scores = benchmark(closeness_centrality, graph, nodes, backend=backend)
+    assert len(scores) == len(nodes)

@@ -4,6 +4,13 @@ These are classic pytest-benchmark timings (multiple rounds) of the graph
 kernels everything else is built on: biconnected decomposition, block-cut
 tree construction, balanced bidirectional BFS, one ``Gen_bc`` sample, the
 ``Exact_bc`` pass and one full Brandes single-source dependency pass.
+
+The ``*_kernel_scale`` benchmarks run the BFS/Brandes kernels on a
+social-style graph large enough for the CSR backend's array kernels to show
+their real speedup (the scaled-down dataset stand-ins above are too small to
+amortise numpy call overhead); run them with ``REPRO_BACKEND=dict`` /
+``REPRO_BACKEND=csr`` to compare backends, or see
+``bench_backend_comparison.py`` for the parametrised side-by-side timings.
 """
 
 from __future__ import annotations
@@ -13,9 +20,12 @@ import random
 import pytest
 
 from repro.centrality.brandes import single_source_dependencies
+from repro.graphs import csr as csr_module
 from repro.graphs.bidirectional import bidirectional_shortest_paths
 from repro.graphs.biconnected import biconnected_components
 from repro.graphs.block_cut_tree import build_block_cut_tree
+from repro.graphs.generators import barabasi_albert_graph
+from repro.graphs.traversal import bfs_distances
 from repro.saphyra_bc.exact_bc import exact_two_hop_risks
 from repro.saphyra_bc.gen_bc import GenBC
 from repro.saphyra_bc.isp import PersonalizedISP
@@ -94,4 +104,34 @@ def test_bench_exact_bc(benchmark, runner, social_graph):
 def test_bench_brandes_single_source(benchmark, social_graph):
     source = next(iter(social_graph.nodes()))
     dependencies = benchmark(single_source_dependencies, social_graph, source)
+    assert dependencies
+
+
+@pytest.fixture(scope="module")
+def kernel_scale_graph():
+    graph = barabasi_albert_graph(20000, 5, seed=7)
+    # Prime the CSR snapshot so the kernels, not the one-off snapshot
+    # construction, are what gets timed.
+    csr_module.as_csr(graph).adjacency_lists()
+    return graph
+
+
+def test_bench_bfs_kernel_scale(benchmark, kernel_scale_graph):
+    sources = list(kernel_scale_graph.nodes())[:8]
+    state = {"index": 0}
+
+    def one_bfs():
+        source = sources[state["index"] % len(sources)]
+        state["index"] += 1
+        return bfs_distances(kernel_scale_graph, source)
+
+    distances = benchmark(one_bfs)
+    assert len(distances) == kernel_scale_graph.number_of_nodes()
+
+
+def test_bench_brandes_kernel_scale(benchmark, kernel_scale_graph):
+    source = next(iter(kernel_scale_graph.nodes()))
+    dependencies = benchmark(
+        single_source_dependencies, kernel_scale_graph, source
+    )
     assert dependencies

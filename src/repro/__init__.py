@@ -20,7 +20,7 @@ Quickstart
 ----------
 
 >>> from repro import datasets, saphyra_bc
->>> graph = datasets.load("karate")
+>>> graph = datasets.load("karate").graph
 >>> targets = list(range(10))
 >>> result = saphyra_bc.SaPHyRaBC(epsilon=0.05, delta=0.01, seed=7).rank(graph, targets)
 >>> len(result.ranking) == len(targets)

@@ -72,6 +72,7 @@ def compare_estimators(
     ground_truth: Optional[Mapping[Node, float]] = None,
     compute_ground_truth: bool = True,
     max_samples_cap: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> List[EstimatorComparison]:
     """Run the named estimators on one subset-ranking task.
 
@@ -93,6 +94,9 @@ def compare_estimators(
         only do that on graphs where ``O(nm)`` is affordable.
     max_samples_cap:
         Optional cap forwarded to every estimator.
+    backend:
+        Traversal backend forwarded to every estimator and the ground-truth
+        computation (``"dict"``, ``"csr"`` or ``None`` for the default).
 
     Returns
     -------
@@ -106,7 +110,7 @@ def compare_estimators(
         )
     target_list = list(targets)
     if ground_truth is None and compute_ground_truth:
-        ground_truth = betweenness_centrality(graph)
+        ground_truth = betweenness_centrality(graph, backend=backend)
     truth_subset = (
         {node: ground_truth[node] for node in target_list}
         if ground_truth is not None
@@ -123,6 +127,7 @@ def compare_estimators(
             delta=delta,
             seed=seed,
             max_samples_cap=max_samples_cap,
+            backend=backend,
         )
         row = EstimatorComparison(
             name=name,
@@ -181,11 +186,13 @@ def _run_estimator(
     delta: float,
     seed: SeedLike,
     max_samples_cap: Optional[int],
+    backend: Optional[str] = None,
 ):
     """Run one estimator, returning ``(target scores, seconds, samples)``."""
     if name in ("saphyra", "saphyra_full"):
         algorithm = SaPHyRaBC(
-            epsilon, delta, seed=seed, max_samples_cap=max_samples_cap
+            epsilon, delta, seed=seed, max_samples_cap=max_samples_cap,
+            backend=backend,
         )
         result = algorithm.rank(graph, targets if name == "saphyra" else None)
         scores = {node: result.scores[node] for node in targets}
@@ -193,15 +200,18 @@ def _run_estimator(
 
     factories = {
         "kadabra": lambda: KADABRA(
-            epsilon, delta, seed=seed, max_samples_cap=max_samples_cap
+            epsilon, delta, seed=seed, max_samples_cap=max_samples_cap,
+            backend=backend,
         ),
         "abra": lambda: ABRA(
-            epsilon, delta, seed=seed, max_samples_cap=max_samples_cap
+            epsilon, delta, seed=seed, max_samples_cap=max_samples_cap,
+            backend=backend,
         ),
         "rk": lambda: RiondatoKornaropoulos(
-            epsilon, delta, seed=seed, max_samples_cap=max_samples_cap
+            epsilon, delta, seed=seed, max_samples_cap=max_samples_cap,
+            backend=backend,
         ),
-        "bader": lambda: BaderPivot(epsilon, delta, seed=seed),
+        "bader": lambda: BaderPivot(epsilon, delta, seed=seed, backend=backend),
     }
     result = factories[name]().estimate(graph)
     return (

@@ -23,6 +23,7 @@ from typing import Dict, Hashable, Optional
 
 from repro.baselines.base import BaselineResult
 from repro.errors import GraphError
+from repro.graphs import csr as _csr
 from repro.graphs.components import is_connected
 from repro.graphs.diameter import estimate_diameter, exact_diameter
 from repro.graphs.graph import Graph
@@ -52,6 +53,9 @@ class ABRA:
         Constant ``c`` of the sample-size formulas.
     max_samples_cap:
         Optional hard cap on the number of samples.
+    backend:
+        Traversal backend (``"dict"``, ``"csr"`` or ``None`` for the
+        default); both draw identical samples from identical seeds.
     """
 
     name = "abra"
@@ -65,6 +69,7 @@ class ABRA:
         stage_growth: float = 2.0,
         sample_constant: float = 0.5,
         max_samples_cap: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> None:
         check_probability_pair(epsilon, delta)
         if stage_growth <= 1.0:
@@ -75,6 +80,7 @@ class ABRA:
         self.stage_growth = stage_growth
         self.sample_constant = sample_constant
         self.max_samples_cap = max_samples_cap
+        self.backend = backend
 
     # ------------------------------------------------------------------
     def estimate(self, graph: Graph) -> BaselineResult:
@@ -117,12 +123,22 @@ class ABRA:
 
             totals: Dict[Node, float] = {node: 0.0 for node in nodes}
             totals_sq: Dict[Node, float] = {node: 0.0 for node in nodes}
+            snapshot = (
+                _csr.as_csr(graph)
+                if _csr.effective_backend(graph, self.backend) == _csr.CSR_BACKEND
+                else None
+            )
             drawn = 0
             target = first_stage
             converged_by = "cap"
             while True:
                 while drawn < target:
-                    self._add_pair_sample(graph, nodes, totals, totals_sq, rng)
+                    if snapshot is not None:
+                        self._add_pair_sample_csr(
+                            snapshot, nodes, totals, totals_sq, rng
+                        )
+                    else:
+                        self._add_pair_sample(graph, nodes, totals, totals_sq, rng)
                     drawn += 1
                 if self._deviations_ok(totals, totals_sq, drawn, per_check_delta):
                     converged_by = "adaptive"
@@ -158,7 +174,7 @@ class ABRA:
         target = rng.choice(nodes)
         while target == source:
             target = rng.choice(nodes)
-        dag = shortest_path_dag(graph, source)
+        dag = shortest_path_dag(graph, source, backend=_csr.DICT_BACKEND)
         if target not in dag.distances:  # pragma: no cover - connected graphs
             return
         # Backward pass: beta[w] = number of shortest paths from w to target
@@ -184,6 +200,61 @@ class ABRA:
             fraction = dag.sigma[node] * paths_to_target / sigma_uv
             totals[node] += fraction
             totals_sq[node] += fraction * fraction
+
+    def _add_pair_sample_csr(
+        self,
+        snapshot,
+        nodes,
+        totals: Dict[Node, float],
+        totals_sq: Dict[Node, float],
+        rng,
+    ) -> None:
+        """Index-space twin of :meth:`_add_pair_sample`.
+
+        Draws the same node pair (identical RNG consumption), runs the DAG
+        construction and backward ``beta`` pass over integer indices, and
+        applies the identical fractional updates to the label-keyed totals.
+        """
+        source = rng.choice(nodes)
+        target = rng.choice(nodes)
+        while target == source:
+            target = rng.choice(nodes)
+        source_index = snapshot.index[source]
+        target_index = snapshot.index[target]
+        dag = _csr.csr_shortest_path_dag(snapshot, source_index)
+        dist = dag.dist
+        if dist[target_index] < 0:  # pragma: no cover - connected graphs
+            return
+        target_distance = dist[target_index]
+        beta: Dict[int, float] = {target_index: 1.0}
+        frontier = [target_index]
+        while frontier:
+            next_frontier = []
+            for node in frontier:
+                predecessors = dag.predecessors(node)
+                predecessors = (
+                    predecessors.tolist()
+                    if _csr.HAS_NUMPY
+                    else list(predecessors)
+                )
+                for predecessor in predecessors:
+                    if predecessor not in beta:
+                        beta[predecessor] = 0.0
+                        next_frontier.append(predecessor)
+                    beta[predecessor] += beta[node]
+            frontier = next_frontier
+        sigma = dag.sigma
+        sigma_uv = sigma[target_index]
+        labels = snapshot.labels
+        for node, paths_to_target in beta.items():
+            if node == source_index or node == target_index:
+                continue
+            if dist[node] >= target_distance:
+                continue
+            fraction = sigma[node] * paths_to_target / sigma_uv
+            label = labels[node]
+            totals[label] += fraction
+            totals_sq[label] += fraction * fraction
 
     def _deviations_ok(
         self,

@@ -40,6 +40,8 @@ class BaderPivot:
         Explicit pivot count overriding the default.
     seed:
         RNG seed.
+    backend:
+        Traversal backend forwarded to the Brandes pivot passes.
     """
 
     name = "bader"
@@ -51,6 +53,7 @@ class BaderPivot:
         *,
         num_pivots: Optional[int] = None,
         seed: SeedLike = None,
+        backend: Optional[str] = None,
     ) -> None:
         check_probability_pair(epsilon, delta)
         if num_pivots is not None and num_pivots < 1:
@@ -59,6 +62,7 @@ class BaderPivot:
         self.delta = delta
         self.num_pivots = num_pivots
         self.seed = seed
+        self.backend = backend
 
     def estimate(self, graph: Graph) -> BaselineResult:
         """Estimate betweenness for every node of ``graph``."""
@@ -79,7 +83,9 @@ class BaderPivot:
         with timer:
             nodes = list(graph.nodes())
             pivots = rng.sample(nodes, pivots_needed)
-            scores = betweenness_from_pivots(graph, pivots, normalized=True)
+            scores = betweenness_from_pivots(
+                graph, pivots, normalized=True, backend=self.backend
+            )
 
         return BaselineResult(
             algorithm=self.name,

@@ -45,6 +45,9 @@ class KADABRA:
         Constant ``c`` of the sample-size formulas.
     max_samples_cap:
         Optional hard cap on the number of samples.
+    backend:
+        Traversal backend (``"dict"``, ``"csr"`` or ``None`` for the
+        default); both draw identical samples from identical seeds.
     """
 
     name = "kadabra"
@@ -57,6 +60,7 @@ class KADABRA:
         seed: SeedLike = None,
         sample_constant: float = 0.5,
         max_samples_cap: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> None:
         check_probability_pair(epsilon, delta)
         self.epsilon = epsilon
@@ -64,6 +68,7 @@ class KADABRA:
         self.seed = seed
         self.sample_constant = sample_constant
         self.max_samples_cap = max_samples_cap
+        self.backend = backend
 
     def estimate(self, graph: Graph) -> BaselineResult:
         """Estimate betweenness for every node of ``graph``."""
@@ -107,7 +112,9 @@ class KADABRA:
                     endpoint = rng.choice(nodes)
                     while endpoint == source:
                         endpoint = rng.choice(nodes)
-                    result = bidirectional_shortest_paths(graph, source, endpoint)
+                    result = bidirectional_shortest_paths(
+                        graph, source, endpoint, backend=self.backend
+                    )
                     visited_edges += result.visited_edges
                     drawn += 1
                     if not result.connected:  # pragma: no cover - connected graphs

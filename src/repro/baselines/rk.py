@@ -17,6 +17,7 @@ from typing import Dict, Hashable, Optional
 
 from repro.baselines.base import BaselineResult
 from repro.errors import GraphError
+from repro.graphs import csr as _csr
 from repro.graphs.components import is_connected
 from repro.graphs.diameter import estimate_diameter, exact_diameter
 from repro.graphs.graph import Graph
@@ -43,6 +44,9 @@ class RiondatoKornaropoulos:
         Constant ``c`` in the sample-size formula.
     max_samples_cap:
         Optional hard cap on the number of samples.
+    backend:
+        Traversal backend (``"dict"``, ``"csr"`` or ``None`` for the
+        default); both draw identical samples from identical seeds.
     """
 
     name = "rk"
@@ -55,6 +59,7 @@ class RiondatoKornaropoulos:
         seed: SeedLike = None,
         sample_constant: float = 0.5,
         max_samples_cap: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> None:
         check_probability_pair(epsilon, delta)
         self.epsilon = epsilon
@@ -62,6 +67,7 @@ class RiondatoKornaropoulos:
         self.seed = seed
         self.sample_constant = sample_constant
         self.max_samples_cap = max_samples_cap
+        self.backend = backend
 
     def estimate(self, graph: Graph) -> BaselineResult:
         """Estimate betweenness for every node of ``graph``."""
@@ -85,15 +91,31 @@ class RiondatoKornaropoulos:
 
             nodes = list(graph.nodes())
             counts: Dict[Node, float] = {node: 0.0 for node in nodes}
+            snapshot = (
+                _csr.as_csr(graph)
+                if _csr.effective_backend(graph, self.backend) == _csr.CSR_BACKEND
+                else None
+            )
             for _ in range(num_samples):
                 source = rng.choice(nodes)
                 target = rng.choice(nodes)
                 while target == source:
                     target = rng.choice(nodes)
-                dag = shortest_path_dag(graph, source)
-                path = dag.sample_path(target, rng)
-                for inner in path[1:-1]:
-                    counts[inner] += 1.0
+                if snapshot is not None:
+                    dag = _csr.csr_shortest_path_dag(
+                        snapshot, snapshot.index[source]
+                    )
+                    path = dag.sample_path_indices(snapshot.index[target], rng)
+                    labels = snapshot.labels
+                    for inner in path[1:-1]:
+                        counts[labels[inner]] += 1.0
+                else:
+                    dag = shortest_path_dag(
+                        graph, source, backend=_csr.DICT_BACKEND
+                    )
+                    path = dag.sample_path(target, rng)
+                    for inner in path[1:-1]:
+                        counts[inner] += 1.0
             scores = {node: counts[node] / num_samples for node in nodes}
 
         return BaselineResult(

@@ -13,6 +13,10 @@ before normalising.
 The exact algorithm is ``O(n m)`` and is only used to produce ground truth on
 the (scaled-down) benchmark graphs, exactly as the supercomputer runs in the
 paper produced ground truth for the full-size networks.
+
+Both traversal backends are supported (see :mod:`repro.graphs.csr`): the
+dict reference below, and a CSR path that runs the identical accumulation
+over integer index arrays — the per-node dependencies match bit for bit.
 """
 
 from __future__ import annotations
@@ -21,12 +25,15 @@ from collections import deque
 from typing import Dict, Hashable, Iterable, Optional
 
 from repro.errors import GraphError
+from repro.graphs import csr as _csr
 from repro.graphs.graph import Graph
 
 Node = Hashable
 
 
-def single_source_dependencies(graph: Graph, source: Node) -> Dict[Node, float]:
+def single_source_dependencies(
+    graph: Graph, source: Node, *, backend: Optional[str] = None
+) -> Dict[Node, float]:
     """Brandes' single-source dependency accumulation ``delta_s(v)``.
 
     ``delta_s(v) = sum_{t != s} sigma_st(v) / sigma_st`` — the total
@@ -35,6 +42,22 @@ def single_source_dependencies(graph: Graph, source: Node) -> Dict[Node, float]:
     """
     if not graph.has_node(source):
         raise GraphError(f"source node {source!r} does not exist")
+    if _csr.effective_backend(graph, backend) == _csr.CSR_BACKEND:
+        snapshot = _csr.as_csr(graph)
+        source_index = snapshot.index[source]
+        delta, order, _ = _csr.csr_brandes(snapshot, source_index)
+        if _csr.HAS_NUMPY:
+            order_list = order.tolist()
+            values = delta[order].tolist()
+        else:
+            order_list = list(order)
+            values = [delta[node] for node in order_list]
+        labels = snapshot.labels
+        return {
+            labels[node]: value
+            for node, value in zip(order_list, values)
+            if node != source_index
+        }
     distances: Dict[Node, int] = {source: 0}
     sigma: Dict[Node, float] = {source: 1.0}
     predecessors: Dict[Node, list] = {source: []}
@@ -63,7 +86,7 @@ def single_source_dependencies(graph: Graph, source: Node) -> Dict[Node, float]:
 
 
 def betweenness_centrality(
-    graph: Graph, *, normalized: bool = True
+    graph: Graph, *, normalized: bool = True, backend: Optional[str] = None
 ) -> Dict[Node, float]:
     """Exact betweenness centrality of every node.
 
@@ -72,13 +95,25 @@ def betweenness_centrality(
     normalized:
         When ``True`` (default) divide by ``n (n - 1)`` as in Eq. 3 of the
         paper; otherwise return the raw ordered-pair path counts.
+    backend:
+        Traversal backend; the CSR path accumulates dependency arrays
+        without building a per-source dict, with bit-identical totals.
     """
     n = graph.number_of_nodes()
+    if _csr.effective_backend(graph, backend) == _csr.CSR_BACKEND and n > 0:
+        snapshot = _csr.as_csr(graph)
+        totals = _accumulate_csr_dependencies(snapshot, range(snapshot.n))
+        if normalized and n > 1:
+            scale = 1.0 / (n * (n - 1))
+            totals = [value * scale for value in totals]
+        return {label: totals[i] for i, label in enumerate(snapshot.labels)}
     centrality: Dict[Node, float] = {node: 0.0 for node in graph.nodes()}
     # Summing the single-source dependencies over every source already covers
     # each *ordered* pair (s, t) exactly once, which is what Eq. 3 sums over.
     for source in graph.nodes():
-        for node, value in single_source_dependencies(graph, source).items():
+        for node, value in single_source_dependencies(
+            graph, source, backend=_csr.DICT_BACKEND
+        ).items():
             centrality[node] += value
     if normalized and n > 1:
         scale = 1.0 / (n * (n - 1))
@@ -88,7 +123,11 @@ def betweenness_centrality(
 
 
 def betweenness_subset(
-    graph: Graph, targets: Iterable[Node], *, normalized: bool = True
+    graph: Graph,
+    targets: Iterable[Node],
+    *,
+    normalized: bool = True,
+    backend: Optional[str] = None,
 ) -> Dict[Node, float]:
     """Exact betweenness centrality restricted to the nodes in ``targets``.
 
@@ -101,7 +140,7 @@ def betweenness_subset(
     missing = [node for node in wanted if not graph.has_node(node)]
     if missing:
         raise GraphError(f"target nodes not in graph: {missing[:5]!r}")
-    full = betweenness_centrality(graph, normalized=normalized)
+    full = betweenness_centrality(graph, normalized=normalized, backend=backend)
     return {node: full[node] for node in wanted}
 
 
@@ -110,6 +149,7 @@ def betweenness_from_pivots(
     pivots: Iterable[Node],
     *,
     normalized: bool = True,
+    backend: Optional[str] = None,
 ) -> Dict[Node, float]:
     """Estimate betweenness from a subset of source pivots (Bader-style).
 
@@ -121,9 +161,22 @@ def betweenness_from_pivots(
     if not pivot_list:
         raise ValueError("at least one pivot is required")
     n = graph.number_of_nodes()
+    if _csr.effective_backend(graph, backend) == _csr.CSR_BACKEND:
+        snapshot = _csr.as_csr(graph)
+        totals = _accumulate_csr_dependencies(
+            snapshot, [snapshot.index_of(pivot) for pivot in pivot_list]
+        )
+        scale = n / len(pivot_list)
+        if normalized and n > 1:
+            scale /= n * (n - 1)
+        return {
+            label: totals[i] * scale for i, label in enumerate(snapshot.labels)
+        }
     centrality: Dict[Node, float] = {node: 0.0 for node in graph.nodes()}
     for source in pivot_list:
-        for node, value in single_source_dependencies(graph, source).items():
+        for node, value in single_source_dependencies(
+            graph, source, backend=_csr.DICT_BACKEND
+        ).items():
             centrality[node] += value
     # Extrapolate the sum over all n sources (which covers all ordered pairs).
     scale = n / len(pivot_list)
@@ -132,3 +185,28 @@ def betweenness_from_pivots(
     for node in centrality:
         centrality[node] *= scale
     return centrality
+
+
+def _accumulate_csr_dependencies(snapshot, sources) -> list:
+    """Sum ``csr_brandes`` dependency vectors over ``sources``.
+
+    The per-source ``delta[source]`` residue is zeroed before accumulation,
+    mirroring the ``dependency.pop(source)`` of the dict implementation, so
+    the running totals see exactly the same addition sequence per node.
+    """
+    if _csr.HAS_NUMPY:
+        import numpy as np
+
+        totals = np.zeros(snapshot.n, dtype=np.float64)
+        for source in sources:
+            delta, _, _ = _csr.csr_brandes(snapshot, source)
+            delta[source] = 0.0
+            totals += delta
+        return totals.tolist()
+    totals = [0.0] * snapshot.n
+    for source in sources:
+        delta, _, _ = _csr.csr_brandes(snapshot, source)
+        delta[source] = 0.0
+        for node in range(snapshot.n):
+            totals[node] += delta[node]
+    return totals

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, Optional
 
+from repro.graphs import csr as _csr
 from repro.graphs.graph import Graph
 from repro.graphs.traversal import bfs_distances
 
@@ -16,7 +17,10 @@ Node = Hashable
 
 
 def closeness_centrality(
-    graph: Graph, nodes: Optional[Iterable[Node]] = None
+    graph: Graph,
+    nodes: Optional[Iterable[Node]] = None,
+    *,
+    backend: Optional[str] = None,
 ) -> Dict[Node, float]:
     """Harmonic-free classic closeness ``(r - 1) / sum of distances`` scaled by
     the reachable fraction ``(r - 1) / (n - 1)`` (Wasserman–Faust), which
@@ -26,18 +30,33 @@ def closeness_centrality(
     ----------
     nodes:
         Restrict the computation to these nodes (defaults to all nodes).
+    backend:
+        Traversal backend; the CSR path sums distances straight off the
+        distance array without materialising a per-node dict.
     """
     n = graph.number_of_nodes()
     selected = list(nodes) if nodes is not None else list(graph.nodes())
     result: Dict[Node, float] = {}
+    if _csr.effective_backend(graph, backend) == _csr.CSR_BACKEND and n > 0:
+        snapshot = _csr.as_csr(graph)
+        for node in selected:
+            reachable, total = _csr.csr_distance_stats(
+                snapshot, snapshot.index_of(node)
+            )
+            result[node] = _closeness_value(n, reachable, total)
+        return result
     for node in selected:
-        distances = bfs_distances(graph, node)
+        distances = bfs_distances(graph, node, backend=_csr.DICT_BACKEND)
         reachable = len(distances)
         total = sum(distances.values())
-        if total > 0 and n > 1 and reachable > 1:
-            closeness = (reachable - 1) / total
-            closeness *= (reachable - 1) / (n - 1)
-        else:
-            closeness = 0.0
-        result[node] = closeness
+        result[node] = _closeness_value(n, reachable, total)
     return result
+
+
+def _closeness_value(n: int, reachable: int, total: int) -> float:
+    """Wasserman–Faust closeness from the BFS sweep statistics."""
+    if total > 0 and n > 1 and reachable > 1:
+        closeness = (reachable - 1) / total
+        closeness *= (reachable - 1) / (n - 1)
+        return closeness
+    return 0.0

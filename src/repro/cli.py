@@ -17,6 +17,19 @@ from typing import List, Optional, Sequence
 from repro._version import __version__
 
 
+def _add_backend_argument(subparser) -> None:
+    # default=None so an absent flag leaves the REPRO_BACKEND environment
+    # variable (or the built-in auto selection) in charge.
+    subparser.add_argument(
+        "--backend",
+        choices=("auto", "dict", "csr"),
+        default=None,
+        help="traversal backend: csr (array kernels), dict (reference "
+             "implementation), or auto (pick per graph size; the default, "
+             "and when passed explicitly it overrides REPRO_BACKEND)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -36,6 +49,7 @@ def build_parser() -> argparse.ArgumentParser:
     rank.add_argument("--delta", type=float, default=0.01)
     rank.add_argument("--seed", type=int, default=7)
     rank.add_argument("--top", type=int, default=10, help="how many ranked nodes to print")
+    _add_backend_argument(rank)
 
     subparsers.add_parser("datasets", help="list available datasets")
 
@@ -53,6 +67,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated estimator names "
              "(saphyra, saphyra_full, kadabra, abra, rk, bader)",
     )
+    _add_backend_argument(compare)
 
     table = subparsers.add_parser("table", help="regenerate a table of the paper")
     table.add_argument("number", type=int, choices=(1, 2, 3), help="table number")
@@ -62,6 +77,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--datasets", default=None,
         help="comma-separated dataset names (default: the paper's four networks)",
     )
+    _add_backend_argument(table)
 
     figure = subparsers.add_parser("figure", help="regenerate a figure of the paper")
     figure.add_argument("number", type=int, choices=(3, 4, 5, 6, 7), help="figure number")
@@ -77,6 +93,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--datasets", default=None,
         help="comma-separated dataset names (default: the paper's four networks)",
     )
+    _add_backend_argument(figure)
 
     return parser
 
@@ -94,6 +111,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command is None:
         parser.print_help()
         return 1
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        # "auto" is set explicitly too, so `--backend auto` restores
+        # per-graph selection even when REPRO_BACKEND is exported.
+        from repro.graphs.csr import set_default_backend
+
+        set_default_backend(backend)
     if args.command == "rank":
         return _command_rank(args)
     if args.command == "datasets":

@@ -10,6 +10,14 @@ from __future__ import annotations
 from repro.graphs.biconnected import BiconnectedDecomposition, biconnected_components
 from repro.graphs.bidirectional import BidirectionalBFSResult, bidirectional_shortest_paths
 from repro.graphs.block_cut_tree import BlockCutTree, build_block_cut_tree
+from repro.graphs.csr import (
+    BACKENDS,
+    CSRGraph,
+    as_csr,
+    default_backend,
+    resolve_backend,
+    set_default_backend,
+)
 from repro.graphs.components import connected_components, largest_connected_component
 from repro.graphs.diameter import (
     estimate_diameter,
@@ -39,6 +47,12 @@ from repro.graphs.traversal import (
 
 __all__ = [
     "Graph",
+    "CSRGraph",
+    "as_csr",
+    "BACKENDS",
+    "default_backend",
+    "set_default_backend",
+    "resolve_backend",
     "read_edge_list",
     "write_edge_list",
     "read_dimacs_graph",

@@ -15,6 +15,12 @@ Besides the distance we also recover, for a *cut level* ``L``:
 which is enough to compute ``sigma_st`` exactly and to sample a shortest
 path uniformly at random (pick the cut node proportional to
 ``sigma_s * sigma_t``, then walk predecessor DAGs on both sides).
+
+Two interchangeable backends implement the search (see
+:mod:`repro.graphs.csr`): the dict reference over the hash-based adjacency,
+and a CSR variant expanding whole levels over integer index arrays.  Both
+produce identical results — including identical sampled paths from identical
+seeds.
 """
 
 from __future__ import annotations
@@ -23,10 +29,21 @@ from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional
 
 from repro.errors import GraphError, SamplingError
+from repro.graphs import csr as _csr
+from repro.graphs.csr import weighted_choice as _weighted_choice
 from repro.graphs.graph import Graph
 from repro.utils.rng import SeedLike, ensure_rng
 
+if _csr.HAS_NUMPY:
+    import numpy as _np
+
 Node = Hashable
+
+#: ``auto`` backend cutoff for the bidirectional search.  One query touches
+#: only ~``n^{1/2+o(1)}`` edges but the CSR variant allocates O(n) state
+#: arrays per query, so the array kernels need a much larger graph to pay
+#: off than a full-graph BFS does.
+AUTO_CSR_BIDIRECTIONAL_THRESHOLD = 16384
 
 
 @dataclass
@@ -58,8 +75,8 @@ class BidirectionalBFSResult:
     cut_level: int = 0
     cut_nodes: Dict[Node, tuple] = field(default_factory=dict)
     visited_edges: int = 0
-    _forward: Optional["_SearchSide"] = None
-    _backward: Optional["_SearchSide"] = None
+    _forward: Optional[object] = None
+    _backward: Optional[object] = None
 
     @property
     def connected(self) -> bool:
@@ -143,8 +160,183 @@ class _SearchSide:
         return path
 
 
+class _CSRSearchSide:
+    """Index-space search side: level-synchronous expansion over CSR arrays.
+
+    Like the kernels in :mod:`repro.graphs.csr`, each level is expanded
+    either sequentially (small frontiers — the common case on road networks)
+    or vectorised (large frontiers), visiting edges in the identical order
+    either way.
+    """
+
+    __slots__ = ("csr", "root", "dist", "sigma", "preds", "frontier", "level",
+                 "levels", "level_edges", "_dist_view", "_sigma_view",
+                 "_scratch", "_frontier_max_sigma")
+
+    def __init__(self, csr, root: int) -> None:
+        self.csr = csr
+        self.root = root
+        n = csr.n
+        if _csr.HAS_NUMPY:
+            self.dist, self._dist_view = _csr._shared_state(n, "q")
+            self._dist_view.fill(-1)
+            self.sigma, self._sigma_view = _csr._shared_state(n, "q")
+            self.preds = None
+            self.level_edges: List[tuple] = []
+            self._scratch = _np.empty(n, dtype=_np.int64)
+        else:
+            self.dist = [-1] * n
+            self.sigma = [0] * n
+            self._sigma_view = None
+            self.preds = [None] * n  # lazily created per-node lists
+            self.level_edges = []
+        self.frontier: List[int] = [root]
+        self.dist[root] = 0
+        self.sigma[root] = 1
+        self.level = 0
+        self.levels = [[root]]
+        self._frontier_max_sigma = 1
+
+    @property
+    def has_frontier(self) -> bool:
+        return len(self.frontier) > 0
+
+    def frontier_cost(self) -> int:
+        return _csr._frontier_edge_count(self.csr, self.frontier)
+
+    def expand(self, frontier_cost: Optional[int] = None) -> int:
+        """Expand one complete BFS level; return the number of scanned entries.
+
+        ``frontier_cost`` lets the caller pass the total frontier degree it
+        already computed for side selection instead of rescanning it here.
+        """
+        next_level = self.level + 1
+        if frontier_cost is None:
+            frontier_cost = self.frontier_cost()
+        # Shortest-path counts grow multiplicatively per level (binomially on
+        # grids); leave the int64 buffer for exact Python ints before the
+        # next expansion could wrap.
+        if self._sigma_view is not None and _csr._sigma_may_overflow(
+            self._frontier_max_sigma, self.csr.max_degree
+        ):
+            self.sigma = self._sigma_view.tolist()
+            self._sigma_view = None
+        if _csr.HAS_NUMPY and frontier_cost >= _csr._SEQUENTIAL_EDGE_THRESHOLD:
+            front = _np.asarray(self.frontier, dtype=_np.int64)
+            nbrs, srcs = _csr._np_gather_neighbors(
+                self.csr.indptr, self.csr.indices, front
+            )
+            scanned = int(nbrs.size)
+            dist = self._dist_view
+            # Neighbours undiscovered at level start are exactly the nodes of
+            # the next level, so the unseen mask doubles as the edge mask.
+            unseen = dist[nbrs] < 0
+            edge_v = nbrs[unseen]
+            edge_u = srcs[unseen]
+            fresh = _csr._np_first_occurrence(edge_v, self._scratch)
+            dist[fresh] = next_level
+            edge_u_list = edge_u.tolist()
+            edge_v_list = edge_v.tolist()
+            if self._sigma_view is not None:
+                _np.add.at(self._sigma_view, edge_v, self._sigma_view[edge_u])
+                if fresh.size:
+                    self._frontier_max_sigma = int(
+                        self._sigma_view[fresh].max()
+                    )
+            else:
+                sigma = self.sigma
+                for tail, head in zip(edge_u_list, edge_v_list):
+                    sigma[head] += sigma[tail]
+                if fresh.size:
+                    self._frontier_max_sigma = max(
+                        sigma[node] for node in fresh.tolist()
+                    )
+            self.level_edges.append((edge_u_list, edge_v_list))
+            self.frontier = fresh.tolist()
+        else:
+            if _csr.HAS_NUMPY:
+                indptr, indices = self.csr.adjacency_lists()
+            else:
+                indptr, indices = self.csr.indptr, self.csr.indices
+            dist, sigma, preds = self.dist, self.sigma, self.preds
+            next_frontier: List[int] = []
+            edge_u_list: List[int] = []
+            edge_v_list: List[int] = []
+            scanned = 0
+            for node in self.frontier:
+                sigma_node = sigma[node]
+                for position in range(indptr[node], indptr[node + 1]):
+                    neighbor = indices[position]
+                    scanned += 1
+                    known = dist[neighbor]
+                    if known < 0:
+                        dist[neighbor] = next_level
+                        sigma[neighbor] = sigma_node
+                        next_frontier.append(neighbor)
+                        if preds is None:
+                            edge_u_list.append(node)
+                            edge_v_list.append(neighbor)
+                        else:
+                            preds[neighbor] = [node]
+                    elif known == next_level:
+                        sigma[neighbor] += sigma_node
+                        if preds is None:
+                            edge_u_list.append(node)
+                            edge_v_list.append(neighbor)
+                        else:
+                            preds[neighbor].append(node)
+            if preds is None:
+                self.level_edges.append((edge_u_list, edge_v_list))
+            if next_frontier:
+                self._frontier_max_sigma = max(
+                    sigma[node] for node in next_frontier
+                )
+            self.frontier = next_frontier
+        self.level = next_level
+        self.levels.append(self.frontier)
+        return scanned
+
+    def preds_of(self, node: int) -> List[int]:
+        """Predecessor indices of ``node`` in the dict backend's append order."""
+        if self.preds is not None:
+            return self.preds[node] or []
+        level = self.dist[node]
+        if level <= 0 or level > len(self.level_edges):
+            return []
+        edge_u, edge_v = self.level_edges[level - 1]
+        return [u for u, v in zip(edge_u, edge_v) if v == node]
+
+    def sample_path_to(self, node_index: int, rng) -> List[int]:
+        """Sample a shortest path ``root -> node`` as an index list."""
+        path = [node_index]
+        current = node_index
+        while current != self.root:
+            preds = self.preds_of(current)
+            weights = [int(self.sigma[p]) for p in preds]
+            current = _weighted_choice(preds, weights, rng)
+            path.append(current)
+        path.reverse()
+        return path
+
+
+class _CSRSideView:
+    """Label-facing adapter so ``BidirectionalBFSResult.sample_path`` can walk
+    a CSR search side exactly like a dict one."""
+
+    __slots__ = ("side", "csr")
+
+    def __init__(self, side: _CSRSearchSide, csr) -> None:
+        self.side = side
+        self.csr = csr
+
+    def sample_path_to(self, node: Node, rng) -> List[Node]:
+        labels = self.csr.labels
+        path = self.side.sample_path_to(self.csr.index[node], rng)
+        return [labels[index] for index in path]
+
+
 def bidirectional_shortest_paths(
-    graph: Graph, source: Node, target: Node
+    graph: Graph, source: Node, target: Node, *, backend: Optional[str] = None
 ) -> BidirectionalBFSResult:
     """Run a balanced bidirectional BFS between ``source`` and ``target``.
 
@@ -164,7 +356,17 @@ def bidirectional_shortest_paths(
         raise GraphError(f"target node {target!r} does not exist")
     if source == target:
         raise GraphError("source and target must be distinct")
+    choice = _csr.effective_backend(
+        graph, backend, auto_threshold=AUTO_CSR_BIDIRECTIONAL_THRESHOLD
+    )
+    if choice == _csr.CSR_BACKEND:
+        return _bidirectional_csr(graph, source, target)
+    return _bidirectional_dict(graph, source, target)
 
+
+def _bidirectional_dict(
+    graph: Graph, source: Node, target: Node
+) -> BidirectionalBFSResult:
     forward = _SearchSide(source)
     backward = _SearchSide(target)
     visited_edges = 0
@@ -246,14 +448,105 @@ def bidirectional_shortest_paths(
     )
 
 
-def _weighted_choice(items, weights, rng) -> Node:
-    total = sum(weights)
-    if total <= 0:
-        raise SamplingError("cannot sample from an empty/zero-weight set")
-    threshold = rng.random() * total
-    cumulative = 0.0
-    for item, weight in zip(items, weights):
-        cumulative += weight
-        if threshold < cumulative:
-            return item
-    return items[-1]
+def _bidirectional_csr(
+    graph: Graph, source: Node, target: Node
+) -> BidirectionalBFSResult:
+    snapshot = _csr.as_csr(graph)
+    forward = _CSRSearchSide(snapshot, snapshot.index[source])
+    backward = _CSRSearchSide(snapshot, snapshot.index[target])
+    visited_edges = 0
+    best = None
+
+    while True:
+        level_sum = forward.level + backward.level
+        if best is not None and best <= level_sum:
+            break
+        side: Optional[_CSRSearchSide]
+        side_cost: Optional[int] = None
+        if forward.has_frontier and backward.has_frontier:
+            forward_cost = forward.frontier_cost()
+            backward_cost = backward.frontier_cost()
+            if forward_cost <= backward_cost:
+                side, side_cost = forward, forward_cost
+            else:
+                side, side_cost = backward, backward_cost
+        elif forward.has_frontier:
+            side = forward
+        elif backward.has_frontier:
+            side = backward
+        else:
+            side = None
+        if side is None:
+            if best is None:
+                return BidirectionalBFSResult(
+                    source=source,
+                    target=target,
+                    distance=None,
+                    num_shortest_paths=0,
+                    visited_edges=visited_edges,
+                )
+            break
+        other = backward if side is forward else forward
+        visited_edges += side.expand(side_cost)
+        best = _best_meeting(side, other, best)
+
+    distance = best
+    if distance is None:  # pragma: no cover - defensive; handled above
+        return BidirectionalBFSResult(
+            source=source,
+            target=target,
+            distance=None,
+            num_shortest_paths=0,
+            visited_edges=visited_edges,
+        )
+
+    cut_level = max(0, distance - backward.level)
+    cut_level = min(cut_level, forward.level)
+    labels = snapshot.labels
+    cut_nodes: Dict[Node, tuple] = {}
+    sigma_total = 0
+    candidates = (
+        forward.levels[cut_level] if cut_level < len(forward.levels) else ()
+    )
+    for node in candidates:
+        d_backward = int(backward.dist[node])
+        if d_backward < 0 or cut_level + d_backward != distance:
+            continue
+        pair = (int(forward.sigma[node]), int(backward.sigma[node]))
+        cut_nodes[labels[node]] = pair
+        sigma_total += pair[0] * pair[1]
+
+    return BidirectionalBFSResult(
+        source=source,
+        target=target,
+        distance=distance,
+        num_shortest_paths=sigma_total,
+        cut_level=cut_level,
+        cut_nodes=cut_nodes,
+        visited_edges=visited_edges,
+        _forward=_CSRSideView(forward, snapshot),
+        _backward=_CSRSideView(backward, snapshot),
+    )
+
+
+def _best_meeting(side: _CSRSearchSide, other: _CSRSearchSide, best):
+    """Update the best meeting distance after ``side`` expanded one level."""
+    frontier = side.frontier
+    if not frontier:
+        return best
+    if _csr.HAS_NUMPY and len(frontier) >= 64:
+        other_dist = other._dist_view[_np.asarray(frontier, dtype=_np.int64)]
+        reached = other_dist >= 0
+        if reached.any():
+            candidate = side.level + int(other_dist[reached].min())
+            if best is None or candidate < best:
+                best = candidate
+        return best
+    other_distances = other.dist
+    for node in frontier:
+        other_dist = other_distances[node]
+        if other_dist >= 0:
+            candidate = side.level + other_dist
+            if best is None or candidate < best:
+                best = candidate
+    return best

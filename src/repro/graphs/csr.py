@@ -1,0 +1,866 @@
+"""Compressed-sparse-row graph engine and the pluggable traversal backends.
+
+Every traversal hot path in this reproduction (plain BFS, shortest-path DAG
+construction, Brandes dependency accumulation, bidirectional search, the
+samplers built on top of them) was originally written against the
+``dict[node, dict[node, None]]`` adjacency of :class:`~repro.graphs.graph.Graph`.
+That representation is flexible — nodes are arbitrary hashables — but every
+edge scan pays Python-level hashing.  This module provides the array-based
+alternative:
+
+* :class:`CSRGraph` — a frozen compressed-sparse-row snapshot of a
+  :class:`Graph`: ``indptr``/``indices`` arrays over integer node indices
+  ``0..n-1`` plus the label↔index mapping (labels keep the graph's insertion
+  order, exactly like :meth:`Graph.relabeled`).
+* :func:`as_csr` — build-and-cache: snapshots are cached per graph object and
+  invalidated automatically when the graph mutates (via ``Graph._version``).
+* Integer-index kernels — ``csr_bfs``, ``csr_shortest_path_dag``,
+  ``csr_brandes`` — vectorised with numpy when it is importable and falling
+  back to pure-Python loops over the same flat arrays otherwise.
+* Backend selection — :func:`resolve_backend` maps a user-facing
+  ``backend=`` argument (``None``/``"auto"``/``"dict"``/``"csr"``) to a
+  concrete backend, honouring the ``REPRO_BACKEND`` environment variable.
+
+Determinism contract
+--------------------
+The CSR kernels are written to be *bit-identical* to the dict reference
+implementations, not merely statistically equivalent: neighbour order equals
+dict insertion order, BFS settles nodes in the same order, sigma counts and
+Brandes dependencies accumulate in the same order (so even float rounding
+matches), and path sampling consumes the RNG identically.  The backend
+equivalence property tests assert this.
+
+Shortest-path counts (``sigma``) are exact.  They start in fast ``int64``
+arrays; before expanding a level whose counts could overflow (conservative
+guard: ``max sigma * max degree >= 2**63``), the kernel switches to
+arbitrary-precision Python ints for the remaining levels.  This matters in
+practice: on road-style grids ``sigma`` grows like a binomial coefficient
+and exceeds ``2**63`` at hop distances around 70.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from collections import deque
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from weakref import WeakKeyDictionary
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+
+try:  # numpy is optional: the CSR backend degrades to pure-Python loops.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on numpy-less installs
+    _np = None
+
+HAS_NUMPY = _np is not None
+
+Node = Hashable
+
+#: Backend names accepted by every ``backend=`` parameter.
+DICT_BACKEND = "dict"
+CSR_BACKEND = "csr"
+AUTO_BACKEND = "auto"
+BACKENDS = (DICT_BACKEND, CSR_BACKEND)
+
+#: Environment variable overriding the default backend.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+_default_backend: Optional[str] = None
+
+#: Below this many nodes + edges the ``auto`` choice stays on the dict
+#: backend: snapshot construction and per-level array overhead only pay off
+#: once a graph has a few hundred adjacency entries.
+AUTO_CSR_THRESHOLD = 512
+
+
+_BACKEND_CHOICES = BACKENDS + (AUTO_BACKEND,)
+
+
+def default_backend() -> str:
+    """Return the backend used when callers pass ``backend=None``.
+
+    Resolution order: :func:`set_default_backend` override, then the
+    ``REPRO_BACKEND`` environment variable, then ``"auto"`` (pick per graph).
+    """
+    if _default_backend is not None:
+        return _default_backend
+    env = os.environ.get(BACKEND_ENV_VAR, "").strip().lower()
+    if env:
+        if env not in _BACKEND_CHOICES:
+            raise ValueError(
+                f"{BACKEND_ENV_VAR}={env!r} is not a valid backend; "
+                f"choose one of {_BACKEND_CHOICES}"
+            )
+        return env
+    return AUTO_BACKEND
+
+
+def set_default_backend(backend: Optional[str]) -> None:
+    """Set (or with ``None`` clear) the process-wide default backend.
+
+    ``"auto"`` is a valid setting: it restores per-graph selection,
+    overriding any ``REPRO_BACKEND`` environment variable.
+    """
+    global _default_backend
+    if backend is not None and backend not in _BACKEND_CHOICES:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose one of {_BACKEND_CHOICES}"
+        )
+    _default_backend = backend
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Map a user-facing ``backend`` argument to a backend name.
+
+    May return ``"auto"``, meaning "decide per graph" — dispatch sites pass
+    the graph through :func:`effective_backend` instead when they can.
+    """
+    if backend is None:
+        backend = default_backend()
+    if backend not in BACKENDS and backend != AUTO_BACKEND:
+        raise ValueError(f"unknown backend {backend!r}; choose one of {BACKENDS}")
+    return backend
+
+
+def effective_backend(
+    graph: Graph,
+    backend: Optional[str] = None,
+    *,
+    auto_threshold: Optional[int] = None,
+) -> str:
+    """Choose the concrete backend for one operation on ``graph``.
+
+    Explicit choices (argument, :func:`set_default_backend`, or the
+    ``REPRO_BACKEND`` variable) are always honoured.  The remaining ``auto``
+    case picks CSR when numpy is available and the graph is large enough for
+    the array kernels to win (or already has a cached snapshot), and the dict
+    reference otherwise.  Both backends return identical results, so the
+    heuristic affects speed only.
+
+    Parameters
+    ----------
+    auto_threshold:
+        Override the ``n + m`` size cutoff for the ``auto`` case; kernels
+        whose CSR variant has a higher per-call fixed cost (the bidirectional
+        search allocates per-query state arrays) pass a larger cutoff.
+    """
+    resolved = resolve_backend(backend)
+    if resolved != AUTO_BACKEND:
+        return resolved
+    if not HAS_NUMPY:
+        return DICT_BACKEND
+    threshold = AUTO_CSR_THRESHOLD if auto_threshold is None else auto_threshold
+    if graph.number_of_nodes() + graph.number_of_edges() >= threshold:
+        return CSR_BACKEND
+    if auto_threshold is None and graph in _csr_cache:
+        return CSR_BACKEND
+    return DICT_BACKEND
+
+
+# ----------------------------------------------------------------------
+# The CSR snapshot
+# ----------------------------------------------------------------------
+class CSRGraph:
+    """A frozen compressed-sparse-row view of an undirected graph.
+
+    Attributes
+    ----------
+    n, m:
+        Node and (undirected) edge counts.
+    indptr:
+        Length ``n + 1`` array; the neighbours of node ``i`` occupy
+        ``indices[indptr[i]:indptr[i + 1]]``.
+    indices:
+        Length ``2 m`` array of neighbour indices, ordered exactly like the
+        source graph's (insertion-ordered) adjacency.
+    labels:
+        ``labels[i]`` is the original node label of index ``i`` (graph
+        insertion order, the same mapping :meth:`Graph.relabeled` produces).
+    index:
+        Inverse mapping ``{label: i}``.
+    max_degree:
+        Largest degree in the snapshot (drives the sigma overflow guard).
+
+    Examples
+    --------
+    >>> from repro.graphs.graph import Graph
+    >>> graph = Graph.from_edges([("a", "b"), ("b", "c")])
+    >>> csr = CSRGraph.from_graph(graph)
+    >>> csr.n, csr.m
+    (3, 2)
+    >>> [csr.labels[j] for j in csr.neighbors(csr.index["b"])]
+    ['a', 'c']
+    """
+
+    __slots__ = (
+        "n",
+        "m",
+        "indptr",
+        "indices",
+        "labels",
+        "index",
+        "identity_labels",
+        "max_degree",
+        "_indptr_list",
+        "_indices_list",
+    )
+
+    def __init__(self, indptr, indices, labels: List[Node]) -> None:
+        self.indptr = indptr
+        self.indices = indices
+        self.labels = labels
+        self.index: Dict[Node, int] = {label: i for i, label in enumerate(labels)}
+        self.n = len(labels)
+        self.m = len(indices) // 2
+        # When labels are already 0..n-1 the label<->index translation is the
+        # identity, which lets hot paths skip the dict lookups entirely.
+        self.identity_labels = all(
+            isinstance(label, int) and label == i for i, label in enumerate(labels)
+        )
+        if self.n == 0:
+            self.max_degree = 0
+        elif HAS_NUMPY and not isinstance(indptr, array):
+            self.max_degree = int((indptr[1:] - indptr[:-1]).max())
+        else:
+            self.max_degree = max(
+                indptr[i + 1] - indptr[i] for i in range(self.n)
+            )
+        self._indptr_list: Optional[List[int]] = None
+        self._indices_list: Optional[List[int]] = None
+
+    def adjacency_lists(self) -> Tuple[List[int], List[int]]:
+        """Return ``(indptr, indices)`` as cached Python lists.
+
+        The sequential small-frontier fast path indexes these instead of the
+        numpy arrays: plain-list subscription is several times faster than
+        boxing one numpy scalar per edge.
+        """
+        if self._indptr_list is None:
+            if HAS_NUMPY:
+                self._indptr_list = self.indptr.tolist()
+                self._indices_list = self.indices.tolist()
+            else:
+                self._indptr_list = list(self.indptr)
+                self._indices_list = list(self.indices)
+        return self._indptr_list, self._indices_list
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "CSRGraph":
+        """Snapshot ``graph`` preserving its insertion-ordered adjacency."""
+        labels = list(graph.nodes())
+        index = {label: i for i, label in enumerate(labels)}
+        flat: List[int] = []
+        indptr_list = [0]
+        for label in labels:
+            for neighbor in graph.neighbors(label):
+                flat.append(index[neighbor])
+            indptr_list.append(len(flat))
+        if HAS_NUMPY:
+            indptr = _np.asarray(indptr_list, dtype=_np.int64)
+            indices = _np.asarray(flat, dtype=_np.int64)
+        else:
+            indptr = array("q", indptr_list)
+            indices = array("q", flat)
+        return cls(indptr, indices, labels)
+
+    # ------------------------------------------------------------------
+    def degree(self, node_index: int) -> int:
+        """Degree of the node at ``node_index``."""
+        return int(self.indptr[node_index + 1] - self.indptr[node_index])
+
+    def neighbors(self, node_index: int):
+        """Neighbour indices of ``node_index`` (a zero-copy array slice)."""
+        return self.indices[self.indptr[node_index] : self.indptr[node_index + 1]]
+
+    def index_of(self, label: Node) -> int:
+        """Translate a node label to its CSR index.
+
+        Raises
+        ------
+        GraphError
+            If the label is not part of the snapshot.
+        """
+        try:
+            return self.index[label]
+        except KeyError:
+            raise GraphError(f"node {label!r} does not exist") from None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CSRGraph(n={self.n}, m={self.m})"
+
+
+_csr_cache: "WeakKeyDictionary[Graph, Tuple[int, CSRGraph]]" = WeakKeyDictionary()
+
+
+def as_csr(graph: Graph) -> CSRGraph:
+    """Return the (cached) CSR snapshot of ``graph``.
+
+    The snapshot is rebuilt automatically if the graph has mutated since the
+    cached version was taken; repeated calls on an unchanged graph are O(1).
+    """
+    version = graph._version
+    cached = _csr_cache.get(graph)
+    if cached is not None and cached[0] == version:
+        return cached[1]
+    csr = CSRGraph.from_graph(graph)
+    _csr_cache[graph] = (version, csr)
+    return csr
+
+
+# ----------------------------------------------------------------------
+# Index-space kernels
+# ----------------------------------------------------------------------
+class CSRShortestPathDAG:
+    """Index-space shortest-path DAG (the CSR analogue of ``ShortestPathDAG``).
+
+    Attributes
+    ----------
+    csr:
+        The snapshot the DAG was computed on.
+    source:
+        Source node *index*.
+    dist:
+        Length-``n`` distance array, ``-1`` for unreachable nodes.
+    sigma:
+        Length-``n`` shortest-path counts: an ``int64``-backed buffer (or
+        float64 for the Brandes variant), or a list of Python ints if the
+        overflow guard switched representations mid-BFS.  Always exact.
+    order:
+        Settled node indices in BFS order.
+    pred_indptr, pred_indices:
+        CSR layout of the predecessor lists: the predecessors of node ``v``
+        (in the same append order as the dict backend) occupy
+        ``pred_indices[pred_indptr[v]:pred_indptr[v + 1]]``.
+    levels, level_edges:
+        Per-BFS-level settled nodes and DAG edge arrays ``(u, v)`` in scan
+        order — consumed by the backward passes.
+    """
+
+    __slots__ = (
+        "csr",
+        "source",
+        "dist",
+        "sigma",
+        "order",
+        "levels",
+        "level_edges",
+        "_pred_indptr",
+        "_pred_indices",
+    )
+
+    def __init__(self, csr, source, dist, sigma, order, levels, level_edges,
+                 pred_indptr=None, pred_indices=None) -> None:
+        self.csr = csr
+        self.source = source
+        self.dist = dist
+        self.sigma = sigma
+        self.order = order
+        self.levels = levels
+        self.level_edges = level_edges
+        self._pred_indptr = pred_indptr
+        self._pred_indices = pred_indices
+
+    @property
+    def pred_indptr(self):
+        if self._pred_indptr is None:
+            self._build_predecessors()
+        return self._pred_indptr
+
+    @property
+    def pred_indices(self):
+        if self._pred_indices is None:
+            self._build_predecessors()
+        return self._pred_indices
+
+    def _build_predecessors(self) -> None:
+        """Assemble the predecessor CSR lazily (only path sampling needs it).
+
+        A stable grouping of the per-level DAG edges by head node keeps each
+        predecessor list in the exact order the dict backend appended it.
+        """
+        n = self.csr.n
+        if self.level_edges:
+            all_u = _np.concatenate([edges[0] for edges in self.level_edges])
+            all_v = _np.concatenate([edges[1] for edges in self.level_edges])
+        else:
+            all_u = _np.empty(0, dtype=_np.int64)
+            all_v = _np.empty(0, dtype=_np.int64)
+        pred_counts = _np.bincount(all_v, minlength=n)
+        pred_indptr = _np.zeros(n + 1, dtype=_np.int64)
+        _np.cumsum(pred_counts, out=pred_indptr[1:])
+        self._pred_indptr = pred_indptr
+        self._pred_indices = all_u[_np.argsort(all_v, kind="stable")]
+
+    def predecessors(self, node_index: int):
+        """Predecessor indices of ``node_index`` in append order."""
+        return self.pred_indices[
+            self.pred_indptr[node_index] : self.pred_indptr[node_index + 1]
+        ]
+
+    def sample_path_indices(self, target_index: int, rng) -> List[int]:
+        """Sample a uniform shortest path as an index list (source..target).
+
+        Consumes the RNG exactly like ``ShortestPathDAG.sample_path`` so both
+        backends draw identical paths from identical seeds.
+        """
+        from repro.errors import SamplingError
+
+        if self.dist[target_index] < 0:
+            raise SamplingError(
+                f"target {self.csr.labels[target_index]!r} is unreachable "
+                f"from source {self.csr.labels[self.source]!r}"
+            )
+        path = [target_index]
+        current = target_index
+        sigma = self.sigma
+        while current != self.source:
+            preds = self.predecessors(current)
+            preds = preds.tolist() if HAS_NUMPY else list(preds)
+            weights = [int(sigma[p]) for p in preds]
+            current = weighted_choice(preds, weights, rng)
+            path.append(current)
+        path.reverse()
+        return path
+
+
+def weighted_choice(items: Sequence, weights: Sequence[int], rng):
+    """Pick one of ``items`` with probability proportional to ``weights``.
+
+    The threshold is drawn with ``rng.randrange(total)`` over the *integer*
+    total, so the choice is exact — no float accumulation bias even when the
+    weights (shortest-path counts) exceed ``2**53``.
+    """
+    from repro.errors import SamplingError
+
+    total = 0
+    for weight in weights:
+        total += weight
+    if total <= 0:
+        raise SamplingError("cannot sample from an empty/zero-weight set")
+    threshold = rng.randrange(total)
+    cumulative = 0
+    for item, weight in zip(items, weights):
+        cumulative += weight
+        if threshold < cumulative:
+            return item
+    return items[-1]
+
+
+# -------------------------- numpy kernels -----------------------------
+#
+# The numpy kernels are *hybrid*: each BFS level is expanded either with
+# vectorised array operations (large frontiers — social networks collapse to
+# a handful of huge levels) or with a sequential Python loop over cached
+# adjacency lists (small frontiers — road networks have hundreds of thin
+# levels where per-call numpy overhead would dominate).  Both expansion
+# strategies visit edges in exactly the same order, so the choice never
+# affects results, only speed.  Traversal state lives in ``array`` buffers
+# shared with numpy views (``np.frombuffer``), giving the sequential path
+# fast C-array subscription and the vectorised path zero-copy arrays.
+
+#: Frontiers whose total degree falls below this are expanded sequentially.
+_SEQUENTIAL_EDGE_THRESHOLD = 192
+
+#: ``int64`` ceiling for shortest-path counts.  A level expansion adds at
+#: most ``max_degree`` predecessor counts per node, so once the largest
+#: frontier count reaches ``2**63 / max_degree`` the kernels switch sigma to
+#: arbitrary-precision Python ints *before* the first wrap can happen.
+_SIGMA_INT64_LIMIT = 2**63
+
+
+def _sigma_may_overflow(frontier_max_sigma: int, max_degree: int) -> bool:
+    """True when the next level's counts could exceed the int64 range."""
+    return frontier_max_sigma * max_degree >= _SIGMA_INT64_LIMIT
+
+
+def _shared_state(n: int, typecode: str):
+    """Return ``(buffer, numpy view)`` over the same ``n``-element memory."""
+    store = array(typecode, bytes(8 * n))
+    view = _np.frombuffer(store, dtype=_np.int64 if typecode == "q" else _np.float64)
+    return store, view
+
+
+def _np_gather_neighbors(indptr, indices, frontier, with_sources: bool = True):
+    """Return ``(neighbors, sources)`` of ``frontier`` in scan order.
+
+    ``neighbors[k]`` is scanned while expanding ``sources[k]``; concatenating
+    the per-node adjacency slices in frontier order reproduces exactly the
+    edge scan order of the sequential dict BFS.  ``with_sources=False`` skips
+    materialising the source array (plain BFS does not need it).
+    """
+    starts = indptr[frontier]
+    counts = indptr[frontier + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        empty = _np.empty(0, dtype=_np.int64)
+        return empty, empty
+    row_offsets = _np.cumsum(counts)
+    row_offsets -= counts
+    positions = _np.arange(total, dtype=_np.int64)
+    positions += _np.repeat(starts - row_offsets, counts)
+    neighbors = indices[positions]
+    if not with_sources:
+        return neighbors, None
+    return neighbors, _np.repeat(frontier, counts)
+
+
+def _np_first_occurrence(values, scratch):
+    """Deduplicate ``values`` keeping the first occurrence of each element.
+
+    O(k): writing positions back-to-front makes the *first* occurrence the
+    last (surviving) write into ``scratch``, identifying it without a sort.
+    """
+    size = values.size
+    if size <= 1:
+        return values
+    positions = _np.arange(size, dtype=_np.int64)
+    scratch[values[::-1]] = positions[::-1]
+    return values[scratch[values] == positions]
+
+
+def _frontier_edge_count(csr: CSRGraph, frontier) -> int:
+    """Total degree of ``frontier`` (a list or an int64 array)."""
+    if isinstance(frontier, list):
+        indptr_list, _ = csr.adjacency_lists()
+        return sum(indptr_list[node + 1] - indptr_list[node] for node in frontier)
+    indptr = csr.indptr
+    return int((indptr[frontier + 1] - indptr[frontier]).sum())
+
+
+def _np_bfs(csr: CSRGraph, source: int, max_depth: Optional[int]):
+    """Level-synchronous hybrid BFS; returns ``(dist, levels)``.
+
+    ``levels[k]`` holds the indices discovered at depth ``k`` in discovery
+    order (int64 arrays).
+    """
+    indptr, indices = csr.indptr, csr.indices
+    dist_store, dist = _shared_state(csr.n, "q")
+    dist.fill(-1)
+    dist[source] = 0
+    scratch = _np.empty(csr.n, dtype=_np.int64)
+    frontier: object = [source]
+    levels = [_np.array([source], dtype=_np.int64)]
+    depth = 0
+    while (max_depth is None or depth < max_depth):
+        if _frontier_edge_count(csr, frontier) < _SEQUENTIAL_EDGE_THRESHOLD:
+            indptr_list, indices_list = csr.adjacency_lists()
+            if not isinstance(frontier, list):
+                frontier = frontier.tolist()
+            fresh_list: List[int] = []
+            next_depth = depth + 1
+            for node in frontier:
+                for position in range(indptr_list[node], indptr_list[node + 1]):
+                    neighbor = indices_list[position]
+                    if dist_store[neighbor] < 0:
+                        dist_store[neighbor] = next_depth
+                        fresh_list.append(neighbor)
+            if not fresh_list:
+                break
+            depth = next_depth
+            levels.append(_np.asarray(fresh_list, dtype=_np.int64))
+            frontier = fresh_list
+        else:
+            if isinstance(frontier, list):
+                frontier = _np.asarray(frontier, dtype=_np.int64)
+            nbrs, _ = _np_gather_neighbors(
+                indptr, indices, frontier, with_sources=False
+            )
+            fresh = _np_first_occurrence(nbrs[dist[nbrs] < 0], scratch)
+            if fresh.size == 0:
+                break
+            depth += 1
+            dist[fresh] = depth
+            levels.append(fresh)
+            frontier = fresh
+    return dist, levels
+
+
+def _np_shortest_path_dag(
+    csr: CSRGraph, source: int, max_depth: Optional[int], float_sigma: bool
+) -> CSRShortestPathDAG:
+    indptr, indices = csr.indptr, csr.indices
+    n = csr.n
+    dist_store, dist = _shared_state(n, "q")
+    dist.fill(-1)
+    dist[source] = 0
+    sigma_store, sigma_view = _shared_state(n, "d" if float_sigma else "q")
+    sigma_view[source] = 1
+    # ``sigma`` is what gets indexed element-wise: the shared buffer while
+    # counts fit in int64, a plain list of Python ints after the overflow
+    # guard trips (float sigma — the Brandes case — never overflows).
+    sigma: object = sigma_store
+    frontier_max_sigma = 1
+    scratch = _np.empty(n, dtype=_np.int64)
+    frontier: object = [source]
+    levels = [_np.array([source], dtype=_np.int64)]
+    level_edges: List[Tuple[object, object]] = []
+    depth = 0
+    while (max_depth is None or depth < max_depth):
+        if (
+            not float_sigma
+            and sigma_view is not None
+            and _sigma_may_overflow(frontier_max_sigma, csr.max_degree)
+        ):
+            sigma = sigma_view.tolist()
+            sigma_view = None
+        if _frontier_edge_count(csr, frontier) < _SEQUENTIAL_EDGE_THRESHOLD:
+            indptr_list, indices_list = csr.adjacency_lists()
+            if not isinstance(frontier, list):
+                frontier = frontier.tolist()
+            fresh_list: List[int] = []
+            edge_u_list: List[int] = []
+            edge_v_list: List[int] = []
+            next_depth = depth + 1
+            for node in frontier:
+                sigma_node = sigma[node]
+                for position in range(indptr_list[node], indptr_list[node + 1]):
+                    neighbor = indices_list[position]
+                    known = dist_store[neighbor]
+                    if known < 0:
+                        dist_store[neighbor] = next_depth
+                        fresh_list.append(neighbor)
+                        known = next_depth
+                    if known == next_depth:
+                        sigma[neighbor] += sigma_node
+                        edge_u_list.append(node)
+                        edge_v_list.append(neighbor)
+            if not fresh_list:
+                break
+            depth = next_depth
+            level_edges.append(
+                (
+                    _np.asarray(edge_u_list, dtype=_np.int64),
+                    _np.asarray(edge_v_list, dtype=_np.int64),
+                )
+            )
+            levels.append(_np.asarray(fresh_list, dtype=_np.int64))
+            if not float_sigma:
+                frontier_max_sigma = max(sigma[node] for node in fresh_list)
+            frontier = fresh_list
+        else:
+            if isinstance(frontier, list):
+                frontier = _np.asarray(frontier, dtype=_np.int64)
+            nbrs, srcs = _np_gather_neighbors(indptr, indices, frontier)
+            # In a level-synchronous BFS every neighbour that was undiscovered
+            # when the level started sits at the next depth, so the unseen
+            # mask doubles as the DAG-edge mask (in dict scan order).
+            unseen = dist[nbrs] < 0
+            edge_v = nbrs[unseen]
+            fresh = _np_first_occurrence(edge_v, scratch)
+            if fresh.size == 0:
+                break
+            depth += 1
+            dist[fresh] = depth
+            edge_u = srcs[unseen]
+            if sigma_view is not None:
+                _accumulate_level(sigma_view, edge_v, sigma_view[edge_u],
+                                  float_sigma, n)
+                if not float_sigma and fresh.size:
+                    frontier_max_sigma = int(sigma_view[fresh].max())
+            else:
+                for tail, head in zip(edge_u.tolist(), edge_v.tolist()):
+                    sigma[head] += sigma[tail]
+                frontier_max_sigma = max(sigma[node] for node in fresh.tolist())
+            level_edges.append((edge_u, edge_v))
+            levels.append(fresh)
+            frontier = fresh
+    order = _np.concatenate(levels) if len(levels) > 1 else levels[0]
+    if float_sigma:
+        sigma = sigma_view
+    return CSRShortestPathDAG(csr, source, dist, sigma, order, levels, level_edges)
+
+
+def _accumulate_level(totals, heads, values, as_float: bool, n: int) -> None:
+    """Scatter-add ``values`` into ``totals[heads]`` preserving input order.
+
+    Every head receives its first contribution in this very call (its total
+    is still zero), so ``bincount`` — which sums each bin sequentially in
+    input order — reproduces the dict backend's float rounding exactly while
+    being far faster than ``np.add.at``.  Integer totals keep ``np.add.at``
+    (bincount would go through float64 and lose exactness past ``2**53``).
+    """
+    if not as_float:
+        _np.add.at(totals, heads, values)
+    elif heads.size:
+        totals += _np.bincount(heads, weights=values, minlength=n)
+
+
+def _np_brandes(csr: CSRGraph, source: int):
+    """Forward + backward Brandes pass; returns ``(delta, order, dist)``.
+
+    Bit-identical to the dict implementation: the backward edge sequence is
+    re-ordered per level so contributions hit ``delta`` in exactly the order
+    the sequential ``for node in reversed(order)`` loop produces, and each
+    tail's contributions land while its ``delta`` entry is still zero (its
+    own additions happen one level earlier), so per-level ``bincount``
+    accumulation preserves the rounding order too.
+    """
+    dag = _np_shortest_path_dag(csr, source, None, float_sigma=True)
+    n = csr.n
+    sigma = dag.sigma
+    delta_store, delta = _shared_state(n, "d")
+    scratch = _np.empty(n, dtype=_np.int64)
+    for level in range(len(dag.levels) - 1, 0, -1):
+        edge_u, edge_v = dag.level_edges[level - 1]
+        size = edge_u.size
+        if size == 0:
+            continue
+        if size < _SEQUENTIAL_EDGE_THRESHOLD:
+            # Sequential: group predecessor edges per head, walk heads in
+            # reverse discovery order — the dict backend's exact sequence.
+            per_head: Dict[int, List[int]] = {}
+            for tail, head in zip(edge_u.tolist(), edge_v.tolist()):
+                per_head.setdefault(head, []).append(tail)
+            for head in reversed(dag.levels[level].tolist()):
+                tails = per_head.get(head)
+                if not tails:
+                    continue
+                coefficient = 1.0 + delta_store[head]
+                sigma_head = sigma[head]
+                for tail in tails:
+                    delta_store[tail] += sigma[tail] / sigma_head * coefficient
+        else:
+            nodes = dag.levels[level]
+            scratch[nodes] = _np.arange(nodes.size)
+            reorder = _np.argsort(nodes.size - 1 - scratch[edge_v], kind="stable")
+            heads = edge_v[reorder]
+            tails = edge_u[reorder]
+            contributions = sigma[tails] / sigma[heads] * (1.0 + delta[heads])
+            delta += _np.bincount(tails, weights=contributions, minlength=n)
+    return delta, dag.order, dag.dist
+
+
+# ----------------------- pure-Python kernels --------------------------
+def _py_bfs(csr: CSRGraph, source: int, max_depth: Optional[int]):
+    indptr, indices = csr.indptr, csr.indices
+    dist = [-1] * csr.n
+    dist[source] = 0
+    order = [source]
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        depth = dist[node]
+        if max_depth is not None and depth >= max_depth:
+            continue
+        for position in range(indptr[node], indptr[node + 1]):
+            neighbor = indices[position]
+            if dist[neighbor] < 0:
+                dist[neighbor] = depth + 1
+                order.append(neighbor)
+                queue.append(neighbor)
+    return dist, order
+
+
+def _py_shortest_path_dag(
+    csr: CSRGraph, source: int, max_depth: Optional[int], float_sigma: bool
+) -> CSRShortestPathDAG:
+    indptr, indices = csr.indptr, csr.indices
+    n = csr.n
+    dist = [-1] * n
+    dist[source] = 0
+    sigma: List = [0.0 if float_sigma else 0] * n
+    sigma[source] = 1.0 if float_sigma else 1
+    preds: List[List[int]] = [[] for _ in range(n)]
+    order = [source]
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        depth = dist[node]
+        if max_depth is not None and depth >= max_depth:
+            continue
+        for position in range(indptr[node], indptr[node + 1]):
+            neighbor = indices[position]
+            if dist[neighbor] < 0:
+                dist[neighbor] = depth + 1
+                order.append(neighbor)
+                queue.append(neighbor)
+            if dist[neighbor] == depth + 1:
+                sigma[neighbor] += sigma[node]
+                preds[neighbor].append(node)
+    pred_indptr = [0] * (n + 1)
+    pred_indices: List[int] = []
+    for node in range(n):
+        pred_indices.extend(preds[node])
+        pred_indptr[node + 1] = len(pred_indices)
+    levels: List[List[int]] = []
+    for node in order:
+        if dist[node] == len(levels):
+            levels.append([])
+        levels[dist[node]].append(node)
+    return CSRShortestPathDAG(
+        csr, source, dist, sigma, order, levels, None,
+        pred_indptr=pred_indptr, pred_indices=pred_indices,
+    )
+
+
+def _py_brandes(csr: CSRGraph, source: int):
+    dag = _py_shortest_path_dag(csr, source, None, float_sigma=True)
+    sigma = dag.sigma
+    delta = [0.0] * csr.n
+    pred_indptr, pred_indices = dag.pred_indptr, dag.pred_indices
+    for node in reversed(dag.order):
+        coefficient = 1.0 + delta[node]
+        sigma_node = sigma[node]
+        for position in range(pred_indptr[node], pred_indptr[node + 1]):
+            predecessor = pred_indices[position]
+            delta[predecessor] += sigma[predecessor] / sigma_node * coefficient
+    return delta, dag.order, dag.dist
+
+
+# ------------------------- public kernels -----------------------------
+def csr_bfs(csr: CSRGraph, source: int, *, max_depth: Optional[int] = None):
+    """BFS from index ``source``; returns ``(dist, order)``.
+
+    ``dist`` holds ``-1`` for unreachable nodes; ``order`` lists the settled
+    indices in discovery order (the dict backend's result-dict key order).
+    """
+    if HAS_NUMPY:
+        dist, levels = _np_bfs(csr, source, max_depth)
+        order = _np.concatenate(levels) if len(levels) > 1 else levels[0]
+        return dist, order
+    return _py_bfs(csr, source, max_depth)
+
+
+def csr_shortest_path_dag(
+    csr: CSRGraph,
+    source: int,
+    *,
+    max_depth: Optional[int] = None,
+    float_sigma: bool = False,
+) -> CSRShortestPathDAG:
+    """Build the shortest-path DAG rooted at index ``source``."""
+    if HAS_NUMPY:
+        return _np_shortest_path_dag(csr, source, max_depth, float_sigma)
+    return _py_shortest_path_dag(csr, source, max_depth, float_sigma)
+
+
+def csr_brandes(csr: CSRGraph, source: int):
+    """Brandes single-source dependencies from index ``source``.
+
+    Returns ``(delta, order, dist)`` where ``delta[v]`` is the dependency of
+    the source on ``v`` (``delta[source]`` carries a partial sum the caller
+    must ignore, mirroring the dict implementation's ``pop``).
+    """
+    if HAS_NUMPY:
+        return _np_brandes(csr, source)
+    return _py_brandes(csr, source)
+
+
+def csr_distance_stats(csr: CSRGraph, source: int) -> Tuple[int, int]:
+    """Return ``(reachable node count, total hop distance)`` from ``source``.
+
+    The closeness kernel: one BFS without materialising a per-node dict.
+    """
+    dist, order = csr_bfs(csr, source)
+    if HAS_NUMPY:
+        reached = dist >= 0
+        return int(reached.sum()), int(dist[reached].sum())
+    reachable = 0
+    total = 0
+    for value in dist:
+        if value >= 0:
+            reachable += 1
+            total += value
+    return reachable, total

@@ -36,11 +36,14 @@ class Graph:
     3
     """
 
-    __slots__ = ("_adj", "_num_edges")
+    __slots__ = ("_adj", "_num_edges", "_version", "__weakref__")
 
     def __init__(self) -> None:
         self._adj: Dict[Node, Dict[Node, None]] = {}
         self._num_edges: int = 0
+        # Monotonic mutation counter; lets derived representations (the CSR
+        # backend cache in :mod:`repro.graphs.csr`) detect staleness cheaply.
+        self._version: int = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -71,6 +74,7 @@ class Graph:
         """Add ``node`` if not already present."""
         if node not in self._adj:
             self._adj[node] = {}
+            self._version += 1
 
     def add_edge(self, u: Node, v: Node) -> None:
         """Add the undirected edge ``{u, v}``, creating endpoints as needed.
@@ -88,6 +92,7 @@ class Graph:
             self._adj[u][v] = None
             self._adj[v][u] = None
             self._num_edges += 1
+            self._version += 1
 
     def remove_edge(self, u: Node, v: Node) -> None:
         """Remove the edge ``{u, v}``.
@@ -102,6 +107,7 @@ class Graph:
         del self._adj[u][v]
         del self._adj[v][u]
         self._num_edges -= 1
+        self._version += 1
 
     def remove_node(self, node: Node) -> None:
         """Remove ``node`` and all incident edges.
@@ -117,6 +123,7 @@ class Graph:
             del self._adj[neighbor][node]
             self._num_edges -= 1
         del self._adj[node]
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Queries
@@ -188,9 +195,12 @@ class Graph:
     def subgraph(self, nodes: Iterable[Node]) -> "Graph":
         """Return the induced subgraph on ``nodes``.
 
-        Nodes not present in the graph are ignored.
+        Nodes not present in the graph are ignored.  The subgraph's nodes are
+        created in the iteration order of ``nodes`` (first occurrence wins),
+        so callers passing a deterministic sequence get a deterministic,
+        insertion-ordered subgraph — which reproducible sampling relies on.
         """
-        keep = {node for node in nodes if node in self._adj}
+        keep = dict.fromkeys(node for node in nodes if node in self._adj)
         sub = Graph()
         for node in keep:
             sub.add_node(node)

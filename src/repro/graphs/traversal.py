@@ -3,6 +3,12 @@ uniform shortest-path sampling.
 
 These are the building blocks shared by the exact Brandes algorithm, the
 sampling baselines and SaPHyRa_bc's sample generator.
+
+Every public function takes a ``backend`` argument (``None``/``"auto"``,
+``"dict"`` or ``"csr"``; see :mod:`repro.graphs.csr`).  The dict backend is
+the readable reference implementation over the hash-based adjacency; the CSR
+backend runs the same algorithms over integer indices on a cached
+compressed-sparse-row snapshot and returns bit-identical results.
 """
 
 from __future__ import annotations
@@ -12,13 +18,20 @@ from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Sequence
 
 from repro.errors import GraphError, SamplingError
+from repro.graphs import csr as _csr
 from repro.graphs.graph import Graph
 from repro.utils.rng import SeedLike, ensure_rng
 
 Node = Hashable
 
 
-def bfs_distances(graph: Graph, source: Node, *, max_depth: Optional[int] = None) -> Dict[Node, int]:
+def bfs_distances(
+    graph: Graph,
+    source: Node,
+    *,
+    max_depth: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> Dict[Node, int]:
     """Return ``{node: hop distance}`` for every node reachable from ``source``.
 
     Parameters
@@ -26,9 +39,27 @@ def bfs_distances(graph: Graph, source: Node, *, max_depth: Optional[int] = None
     max_depth:
         If given, stop expanding once this depth is reached (nodes farther
         than ``max_depth`` are absent from the result).
+    backend:
+        Traversal backend (``"dict"``, ``"csr"`` or ``None`` for the
+        default); the result — including key order — is identical.
     """
     if not graph.has_node(source):
         raise GraphError(f"source node {source!r} does not exist")
+    if _csr.effective_backend(graph, backend) == _csr.CSR_BACKEND:
+        snapshot = _csr.as_csr(graph)
+        dist, order = _csr.csr_bfs(
+            snapshot, snapshot.index[source], max_depth=max_depth
+        )
+        if _csr.HAS_NUMPY:
+            order_list = order.tolist()
+            values = dist[order].tolist()
+        else:
+            order_list = order
+            values = [dist[node] for node in order_list]
+        if snapshot.identity_labels:
+            return dict(zip(order_list, values))
+        labels = snapshot.labels
+        return dict(zip(map(labels.__getitem__, order_list), values))
     distances: Dict[Node, int] = {source: 0}
     queue = deque([source])
     while queue:
@@ -100,11 +131,21 @@ class ShortestPathDAG:
 
 
 def shortest_path_dag(
-    graph: Graph, source: Node, *, max_depth: Optional[int] = None
+    graph: Graph,
+    source: Node,
+    *,
+    max_depth: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> ShortestPathDAG:
     """Run a BFS from ``source`` computing distances, path counts and the DAG."""
     if not graph.has_node(source):
         raise GraphError(f"source node {source!r} does not exist")
+    if _csr.effective_backend(graph, backend) == _csr.CSR_BACKEND:
+        snapshot = _csr.as_csr(graph)
+        dag = _csr.csr_shortest_path_dag(
+            snapshot, snapshot.index[source], max_depth=max_depth
+        )
+        return _dag_to_labels(snapshot, dag, source)
     distances: Dict[Node, int] = {source: 0}
     sigma: Dict[Node, int] = {source: 1}
     predecessors: Dict[Node, List[Node]] = {source: []}
@@ -134,8 +175,42 @@ def shortest_path_dag(
     )
 
 
+def _dag_to_labels(snapshot, dag, source: Node) -> ShortestPathDAG:
+    """Translate an index-space DAG back to the label-keyed dataclass."""
+    labels = snapshot.labels
+    order_list = dag.order.tolist() if _csr.HAS_NUMPY else list(dag.order)
+    dist, sigma = dag.dist, dag.sigma
+    pred_indptr, pred_indices = dag.pred_indptr, dag.pred_indices
+    pred_list = pred_indices.tolist() if _csr.HAS_NUMPY else pred_indices
+    distances: Dict[Node, int] = {}
+    sigmas: Dict[Node, int] = {}
+    predecessors: Dict[Node, List[Node]] = {}
+    order: List[Node] = []
+    for index in order_list:
+        label = labels[index]
+        order.append(label)
+        distances[label] = int(dist[index])
+        sigmas[label] = int(sigma[index])
+        predecessors[label] = [
+            labels[p]
+            for p in pred_list[int(pred_indptr[index]) : int(pred_indptr[index + 1])]
+        ]
+    return ShortestPathDAG(
+        source=source,
+        distances=distances,
+        sigma=sigmas,
+        predecessors=predecessors,
+        order=order,
+    )
+
+
 def sample_shortest_path(
-    graph: Graph, source: Node, target: Node, rng: SeedLike = None
+    graph: Graph,
+    source: Node,
+    target: Node,
+    rng: SeedLike = None,
+    *,
+    backend: Optional[str] = None,
 ) -> List[Node]:
     """Sample a uniformly random shortest path between two nodes.
 
@@ -143,26 +218,24 @@ def sample_shortest_path(
     bidirectional variant in :mod:`repro.graphs.bidirectional` is what the
     fast samplers use.
     """
-    dag = shortest_path_dag(graph, source)
+    dag = shortest_path_dag(graph, source, backend=backend)
     return dag.sample_path(target, rng)
 
 
-def k_hop_neighborhood(graph: Graph, center: Node, hops: int) -> List[Node]:
+def k_hop_neighborhood(
+    graph: Graph, center: Node, hops: int, *, backend: Optional[str] = None
+) -> List[Node]:
     """Return all nodes within ``hops`` of ``center`` (including ``center``)."""
     if hops < 0:
         raise ValueError(f"hops must be >= 0, got {hops}")
-    return list(bfs_distances(graph, center, max_depth=hops))
+    return list(bfs_distances(graph, center, max_depth=hops, backend=backend))
 
 
 def _weighted_choice(items: Sequence, weights: Sequence[int], rng) -> Node:
-    """Pick one of ``items`` with probability proportional to ``weights``."""
-    total = sum(weights)
-    if total <= 0:
-        raise SamplingError("cannot sample from an empty/zero-weight set")
-    threshold = rng.random() * total
-    cumulative = 0.0
-    for item, weight in zip(items, weights):
-        cumulative += weight
-        if threshold < cumulative:
-            return item
-    return items[-1]
+    """Pick one of ``items`` with probability proportional to ``weights``.
+
+    Uses an exact integer threshold (``rng.randrange``) rather than float
+    accumulation, so sampling stays unbiased even when shortest-path counts
+    exceed ``2**53``.
+    """
+    return _csr.weighted_choice(items, weights, rng)

@@ -149,6 +149,9 @@ class SaPHyRaBC:
         Optional hard cap on the number of approximate-subspace samples.
     use_exact_subspace:
         Disable to run the pure-sampling ablation (no 2-hop exact subspace).
+    backend:
+        Traversal backend (``"dict"``, ``"csr"`` or ``None`` for the
+        default); both draw identical samples from identical seeds.
 
     Examples
     --------
@@ -169,6 +172,7 @@ class SaPHyRaBC:
         sample_constant: float = 0.5,
         max_samples_cap: Optional[int] = None,
         use_exact_subspace: bool = True,
+        backend: Optional[str] = None,
     ) -> None:
         check_probability_pair(epsilon, delta)
         self.epsilon = epsilon
@@ -177,6 +181,7 @@ class SaPHyRaBC:
         self.sample_constant = sample_constant
         self.max_samples_cap = max_samples_cap
         self.use_exact_subspace = use_exact_subspace
+        self.backend = backend
 
     # ------------------------------------------------------------------
     def rank(
@@ -214,7 +219,9 @@ class SaPHyRaBC:
                 if block_cut_tree is not None
                 else build_block_cut_tree(graph)
             )
-            space = PersonalizedISP(graph, target_list, block_cut_tree=bct)
+            space = PersonalizedISP(
+                graph, target_list, block_cut_tree=bct, backend=self.backend
+            )
             vc_dimension = personalized_vc_dimension(
                 bct, target_list, included_blocks=space.included_blocks, seed=rng
             )

@@ -53,6 +53,9 @@ class GenBC:
         Safety valve: the number of consecutive rejections after which
         :class:`~repro.errors.SamplingError` is raised (the exact subspace
         would have to cover essentially the whole space for this to happen).
+    backend:
+        Traversal backend for the in-block bidirectional searches; defaults
+        to the sample space's backend.
     """
 
     def __init__(
@@ -61,8 +64,10 @@ class GenBC:
         targets: Sequence[Node],
         *,
         max_rejections: int = 100_000,
+        backend: Optional[str] = None,
     ) -> None:
         self.space = space
+        self.backend = backend if backend is not None else space.backend
         self.targets = list(targets)
         self.target_set: Set[Node] = set(self.targets)
         self._target_index = {
@@ -80,7 +85,9 @@ class GenBC:
             block_index, source, target = self.space.sample_pair(rng)
             self.stats.pairs_drawn += 1
             block_graph = self.space.bct.block_subgraph(block_index)
-            result = bidirectional_shortest_paths(block_graph, source, target)
+            result = bidirectional_shortest_paths(
+                block_graph, source, target, backend=self.backend
+            )
             self.stats.visited_edges += result.visited_edges
             if not result.connected:  # pragma: no cover - blocks are connected
                 raise SamplingError(

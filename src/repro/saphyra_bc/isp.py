@@ -55,6 +55,9 @@ class PersonalizedISP:
         SaPHyRa_bc-full variant).
     block_cut_tree:
         Optionally a pre-built block-cut tree (to share between runs).
+    backend:
+        Traversal backend used by the samplers built on this space
+        (``"dict"``, ``"csr"`` or ``None`` for the default).
 
     Attributes
     ----------
@@ -69,10 +72,13 @@ class PersonalizedISP:
         graph: Graph,
         targets: Optional[Sequence[Node]] = None,
         block_cut_tree: Optional[BlockCutTree] = None,
+        *,
+        backend: Optional[str] = None,
     ) -> None:
         if graph.number_of_nodes() < 2:
             raise GraphError("the ISP sample space needs at least 2 nodes")
         self.graph = graph
+        self.backend = backend
         self.bct = block_cut_tree if block_cut_tree is not None else build_block_cut_tree(graph)
         self.n = graph.number_of_nodes()
 
@@ -236,7 +242,7 @@ class PersonalizedISP:
             block_graph = self.bct.block_subgraph(table.index)
             reach = self.bct.out_reach[table.index]
             for source in table.nodes:
-                dag = shortest_path_dag(block_graph, source)
+                dag = shortest_path_dag(block_graph, source, backend=self.backend)
                 for target in table.nodes:
                     if target == source or target not in dag.distances:
                         continue

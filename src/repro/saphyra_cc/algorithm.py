@@ -91,12 +91,14 @@ class SaPHyRaCC:
         *,
         seed: SeedLike = None,
         max_samples_cap: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> None:
         check_probability_pair(epsilon, delta)
         self.epsilon = epsilon
         self.delta = delta
         self.seed = seed
         self.max_samples_cap = max_samples_cap
+        self.backend = backend
 
     def rank(
         self,
@@ -109,7 +111,11 @@ class SaPHyRaCC:
         timer = Timer()
         with timer:
             problem = ClosenessProblem(
-                graph, targets, distance_bound=distance_bound, seed=self.seed
+                graph,
+                targets,
+                distance_bound=distance_bound,
+                seed=self.seed,
+                backend=self.backend,
             )
             orchestrator = SaPHyRa(
                 self.epsilon,

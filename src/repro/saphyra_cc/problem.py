@@ -27,6 +27,7 @@ from typing import Dict, Hashable, List, Mapping, Optional, Sequence
 
 from repro.core.estimation import ExactEvaluation
 from repro.errors import GraphError
+from repro.graphs import csr as _csr
 from repro.graphs.components import is_connected
 from repro.graphs.diameter import estimate_diameter
 from repro.graphs.graph import Graph
@@ -50,6 +51,11 @@ class ClosenessProblem:
         the graph when omitted.
     seed:
         Seed used only for the diameter estimate.
+    backend:
+        Traversal backend (``"dict"``, ``"csr"`` or ``None`` for the
+        default).  The CSR path reads target distances straight off the BFS
+        distance array instead of materialising per-node dicts; losses are
+        identical either way.
     """
 
     def __init__(
@@ -59,6 +65,7 @@ class ClosenessProblem:
         *,
         distance_bound: Optional[int] = None,
         seed: SeedLike = None,
+        backend: Optional[str] = None,
     ) -> None:
         if graph.number_of_nodes() < 2:
             raise GraphError("closeness ranking needs at least 2 nodes")
@@ -88,9 +95,24 @@ class ClosenessProblem:
 
         # Exact subspace: distances from every target to every target.
         self._target_set = set(targets)
-        self._target_distances: Dict[Node, Dict[Node, int]] = {
-            node: bfs_distances(graph, node) for node in targets
-        }
+        self._backend = _csr.effective_backend(graph, backend)
+        if self._backend == _csr.CSR_BACKEND:
+            self._snapshot = _csr.as_csr(graph)
+            self._target_indices = [
+                self._snapshot.index_of(node) for node in targets
+            ]
+            # One BFS distance array per target (``-1`` = unreachable).
+            self._target_distances = {
+                node: _csr.csr_bfs(self._snapshot, index)[0]
+                for node, index in zip(targets, self._target_indices)
+            }
+        else:
+            self._snapshot = None
+            self._target_indices = None
+            self._target_distances = {
+                node: bfs_distances(graph, node, backend=self._backend)
+                for node in targets
+            }
 
     # ------------------------------------------------------------------
     @property
@@ -103,7 +125,15 @@ class ClosenessProblem:
         scale = 1.0 / (self.n * self.distance_bound)
         for node in self.targets:
             distances = self._target_distances[node]
-            total = sum(distances[other] for other in self.targets if other != node)
+            if self._snapshot is not None:
+                total = 0
+                for other, other_index in zip(self.targets, self._target_indices):
+                    if other != node:
+                        total += int(distances[other_index])
+            else:
+                total = sum(
+                    distances[other] for other in self.targets if other != node
+                )
             risks.append(total * scale)
         return ExactEvaluation(lambda_exact=len(self.targets) / self.n, risks=risks)
 
@@ -125,8 +155,16 @@ class ClosenessProblem:
             sample = self._nodes[rng.randrange(self.n)]
             if sample not in self._target_set:
                 break
-        distances = bfs_distances(self.graph, sample)
         losses: Dict[int, float] = {}
+        if self._snapshot is not None:
+            dist, _ = _csr.csr_bfs(self._snapshot, self._snapshot.index[sample])
+            for index, target_index in enumerate(self._target_indices):
+                distance = int(dist[target_index])
+                if distance < 0:  # pragma: no cover - connected graphs
+                    distance = self.distance_bound
+                losses[index] = min(1.0, distance / self.distance_bound)
+            return losses
+        distances = bfs_distances(self.graph, sample, backend=self._backend)
         for index, node in enumerate(self.targets):
             distance = distances.get(node)
             if distance is None:  # pragma: no cover - connected graphs

@@ -1,0 +1,287 @@
+"""Property tests: the dict and CSR backends are interchangeable.
+
+The CSR kernels are not merely statistically equivalent to the dict
+reference — they are *bit-identical*: same distances, same shortest-path
+counts, same float dependencies (accumulated in the same order), same dict
+key order, and the same sampled paths from the same seeds.  These tests
+assert that contract on randomized generator graphs, so any divergence
+introduced by a future kernel optimisation fails loudly.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import ABRA, KADABRA, RiondatoKornaropoulos
+from repro.centrality.brandes import (
+    betweenness_centrality,
+    betweenness_from_pivots,
+    single_source_dependencies,
+)
+from repro.centrality.closeness import closeness_centrality
+from repro.datasets import random_subset
+from repro.graphs.bidirectional import bidirectional_shortest_paths
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    grid_road_graph,
+    watts_strogatz_graph,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import bfs_distances, shortest_path_dag
+from repro.saphyra_bc import SaPHyRaBC
+from repro.saphyra_cc.algorithm import SaPHyRaCC
+from repro.saphyra_cc.problem import ClosenessProblem
+
+GRAPH_CASES = [
+    pytest.param(lambda seed: erdos_renyi_graph(60, 0.08, seed=seed), id="erdos-renyi"),
+    pytest.param(lambda seed: barabasi_albert_graph(120, 3, seed=seed), id="barabasi-albert"),
+    pytest.param(lambda seed: watts_strogatz_graph(90, 4, 0.1, seed=seed), id="watts-strogatz"),
+    pytest.param(lambda seed: grid_road_graph(8, 9, seed=seed)[0], id="grid-road"),
+]
+SEEDS = (0, 1, 2)
+
+
+def _random_pairs(graph: Graph, count: int, seed: int):
+    rng = random.Random(seed)
+    nodes = list(graph.nodes())
+    return [tuple(rng.sample(nodes, 2)) for _ in range(count)]
+
+
+@pytest.mark.parametrize("make_graph", GRAPH_CASES)
+@pytest.mark.parametrize("seed", SEEDS)
+class TestTraversalEquivalence:
+    def test_bfs_identical_including_order(self, make_graph, seed):
+        graph = make_graph(seed)
+        for source in list(graph.nodes())[:4]:
+            reference = bfs_distances(graph, source, backend="dict")
+            candidate = bfs_distances(graph, source, backend="csr")
+            assert reference == candidate
+            assert list(reference) == list(candidate)
+
+    def test_bfs_max_depth(self, make_graph, seed):
+        graph = make_graph(seed)
+        source = next(iter(graph.nodes()))
+        for depth in (0, 1, 3):
+            reference = bfs_distances(graph, source, max_depth=depth, backend="dict")
+            candidate = bfs_distances(graph, source, max_depth=depth, backend="csr")
+            assert reference == candidate
+            assert list(reference) == list(candidate)
+
+    def test_shortest_path_dag_identical(self, make_graph, seed):
+        graph = make_graph(seed)
+        for source in list(graph.nodes())[:3]:
+            reference = shortest_path_dag(graph, source, backend="dict")
+            candidate = shortest_path_dag(graph, source, backend="csr")
+            assert reference.distances == candidate.distances
+            assert reference.sigma == candidate.sigma
+            assert reference.order == candidate.order
+            assert reference.predecessors == candidate.predecessors
+
+    def test_sampled_dag_paths_identical(self, make_graph, seed):
+        graph = make_graph(seed)
+        nodes = list(graph.nodes())
+        source = nodes[0]
+        reference = shortest_path_dag(graph, source, backend="dict")
+        candidate = shortest_path_dag(graph, source, backend="csr")
+        for target in nodes[-5:]:
+            if target == source or target not in reference.distances:
+                continue
+            for draw in range(3):
+                assert reference.sample_path(
+                    target, random.Random(draw)
+                ) == candidate.sample_path(target, random.Random(draw))
+
+
+@pytest.mark.parametrize("make_graph", GRAPH_CASES)
+@pytest.mark.parametrize("seed", SEEDS)
+class TestCentralityEquivalence:
+    def test_single_source_dependencies_bitwise(self, make_graph, seed):
+        graph = make_graph(seed)
+        for source in list(graph.nodes())[:3]:
+            reference = single_source_dependencies(graph, source, backend="dict")
+            candidate = single_source_dependencies(graph, source, backend="csr")
+            assert list(reference) == list(candidate)
+            # Bitwise float equality, not approx: the CSR backward pass
+            # replays the exact accumulation order.
+            assert reference == candidate
+
+    def test_betweenness_bitwise(self, make_graph, seed):
+        graph = make_graph(seed)
+        assert betweenness_centrality(graph, backend="dict") == (
+            betweenness_centrality(graph, backend="csr")
+        )
+
+    def test_pivot_betweenness_bitwise(self, make_graph, seed):
+        graph = make_graph(seed)
+        pivots = random_subset(graph, 7, seed)
+        assert betweenness_from_pivots(graph, pivots, backend="dict") == (
+            betweenness_from_pivots(graph, pivots, backend="csr")
+        )
+
+    def test_closeness_bitwise(self, make_graph, seed):
+        graph = make_graph(seed)
+        assert closeness_centrality(graph, backend="dict") == (
+            closeness_centrality(graph, backend="csr")
+        )
+
+
+@pytest.mark.parametrize("make_graph", GRAPH_CASES)
+@pytest.mark.parametrize("seed", SEEDS)
+class TestBidirectionalEquivalence:
+    def test_results_and_sampled_paths(self, make_graph, seed):
+        graph = make_graph(seed)
+        for source, target in _random_pairs(graph, 12, seed + 100):
+            reference = bidirectional_shortest_paths(
+                graph, source, target, backend="dict"
+            )
+            candidate = bidirectional_shortest_paths(
+                graph, source, target, backend="csr"
+            )
+            assert reference.distance == candidate.distance
+            assert reference.num_shortest_paths == candidate.num_shortest_paths
+            assert reference.cut_level == candidate.cut_level
+            assert reference.cut_nodes == candidate.cut_nodes
+            assert reference.visited_edges == candidate.visited_edges
+            if reference.connected:
+                for draw in range(3):
+                    assert reference.sample_path(
+                        random.Random(draw)
+                    ) == candidate.sample_path(random.Random(draw))
+
+
+class TestEstimatorEquivalence:
+    """Full estimator runs draw identical samples and scores per backend."""
+
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return barabasi_albert_graph(200, 3, seed=2)
+
+    @pytest.fixture(scope="class")
+    def targets(self, graph):
+        return random_subset(graph, 20, 4)
+
+    def _pair(self, factory):
+        first = factory("dict")
+        second = factory("csr")
+        return first, second
+
+    def test_rk(self, graph):
+        reference, candidate = self._pair(
+            lambda backend: RiondatoKornaropoulos(
+                0.1, 0.1, seed=7, max_samples_cap=150, backend=backend
+            ).estimate(graph)
+        )
+        assert reference.scores == candidate.scores
+        assert reference.num_samples == candidate.num_samples
+
+    def test_kadabra(self, graph):
+        reference, candidate = self._pair(
+            lambda backend: KADABRA(
+                0.1, 0.1, seed=7, max_samples_cap=150, backend=backend
+            ).estimate(graph)
+        )
+        assert reference.scores == candidate.scores
+        assert reference.converged_by == candidate.converged_by
+
+    def test_abra(self, graph):
+        reference, candidate = self._pair(
+            lambda backend: ABRA(
+                0.1, 0.1, seed=7, max_samples_cap=100, backend=backend
+            ).estimate(graph)
+        )
+        assert reference.scores == candidate.scores
+        assert reference.num_samples == candidate.num_samples
+
+    def test_saphyra_bc(self, graph, targets):
+        reference, candidate = self._pair(
+            lambda backend: SaPHyRaBC(
+                0.1, 0.1, seed=7, max_samples_cap=300, backend=backend
+            ).rank(graph, targets)
+        )
+        assert reference.scores == candidate.scores
+        assert reference.ranking == candidate.ranking
+        assert reference.num_samples == candidate.num_samples
+
+    def test_saphyra_cc(self, graph, targets):
+        reference, candidate = self._pair(
+            lambda backend: SaPHyRaCC(
+                0.1, 0.1, seed=7, max_samples_cap=300, backend=backend
+            ).rank(graph, targets)
+        )
+        assert reference.closeness == candidate.closeness
+        assert reference.ranking == candidate.ranking
+
+    def test_closeness_problem_losses(self, graph, targets):
+        first = ClosenessProblem(graph, targets, seed=3, backend="dict")
+        second = ClosenessProblem(graph, targets, seed=3, backend="csr")
+        exact_first = first.exact_evaluation()
+        exact_second = second.exact_evaluation()
+        assert exact_first.risks == exact_second.risks
+        assert exact_first.lambda_exact == exact_second.lambda_exact
+        for draw in range(5):
+            assert first.sample_losses(random.Random(draw)) == (
+                second.sample_losses(random.Random(draw))
+            )
+
+
+class TestBigSigmaExactness:
+    """Path counts beyond int64 stay exact (regression: on road-style grids
+    sigma grows binomially and exceeded 2**63 around hop distance 70, which
+    used to wrap the CSR backend's counts and break path sampling)."""
+
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return grid_road_graph(100, 100, seed=1)[0]
+
+    def test_dag_sigma_beyond_int64(self, grid):
+        source = next(iter(grid.nodes()))
+        reference = shortest_path_dag(grid, source, backend="dict")
+        candidate = shortest_path_dag(grid, source, backend="csr")
+        assert max(reference.sigma.values()) > 2**63  # the test bites
+        assert reference.sigma == candidate.sigma
+
+    def test_bidirectional_long_pair(self, grid):
+        nodes = list(grid.nodes())
+        rng = random.Random(1)
+        checked = 0
+        for source, target in (tuple(rng.sample(nodes, 2)) for _ in range(20)):
+            reference = bidirectional_shortest_paths(
+                grid, source, target, backend="dict"
+            )
+            if not reference.connected or reference.distance < 60:
+                continue
+            candidate = bidirectional_shortest_paths(
+                grid, source, target, backend="csr"
+            )
+            assert reference.num_shortest_paths == candidate.num_shortest_paths
+            assert reference.cut_nodes == candidate.cut_nodes
+            assert reference.sample_path(random.Random(2)) == (
+                candidate.sample_path(random.Random(2))
+            )
+            checked += 1
+        assert checked > 0  # at least one long pair exercised the guard
+
+
+class TestSubgraphDeterminism:
+    """Satellite fix: ``Graph.subgraph`` preserves the caller's node order."""
+
+    def test_subgraph_preserves_argument_order(self):
+        graph = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        sub = graph.subgraph([3, 1, 2])
+        assert list(sub.nodes()) == [3, 1, 2]
+
+    def test_subgraph_ignores_unknown_and_duplicates(self):
+        graph = Graph.from_edges([(0, 1), (1, 2)])
+        sub = graph.subgraph([2, 99, 0, 2])
+        assert list(sub.nodes()) == [2, 0]
+        assert sub.number_of_edges() == 0
+
+    def test_subgraph_identical_across_runs(self):
+        # The old set-based implementation made node order depend on hash
+        # randomisation; the ordered rebuild must be stable run to run.
+        graph = Graph.from_edges([("x", "y"), ("y", "z"), ("z", "x")])
+        orders = {tuple(graph.subgraph(["z", "x"]).nodes()) for _ in range(10)}
+        assert orders == {("z", "x")}

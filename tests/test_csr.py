@@ -1,0 +1,257 @@
+"""Tests for the CSR graph engine: snapshots, caching and backend selection."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import GraphError, SamplingError
+from repro.graphs import csr as csr_module
+from repro.graphs.csr import (
+    AUTO_CSR_THRESHOLD,
+    CSRGraph,
+    as_csr,
+    csr_bfs,
+    csr_brandes,
+    csr_distance_stats,
+    csr_shortest_path_dag,
+    default_backend,
+    effective_backend,
+    resolve_backend,
+    set_default_backend,
+    weighted_choice,
+)
+from repro.graphs.generators import erdos_renyi_graph, path_graph
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import bfs_distances, shortest_path_dag
+
+
+@pytest.fixture(autouse=True)
+def _reset_default_backend(monkeypatch):
+    # A REPRO_BACKEND exported in the invoking shell would override the
+    # auto-selection behaviour these tests assert on.
+    monkeypatch.delenv(csr_module.BACKEND_ENV_VAR, raising=False)
+    yield
+    set_default_backend(None)
+
+
+class TestCSRGraph:
+    def test_structure_matches_adjacency(self):
+        graph = Graph.from_edges([(0, 1), (0, 2), (1, 2), (2, 3)])
+        snapshot = CSRGraph.from_graph(graph)
+        assert snapshot.n == 4
+        assert snapshot.m == 4
+        assert list(snapshot.indptr) == [0, 2, 4, 7, 8]
+        for node in graph.nodes():
+            index = snapshot.index[node]
+            neighbors = [
+                snapshot.labels[j] for j in snapshot.neighbors(index)
+            ]
+            assert neighbors == list(graph.neighbors(node))
+            assert snapshot.degree(index) == graph.degree(node)
+
+    def test_labels_keep_insertion_order(self):
+        graph = Graph.from_edges([("c", "a"), ("a", "b")])
+        snapshot = CSRGraph.from_graph(graph)
+        assert snapshot.labels == ["c", "a", "b"]
+        assert not snapshot.identity_labels
+
+    def test_identity_labels_detected(self):
+        graph = Graph.from_edges([(0, 1), (1, 2)])
+        assert CSRGraph.from_graph(graph).identity_labels
+
+    def test_index_of_missing_node_raises(self):
+        snapshot = CSRGraph.from_graph(path_graph(3))
+        with pytest.raises(GraphError):
+            snapshot.index_of(99)
+
+    def test_isolated_nodes_round_trip(self):
+        graph = Graph.from_edges([(0, 1)], nodes=[5])
+        snapshot = CSRGraph.from_graph(graph)
+        assert snapshot.n == 3
+        assert snapshot.degree(snapshot.index[5]) == 0
+
+
+class TestAsCSRCaching:
+    def test_snapshot_is_cached(self):
+        graph = path_graph(6)
+        assert as_csr(graph) is as_csr(graph)
+
+    def test_mutation_invalidates_cache(self):
+        graph = path_graph(6)
+        first = as_csr(graph)
+        graph.add_edge(0, 5)
+        second = as_csr(graph)
+        assert second is not first
+        assert second.m == first.m + 1
+        assert as_csr(graph) is second
+
+    def test_node_and_edge_removal_invalidate(self):
+        graph = path_graph(6)
+        first = as_csr(graph)
+        graph.remove_edge(0, 1)
+        second = as_csr(graph)
+        assert second is not first
+        graph.remove_node(5)
+        third = as_csr(graph)
+        assert third is not second
+        assert third.n == 5
+
+
+class TestBackendSelection:
+    def test_resolve_explicit(self):
+        assert resolve_backend("dict") == "dict"
+        assert resolve_backend("csr") == "csr"
+
+    def test_resolve_unknown_raises(self):
+        with pytest.raises(ValueError):
+            resolve_backend("sparse")
+
+    def test_set_default_backend(self):
+        set_default_backend("dict")
+        assert default_backend() == "dict"
+        assert resolve_backend(None) == "dict"
+        set_default_backend(None)
+
+    def test_set_default_backend_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            set_default_backend("sparse")
+
+    def test_env_var_overrides_default(self, monkeypatch):
+        monkeypatch.setenv(csr_module.BACKEND_ENV_VAR, "dict")
+        assert default_backend() == "dict"
+        monkeypatch.setenv(csr_module.BACKEND_ENV_VAR, "bogus")
+        with pytest.raises(ValueError):
+            default_backend()
+
+    def test_auto_is_a_valid_choice_everywhere(self, monkeypatch):
+        # REPRO_BACKEND=auto must behave like the built-in default ...
+        monkeypatch.setenv(csr_module.BACKEND_ENV_VAR, "auto")
+        assert default_backend() == "auto"
+        assert effective_backend(path_graph(3), None) in ("dict", "csr")
+        # ... and set_default_backend("auto") must override the env var,
+        # which is how `--backend auto` beats a stale REPRO_BACKEND=dict.
+        monkeypatch.setenv(csr_module.BACKEND_ENV_VAR, "dict")
+        set_default_backend("auto")
+        assert default_backend() == "auto"
+
+    def test_effective_backend_explicit_always_wins(self):
+        tiny = path_graph(3)
+        assert effective_backend(tiny, "csr") == "csr"
+        assert effective_backend(tiny, "dict") == "dict"
+
+    @pytest.mark.skipif(not csr_module.HAS_NUMPY, reason="needs numpy")
+    def test_effective_backend_auto_scales_with_size(self):
+        tiny = path_graph(3)
+        assert effective_backend(tiny, None) == "dict"
+        big = path_graph(AUTO_CSR_THRESHOLD)
+        assert effective_backend(big, None) == "csr"
+
+    @pytest.mark.skipif(not csr_module.HAS_NUMPY, reason="needs numpy")
+    def test_effective_backend_auto_reuses_cached_snapshot(self):
+        tiny = path_graph(4)
+        assert effective_backend(tiny, None) == "dict"
+        as_csr(tiny)
+        assert effective_backend(tiny, None) == "csr"
+
+
+class TestWeightedChoice:
+    def test_distribution_roughly_proportional(self):
+        rng = random.Random(3)
+        counts = {"a": 0, "b": 0}
+        for _ in range(3000):
+            counts[weighted_choice(["a", "b"], [1, 3], rng)] += 1
+        assert 550 < counts["a"] < 950
+
+    def test_zero_total_raises(self):
+        with pytest.raises(SamplingError):
+            weighted_choice(["a"], [0], random.Random(0))
+
+    def test_huge_integer_weights_stay_exact(self):
+        # Float accumulation would collapse 2**60 and 2**60 + 1; the integer
+        # threshold keeps them distinguishable and the choice well defined.
+        rng = random.Random(5)
+        items = ["low", "high"]
+        weights = [1, 2**60]
+        picks = {weighted_choice(items, weights, rng) for _ in range(50)}
+        assert picks == {"high"}
+
+    def test_single_item(self):
+        assert weighted_choice(["only"], [7], random.Random(1)) == "only"
+
+
+class TestKernels:
+    def test_csr_bfs_matches_dict(self):
+        graph = erdos_renyi_graph(40, 0.15, seed=1)
+        snapshot = as_csr(graph)
+        for source in list(graph.nodes())[:5]:
+            dist, order = csr_bfs(snapshot, snapshot.index[source])
+            reference = bfs_distances(graph, source, backend="dict")
+            order_labels = [snapshot.labels[i] for i in
+                            (order.tolist() if csr_module.HAS_NUMPY else order)]
+            assert order_labels == list(reference)
+            for node, hops in reference.items():
+                assert dist[snapshot.index[node]] == hops
+
+    def test_distance_stats(self):
+        graph = Graph.from_edges([(0, 1), (1, 2)], nodes=[9])
+        snapshot = as_csr(graph)
+        reachable, total = csr_distance_stats(snapshot, snapshot.index[0])
+        assert (reachable, total) == (3, 3)
+
+    def test_brandes_path_graph(self):
+        graph = path_graph(5)
+        snapshot = as_csr(graph)
+        delta, order, dist = csr_brandes(snapshot, 0)
+        # On a path, dependency of the source on node i is the number of
+        # nodes beyond it: delta(1) = 3, delta(2) = 2, delta(3) = 1.
+        assert [round(float(delta[i]), 6) for i in (1, 2, 3, 4)] == [3, 2, 1, 0]
+
+    def test_dag_sampling_consumes_rng_like_dict(self):
+        graph = Graph.from_edges([(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)])
+        snapshot = as_csr(graph)
+        dag_index = csr_shortest_path_dag(snapshot, 0)
+        dag_label = shortest_path_dag(graph, 0, backend="dict")
+        for seed in range(10):
+            indices = dag_index.sample_path_indices(4, random.Random(seed))
+            labels = dag_label.sample_path(4, random.Random(seed))
+            assert [snapshot.labels[i] for i in indices] == labels
+
+    def test_unreachable_target_raises(self):
+        graph = Graph.from_edges([(0, 1)], nodes=[2])
+        snapshot = as_csr(graph)
+        dag = csr_shortest_path_dag(snapshot, snapshot.index[0])
+        with pytest.raises(SamplingError):
+            dag.sample_path_indices(snapshot.index[2], random.Random(0))
+
+
+class TestPurePythonFallback:
+    """The csr backend must stay functional without numpy."""
+
+    @pytest.fixture()
+    def no_numpy(self, monkeypatch):
+        monkeypatch.setattr(csr_module, "HAS_NUMPY", False)
+        yield
+
+    def test_snapshot_and_kernels(self, no_numpy):
+        graph = erdos_renyi_graph(30, 0.2, seed=3)
+        snapshot = CSRGraph.from_graph(graph)
+        source = next(iter(graph.nodes()))
+        dist, order = csr_bfs(snapshot, snapshot.index[source])
+        reference = bfs_distances(graph, source, backend="dict")
+        assert [snapshot.labels[i] for i in order] == list(reference)
+        delta, brandes_order, _ = csr_brandes(snapshot, snapshot.index[source])
+        from repro.centrality.brandes import single_source_dependencies
+
+        expected = single_source_dependencies(graph, source, backend="dict")
+        for node, value in expected.items():
+            assert delta[snapshot.index[node]] == pytest.approx(value, abs=1e-12)
+
+    def test_dag_sampling(self, no_numpy):
+        graph = Graph.from_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+        snapshot = CSRGraph.from_graph(graph)
+        dag = csr_shortest_path_dag(snapshot, 0)
+        assert dag.sigma[3] == 2
+        path = dag.sample_path_indices(3, random.Random(0))
+        assert path[0] == 0 and path[-1] == 3 and len(path) == 3
