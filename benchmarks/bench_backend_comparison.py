@@ -11,7 +11,12 @@ pairwise, e.g.::
 Expected shape of the results: on low-diameter (social-style) graphs the CSR
 backend wins by >= 3x on full-BFS kernels (Brandes most of all, since the
 backward pass vectorises too); on high-diameter road grids the frontiers are
-thin, the vectorised path rarely engages, and CSR wins only modestly.
+thin, the vectorised path rarely engages, and per-source CSR wins only
+modestly — which is exactly what the *batched* multi-source sweeps fix: the
+``multi`` benchmarks stack a whole chunk of sources so the thin road
+frontiers merge into one fat one (expected >= 2x over the per-source CSR
+kernels on the road grid, the tentpole acceptance target of the batched
+engine).
 """
 
 from __future__ import annotations
@@ -29,6 +34,10 @@ from repro.graphs.traversal import bfs_distances
 
 BACKENDS = ("dict", "csr")
 TOPOLOGIES = ("social", "road")
+SWEEP_MODES = ("per-source", "batched")
+
+#: Sources per multi-source benchmark round (one executor chunk's worth).
+MULTI_SOURCES = 32
 
 
 def _make_graph(topology: str):
@@ -101,3 +110,48 @@ def test_bench_closeness_sweep(benchmark, graphs, topology, backend):
     nodes = list(graph.nodes())[:16]
     scores = benchmark(closeness_centrality, graph, nodes, backend=backend)
     assert len(scores) == len(nodes)
+
+
+def _multi_sources(snapshot, count):
+    step = max(1, snapshot.n // count)
+    return list(range(0, snapshot.n, step))[:count]
+
+
+@pytest.mark.parametrize("mode", SWEEP_MODES)
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+def test_bench_brandes_multi_source(benchmark, graphs, topology, mode):
+    """Per-source ``csr_brandes`` loop vs one batched multi-source sweep."""
+    snapshot = csr_module.as_csr(graphs[topology])
+    sources = _multi_sources(snapshot, MULTI_SOURCES)
+
+    if mode == "batched":
+        def run():
+            return csr_module.multi_source_sweep(
+                snapshot, sources, kind=csr_module.SWEEP_BRANDES
+            )
+    else:
+        def run():
+            return [csr_module.csr_brandes(snapshot, s)[0] for s in sources]
+
+    rows = benchmark(run)
+    assert len(rows) == len(sources)
+
+
+@pytest.mark.parametrize("mode", SWEEP_MODES)
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+def test_bench_bfs_multi_source(benchmark, graphs, topology, mode):
+    """Per-source ``csr_bfs`` loop vs one batched multi-source sweep."""
+    snapshot = csr_module.as_csr(graphs[topology])
+    sources = _multi_sources(snapshot, MULTI_SOURCES)
+
+    if mode == "batched":
+        def run():
+            return csr_module.multi_source_sweep(
+                snapshot, sources, kind=csr_module.SWEEP_DISTANCE
+            )
+    else:
+        def run():
+            return [csr_module.csr_bfs(snapshot, s)[0] for s in sources]
+
+    rows = benchmark(run)
+    assert len(rows) == len(sources)

@@ -73,6 +73,7 @@ def compare_estimators(
     compute_ground_truth: bool = True,
     max_samples_cap: Optional[int] = None,
     backend: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> List[EstimatorComparison]:
     """Run the named estimators on one subset-ranking task.
 
@@ -97,6 +98,10 @@ def compare_estimators(
     backend:
         Traversal backend forwarded to every estimator and the ground-truth
         computation (``"dict"``, ``"csr"`` or ``None`` for the default).
+    workers:
+        Worker processes forwarded to every estimator and the ground-truth
+        computation (``None`` resolves via ``REPRO_WORKERS``); worker counts
+        never change results.
 
     Returns
     -------
@@ -110,7 +115,9 @@ def compare_estimators(
         )
     target_list = list(targets)
     if ground_truth is None and compute_ground_truth:
-        ground_truth = betweenness_centrality(graph, backend=backend)
+        ground_truth = betweenness_centrality(
+            graph, backend=backend, workers=workers
+        )
     truth_subset = (
         {node: ground_truth[node] for node in target_list}
         if ground_truth is not None
@@ -128,6 +135,7 @@ def compare_estimators(
             seed=seed,
             max_samples_cap=max_samples_cap,
             backend=backend,
+            workers=workers,
         )
         row = EstimatorComparison(
             name=name,
@@ -187,12 +195,13 @@ def _run_estimator(
     seed: SeedLike,
     max_samples_cap: Optional[int],
     backend: Optional[str] = None,
+    workers: Optional[int] = None,
 ):
     """Run one estimator, returning ``(target scores, seconds, samples)``."""
     if name in ("saphyra", "saphyra_full"):
         algorithm = SaPHyRaBC(
             epsilon, delta, seed=seed, max_samples_cap=max_samples_cap,
-            backend=backend,
+            backend=backend, workers=workers,
         )
         result = algorithm.rank(graph, targets if name == "saphyra" else None)
         scores = {node: result.scores[node] for node in targets}
@@ -201,17 +210,19 @@ def _run_estimator(
     factories = {
         "kadabra": lambda: KADABRA(
             epsilon, delta, seed=seed, max_samples_cap=max_samples_cap,
-            backend=backend,
+            backend=backend, workers=workers,
         ),
         "abra": lambda: ABRA(
             epsilon, delta, seed=seed, max_samples_cap=max_samples_cap,
-            backend=backend,
+            backend=backend, workers=workers,
         ),
         "rk": lambda: RiondatoKornaropoulos(
             epsilon, delta, seed=seed, max_samples_cap=max_samples_cap,
-            backend=backend,
+            backend=backend, workers=workers,
         ),
-        "bader": lambda: BaderPivot(epsilon, delta, seed=seed, backend=backend),
+        "bader": lambda: BaderPivot(
+            epsilon, delta, seed=seed, backend=backend, workers=workers
+        ),
     }
     result = factories[name]().estimate(graph)
     return (

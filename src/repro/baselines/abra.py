@@ -19,8 +19,10 @@ constant.
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, Optional
+from collections import defaultdict
+from typing import Dict, Hashable, Optional, Tuple
 
+from repro import parallel as _parallel
 from repro.baselines.base import BaselineResult
 from repro.errors import GraphError
 from repro.graphs import csr as _csr
@@ -36,6 +38,28 @@ from repro.utils.timing import Timer
 from repro.utils.validation import check_probability_pair
 
 Node = Hashable
+
+
+def _abra_sample_chunk(payload, piece: Tuple[int, int]):
+    """Worker task: one chunk of node-pair samples; returns sparse partial
+    sums ``(totals, totals_sq)`` accumulated in draw order.
+
+    The chunk's RNG stream is seeded from ``(base_seed, chunk_index)`` only,
+    so the partials — and the chunk-order fold of them — are identical for
+    any worker count.
+    """
+    estimator, graph, nodes, backend, base_seed = payload
+    chunk_index, draws = piece
+    rng = _parallel.chunk_rng(base_seed, chunk_index)
+    snapshot = _csr.as_csr(graph) if backend == _csr.CSR_BACKEND else None
+    totals: Dict[Node, float] = defaultdict(float)
+    totals_sq: Dict[Node, float] = defaultdict(float)
+    for _ in range(draws):
+        if snapshot is not None:
+            estimator._add_pair_sample_csr(snapshot, nodes, totals, totals_sq, rng)
+        else:
+            estimator._add_pair_sample(graph, nodes, totals, totals_sq, rng)
+    return dict(totals), dict(totals_sq)
 
 
 class ABRA:
@@ -56,6 +80,11 @@ class ABRA:
     backend:
         Traversal backend (``"dict"``, ``"csr"`` or ``None`` for the
         default); both draw identical samples from identical seeds.
+    workers:
+        Worker processes for the sampling stages (``None`` resolves via
+        ``REPRO_WORKERS``).  Samples are drawn from per-chunk seeded RNG
+        streams and partial sums are folded in chunk order, so any worker
+        count returns bit-identical results.
     """
 
     name = "abra"
@@ -70,6 +99,7 @@ class ABRA:
         sample_constant: float = 0.5,
         max_samples_cap: Optional[int] = None,
         backend: Optional[str] = None,
+        workers: Optional[int] = None,
     ) -> None:
         check_probability_pair(epsilon, delta)
         if stage_growth <= 1.0:
@@ -81,6 +111,7 @@ class ABRA:
         self.sample_constant = sample_constant
         self.max_samples_cap = max_samples_cap
         self.backend = backend
+        self.workers = workers
 
     # ------------------------------------------------------------------
     def estimate(self, graph: Graph) -> BaselineResult:
@@ -123,30 +154,37 @@ class ABRA:
 
             totals: Dict[Node, float] = {node: 0.0 for node in nodes}
             totals_sq: Dict[Node, float] = {node: 0.0 for node in nodes}
-            snapshot = (
-                _csr.as_csr(graph)
-                if _csr.effective_backend(graph, self.backend) == _csr.CSR_BACKEND
-                else None
-            )
+            choice = _csr.effective_backend(graph, self.backend)
+            base_seed = _parallel.derive_base_seed(rng)
             drawn = 0
+            next_chunk = 0
             target = first_stage
             converged_by = "cap"
-            while True:
-                while drawn < target:
-                    if snapshot is not None:
-                        self._add_pair_sample_csr(
-                            snapshot, nodes, totals, totals_sq, rng
-                        )
-                    else:
-                        self._add_pair_sample(graph, nodes, totals, totals_sq, rng)
-                    drawn += 1
-                if self._deviations_ok(totals, totals_sq, drawn, per_check_delta):
-                    converged_by = "adaptive"
-                    break
-                if drawn >= max_samples:
-                    converged_by = "cap"
-                    break
-                target = min(max_samples, math.ceil(target * self.stage_growth))
+            with _parallel.WorkerPool(
+                _abra_sample_chunk,
+                payload=(self, graph, nodes, choice, base_seed),
+                workers=self.workers,
+            ) as pool:
+                while True:
+                    pieces = _parallel.plan_chunks(
+                        target - drawn,
+                        _parallel.SAMPLE_CHUNK_SIZE,
+                        start_chunk=next_chunk,
+                    )
+                    next_chunk += len(pieces)
+                    for part, part_sq in pool.map(pieces):
+                        for node, value in part.items():
+                            totals[node] += value
+                        for node, value in part_sq.items():
+                            totals_sq[node] += value
+                    drawn = target
+                    if self._deviations_ok(totals, totals_sq, drawn, per_check_delta):
+                        converged_by = "adaptive"
+                        break
+                    if drawn >= max_samples:
+                        converged_by = "cap"
+                        break
+                    target = min(max_samples, math.ceil(target * self.stage_growth))
             scores = {node: totals[node] / drawn for node in nodes}
 
         return BaselineResult(

@@ -42,6 +42,9 @@ class BaderPivot:
         RNG seed.
     backend:
         Traversal backend forwarded to the Brandes pivot passes.
+    workers:
+        Worker processes for the pivot passes (``None`` resolves via
+        ``REPRO_WORKERS``); bit-identical for any worker count.
     """
 
     name = "bader"
@@ -54,6 +57,7 @@ class BaderPivot:
         num_pivots: Optional[int] = None,
         seed: SeedLike = None,
         backend: Optional[str] = None,
+        workers: Optional[int] = None,
     ) -> None:
         check_probability_pair(epsilon, delta)
         if num_pivots is not None and num_pivots < 1:
@@ -63,6 +67,7 @@ class BaderPivot:
         self.num_pivots = num_pivots
         self.seed = seed
         self.backend = backend
+        self.workers = workers
 
     def estimate(self, graph: Graph) -> BaselineResult:
         """Estimate betweenness for every node of ``graph``."""
@@ -84,7 +89,8 @@ class BaderPivot:
             nodes = list(graph.nodes())
             pivots = rng.sample(nodes, pivots_needed)
             scores = betweenness_from_pivots(
-                graph, pivots, normalized=True, backend=self.backend
+                graph, pivots, normalized=True, backend=self.backend,
+                workers=self.workers,
             )
 
         return BaselineResult(

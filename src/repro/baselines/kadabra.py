@@ -14,11 +14,16 @@ capped by the diameter-based VC bound.
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, Optional
+from typing import Dict, Hashable, Optional, Tuple
 
+from repro import parallel as _parallel
 from repro.baselines.base import BaselineResult
 from repro.errors import GraphError
-from repro.graphs.bidirectional import bidirectional_shortest_paths
+from repro.graphs import csr as _csr
+from repro.graphs.bidirectional import (
+    AUTO_CSR_BIDIRECTIONAL_THRESHOLD,
+    bidirectional_shortest_paths,
+)
 from repro.graphs.components import is_connected
 from repro.graphs.diameter import estimate_diameter, exact_diameter
 from repro.graphs.graph import Graph
@@ -30,6 +35,35 @@ from repro.utils.timing import Timer
 from repro.utils.validation import check_probability_pair
 
 Node = Hashable
+
+
+def _kadabra_sample_chunk(payload, piece: Tuple[int, int]):
+    """Worker task: one chunk of bidirectional path samples.
+
+    Returns ``(sparse hit counts, visited adjacency entries)``; hit counts
+    are integer-valued floats, so folding them is exact in any order, and the
+    chunk RNG streams make results independent of the worker count.
+    """
+    graph, nodes, backend, base_seed = payload
+    chunk_index, draws = piece
+    rng = _parallel.chunk_rng(base_seed, chunk_index)
+    counts: Dict[Node, float] = {}
+    visited_edges = 0
+    for _ in range(draws):
+        source = rng.choice(nodes)
+        endpoint = rng.choice(nodes)
+        while endpoint == source:
+            endpoint = rng.choice(nodes)
+        result = bidirectional_shortest_paths(
+            graph, source, endpoint, backend=backend
+        )
+        visited_edges += result.visited_edges
+        if not result.connected:  # pragma: no cover - connected graphs
+            continue
+        path = result.sample_path(rng)
+        for inner in path[1:-1]:
+            counts[inner] = counts.get(inner, 0.0) + 1.0
+    return counts, visited_edges
 
 
 class KADABRA:
@@ -48,6 +82,11 @@ class KADABRA:
     backend:
         Traversal backend (``"dict"``, ``"csr"`` or ``None`` for the
         default); both draw identical samples from identical seeds.
+    workers:
+        Worker processes for the sampling rounds (``None`` resolves via
+        ``REPRO_WORKERS``).  Samples are drawn from per-chunk seeded RNG
+        streams folded in chunk order, so any worker count returns
+        bit-identical results.
     """
 
     name = "kadabra"
@@ -61,6 +100,7 @@ class KADABRA:
         sample_constant: float = 0.5,
         max_samples_cap: Optional[int] = None,
         backend: Optional[str] = None,
+        workers: Optional[int] = None,
     ) -> None:
         check_probability_pair(epsilon, delta)
         self.epsilon = epsilon
@@ -69,6 +109,7 @@ class KADABRA:
         self.sample_constant = sample_constant
         self.max_samples_cap = max_samples_cap
         self.backend = backend
+        self.workers = workers
 
     def estimate(self, graph: Graph) -> BaselineResult:
         """Estimate betweenness for every node of ``graph``."""
@@ -102,33 +143,40 @@ class KADABRA:
             per_check_delta = self.delta / (num_rounds * n)
 
             counts: Dict[Node, float] = {node: 0.0 for node in nodes}
+            choice = _csr.effective_backend(
+                graph, self.backend,
+                auto_threshold=AUTO_CSR_BIDIRECTIONAL_THRESHOLD,
+            )
+            base_seed = _parallel.derive_base_seed(rng)
             drawn = 0
+            next_chunk = 0
             target = first_stage
             converged_by = "cap"
             visited_edges = 0
-            while True:
-                while drawn < target:
-                    source = rng.choice(nodes)
-                    endpoint = rng.choice(nodes)
-                    while endpoint == source:
-                        endpoint = rng.choice(nodes)
-                    result = bidirectional_shortest_paths(
-                        graph, source, endpoint, backend=self.backend
+            with _parallel.WorkerPool(
+                _kadabra_sample_chunk,
+                payload=(graph, nodes, choice, base_seed),
+                workers=self.workers,
+            ) as pool:
+                while True:
+                    pieces = _parallel.plan_chunks(
+                        target - drawn,
+                        _parallel.SAMPLE_CHUNK_SIZE,
+                        start_chunk=next_chunk,
                     )
-                    visited_edges += result.visited_edges
-                    drawn += 1
-                    if not result.connected:  # pragma: no cover - connected graphs
-                        continue
-                    path = result.sample_path(rng)
-                    for inner in path[1:-1]:
-                        counts[inner] += 1.0
-                if self._deviations_ok(counts, drawn, per_check_delta):
-                    converged_by = "adaptive"
-                    break
-                if drawn >= max_samples:
-                    converged_by = "cap"
-                    break
-                target = min(max_samples, 2 * target)
+                    next_chunk += len(pieces)
+                    for part, part_visited in pool.map(pieces):
+                        visited_edges += part_visited
+                        for node, value in part.items():
+                            counts[node] += value
+                    drawn = target
+                    if self._deviations_ok(counts, drawn, per_check_delta):
+                        converged_by = "adaptive"
+                        break
+                    if drawn >= max_samples:
+                        converged_by = "cap"
+                        break
+                    target = min(max_samples, 2 * target)
             scores = {node: counts[node] / drawn for node in nodes}
 
         return BaselineResult(

@@ -13,8 +13,9 @@ comparison in Table I of the paper.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional
+from typing import Dict, Hashable, Optional, Tuple
 
+from repro import parallel as _parallel
 from repro.baselines.base import BaselineResult
 from repro.errors import GraphError
 from repro.graphs import csr as _csr
@@ -29,6 +30,38 @@ from repro.utils.timing import Timer
 from repro.utils.validation import check_probability_pair
 
 Node = Hashable
+
+
+def _rk_sample_chunk(payload, piece: Tuple[int, int]) -> Dict[Node, float]:
+    """Worker task: draw one chunk of path samples; return sparse hit counts.
+
+    The chunk draws from its own seeded RNG stream (see
+    :mod:`repro.parallel`), so the same chunk produces the same samples in
+    any process — worker counts never change results.
+    """
+    graph, nodes, backend, base_seed = payload
+    chunk_index, draws = piece
+    rng = _parallel.chunk_rng(base_seed, chunk_index)
+    snapshot = _csr.as_csr(graph) if backend == _csr.CSR_BACKEND else None
+    counts: Dict[Node, float] = {}
+    for _ in range(draws):
+        source = rng.choice(nodes)
+        target = rng.choice(nodes)
+        while target == source:
+            target = rng.choice(nodes)
+        if snapshot is not None:
+            dag = _csr.csr_shortest_path_dag(snapshot, snapshot.index[source])
+            path = dag.sample_path_indices(snapshot.index[target], rng)
+            labels = snapshot.labels
+            for inner in path[1:-1]:
+                label = labels[inner]
+                counts[label] = counts.get(label, 0.0) + 1.0
+        else:
+            dag = shortest_path_dag(graph, source, backend=_csr.DICT_BACKEND)
+            path = dag.sample_path(target, rng)
+            for inner in path[1:-1]:
+                counts[inner] = counts.get(inner, 0.0) + 1.0
+    return counts
 
 
 class RiondatoKornaropoulos:
@@ -47,6 +80,11 @@ class RiondatoKornaropoulos:
     backend:
         Traversal backend (``"dict"``, ``"csr"`` or ``None`` for the
         default); both draw identical samples from identical seeds.
+    workers:
+        Worker processes for the sampling loop (``None`` resolves via
+        ``REPRO_WORKERS``).  Samples are drawn from per-chunk seeded RNG
+        streams folded in chunk order, so any worker count returns
+        bit-identical results.
     """
 
     name = "rk"
@@ -60,6 +98,7 @@ class RiondatoKornaropoulos:
         sample_constant: float = 0.5,
         max_samples_cap: Optional[int] = None,
         backend: Optional[str] = None,
+        workers: Optional[int] = None,
     ) -> None:
         check_probability_pair(epsilon, delta)
         self.epsilon = epsilon
@@ -68,6 +107,7 @@ class RiondatoKornaropoulos:
         self.sample_constant = sample_constant
         self.max_samples_cap = max_samples_cap
         self.backend = backend
+        self.workers = workers
 
     def estimate(self, graph: Graph) -> BaselineResult:
         """Estimate betweenness for every node of ``graph``."""
@@ -91,31 +131,17 @@ class RiondatoKornaropoulos:
 
             nodes = list(graph.nodes())
             counts: Dict[Node, float] = {node: 0.0 for node in nodes}
-            snapshot = (
-                _csr.as_csr(graph)
-                if _csr.effective_backend(graph, self.backend) == _csr.CSR_BACKEND
-                else None
-            )
-            for _ in range(num_samples):
-                source = rng.choice(nodes)
-                target = rng.choice(nodes)
-                while target == source:
-                    target = rng.choice(nodes)
-                if snapshot is not None:
-                    dag = _csr.csr_shortest_path_dag(
-                        snapshot, snapshot.index[source]
-                    )
-                    path = dag.sample_path_indices(snapshot.index[target], rng)
-                    labels = snapshot.labels
-                    for inner in path[1:-1]:
-                        counts[labels[inner]] += 1.0
-                else:
-                    dag = shortest_path_dag(
-                        graph, source, backend=_csr.DICT_BACKEND
-                    )
-                    path = dag.sample_path(target, rng)
-                    for inner in path[1:-1]:
-                        counts[inner] += 1.0
+            choice = _csr.effective_backend(graph, self.backend)
+            base_seed = _parallel.derive_base_seed(rng)
+            pieces = _parallel.plan_chunks(num_samples, _parallel.SAMPLE_CHUNK_SIZE)
+            with _parallel.WorkerPool(
+                _rk_sample_chunk,
+                payload=(graph, nodes, choice, base_seed),
+                workers=self.workers,
+            ) as pool:
+                for part in pool.map(pieces):
+                    for node, value in part.items():
+                        counts[node] += value
             scores = {node: counts[node] / num_samples for node in nodes}
 
         return BaselineResult(

@@ -22,8 +22,9 @@ over integer index arrays — the per-node dependencies match bit for bit.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Hashable, Iterable, Optional
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence
 
+from repro import parallel as _parallel
 from repro.errors import GraphError
 from repro.graphs import csr as _csr
 from repro.graphs.graph import Graph
@@ -86,7 +87,11 @@ def single_source_dependencies(
 
 
 def betweenness_centrality(
-    graph: Graph, *, normalized: bool = True, backend: Optional[str] = None
+    graph: Graph,
+    *,
+    normalized: bool = True,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> Dict[Node, float]:
     """Exact betweenness centrality of every node.
 
@@ -96,25 +101,20 @@ def betweenness_centrality(
         When ``True`` (default) divide by ``n (n - 1)`` as in Eq. 3 of the
         paper; otherwise return the raw ordered-pair path counts.
     backend:
-        Traversal backend; the CSR path accumulates dependency arrays
-        without building a per-source dict, with bit-identical totals.
+        Traversal backend; the CSR path runs batched multi-source sweeps
+        (:func:`repro.graphs.csr.multi_source_sweep`) instead of per-source
+        dicts, with bit-identical totals.
+    workers:
+        Worker processes for the all-sources loop (``None`` resolves via
+        ``REPRO_WORKERS``).  Per-source dependency vectors are folded in
+        source order, so any worker count returns bit-identical results.
     """
     n = graph.number_of_nodes()
-    if _csr.effective_backend(graph, backend) == _csr.CSR_BACKEND and n > 0:
-        snapshot = _csr.as_csr(graph)
-        totals = _accumulate_csr_dependencies(snapshot, range(snapshot.n))
-        if normalized and n > 1:
-            scale = 1.0 / (n * (n - 1))
-            totals = [value * scale for value in totals]
-        return {label: totals[i] for i, label in enumerate(snapshot.labels)}
-    centrality: Dict[Node, float] = {node: 0.0 for node in graph.nodes()}
     # Summing the single-source dependencies over every source already covers
     # each *ordered* pair (s, t) exactly once, which is what Eq. 3 sums over.
-    for source in graph.nodes():
-        for node, value in single_source_dependencies(
-            graph, source, backend=_csr.DICT_BACKEND
-        ).items():
-            centrality[node] += value
+    centrality = _sum_dependencies(
+        graph, list(graph.nodes()), backend=backend, workers=workers
+    )
     if normalized and n > 1:
         scale = 1.0 / (n * (n - 1))
         for node in centrality:
@@ -128,6 +128,7 @@ def betweenness_subset(
     *,
     normalized: bool = True,
     backend: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> Dict[Node, float]:
     """Exact betweenness centrality restricted to the nodes in ``targets``.
 
@@ -140,7 +141,9 @@ def betweenness_subset(
     missing = [node for node in wanted if not graph.has_node(node)]
     if missing:
         raise GraphError(f"target nodes not in graph: {missing[:5]!r}")
-    full = betweenness_centrality(graph, normalized=normalized, backend=backend)
+    full = betweenness_centrality(
+        graph, normalized=normalized, backend=backend, workers=workers
+    )
     return {node: full[node] for node in wanted}
 
 
@@ -150,6 +153,7 @@ def betweenness_from_pivots(
     *,
     normalized: bool = True,
     backend: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> Dict[Node, float]:
     """Estimate betweenness from a subset of source pivots (Bader-style).
 
@@ -161,23 +165,9 @@ def betweenness_from_pivots(
     if not pivot_list:
         raise ValueError("at least one pivot is required")
     n = graph.number_of_nodes()
-    if _csr.effective_backend(graph, backend) == _csr.CSR_BACKEND:
-        snapshot = _csr.as_csr(graph)
-        totals = _accumulate_csr_dependencies(
-            snapshot, [snapshot.index_of(pivot) for pivot in pivot_list]
-        )
-        scale = n / len(pivot_list)
-        if normalized and n > 1:
-            scale /= n * (n - 1)
-        return {
-            label: totals[i] * scale for i, label in enumerate(snapshot.labels)
-        }
-    centrality: Dict[Node, float] = {node: 0.0 for node in graph.nodes()}
-    for source in pivot_list:
-        for node, value in single_source_dependencies(
-            graph, source, backend=_csr.DICT_BACKEND
-        ).items():
-            centrality[node] += value
+    centrality = _sum_dependencies(
+        graph, pivot_list, backend=backend, workers=workers
+    )
     # Extrapolate the sum over all n sources (which covers all ordered pairs).
     scale = n / len(pivot_list)
     if normalized and n > 1:
@@ -187,26 +177,66 @@ def betweenness_from_pivots(
     return centrality
 
 
-def _accumulate_csr_dependencies(snapshot, sources) -> list:
-    """Sum ``csr_brandes`` dependency vectors over ``sources``.
+def _dependency_chunk(payload, chunk: Sequence[Node]):
+    """Worker task: per-source Brandes dependency vectors for ``chunk``.
 
-    The per-source ``delta[source]`` residue is zeroed before accumulation,
-    mirroring the ``dependency.pop(source)`` of the dict implementation, so
-    the running totals see exactly the same addition sequence per node.
+    CSR backend: one batched multi-source sweep per chunk, returning numpy
+    (or pure-Python list) vectors with the ``delta[source]`` residue zeroed —
+    mirroring the ``dependency.pop(source)`` of the dict implementation.
+    Dict backend: per-source label-keyed dependency dicts.
     """
-    if _csr.HAS_NUMPY:
-        import numpy as np
+    graph, backend = payload
+    if backend == _csr.CSR_BACKEND:
+        snapshot = _csr.as_csr(graph)
+        indices = [snapshot.index_of(source) for source in chunk]
+        rows = _csr.multi_source_sweep(snapshot, indices, kind=_csr.SWEEP_BRANDES)
+        for index, row in zip(indices, rows):
+            row[index] = 0.0
+        return rows
+    return [
+        single_source_dependencies(graph, source, backend=_csr.DICT_BACKEND)
+        for source in chunk
+    ]
 
-        totals = np.zeros(snapshot.n, dtype=np.float64)
-        for source in sources:
-            delta, _, _ = _csr.csr_brandes(snapshot, source)
-            delta[source] = 0.0
-            totals += delta
-        return totals.tolist()
-    totals = [0.0] * snapshot.n
-    for source in sources:
-        delta, _, _ = _csr.csr_brandes(snapshot, source)
-        delta[source] = 0.0
-        for node in range(snapshot.n):
-            totals[node] += delta[node]
-    return totals
+
+def _sum_dependencies(
+    graph: Graph,
+    sources: List[Node],
+    *,
+    backend: Optional[str],
+    workers: Optional[int],
+) -> Dict[Node, float]:
+    """Sum per-source dependency vectors over ``sources``, in source order.
+
+    The fold order is the source order regardless of backend, batching or
+    worker count, so every configuration returns bit-identical floats (the
+    backend-equivalence tests assert this).
+    """
+    choice = _csr.effective_backend(graph, backend)
+    chunks = _parallel.chunked(sources, _parallel.SOURCE_CHUNK_SIZE)
+    with _parallel.WorkerPool(
+        _dependency_chunk, payload=(graph, choice), workers=workers
+    ) as pool:
+        if choice == _csr.CSR_BACKEND:
+            snapshot = _csr.as_csr(graph)
+            if _csr.HAS_NUMPY:
+                import numpy as np
+
+                totals = np.zeros(snapshot.n, dtype=np.float64)
+                for rows in pool.imap(chunks):
+                    for row in rows:
+                        totals += row
+                totals = totals.tolist()
+            else:
+                totals = [0.0] * snapshot.n
+                for rows in pool.imap(chunks):
+                    for row in rows:
+                        for node in range(snapshot.n):
+                            totals[node] += row[node]
+            return {label: totals[i] for i, label in enumerate(snapshot.labels)}
+        centrality: Dict[Node, float] = {node: 0.0 for node in graph.nodes()}
+        for rows in pool.imap(chunks):
+            for dependencies in rows:
+                for node, value in dependencies.items():
+                    centrality[node] += value
+        return centrality

@@ -7,8 +7,9 @@ examples and tests compare rankings across measures.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Optional
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
+from repro import parallel as _parallel
 from repro.graphs import csr as _csr
 from repro.graphs.graph import Graph
 from repro.graphs.traversal import bfs_distances
@@ -16,11 +17,35 @@ from repro.graphs.traversal import bfs_distances
 Node = Hashable
 
 
+def _distance_stats_chunk(payload, chunk: Sequence[Node]) -> List[Tuple[int, int]]:
+    """Worker task: ``(reachable, total distance)`` per node of ``chunk``.
+
+    CSR backend: one batched multi-source distance sweep per chunk (thin
+    road-network frontiers from the whole chunk merge into one fat one).
+    """
+    graph, backend = payload
+    if backend == _csr.CSR_BACKEND:
+        snapshot = _csr.as_csr(graph)
+        indices = [snapshot.index_of(node) for node in chunk]
+        return [
+            _csr.distance_stats_from_row(dist)
+            for dist in _csr.multi_source_sweep(
+                snapshot, indices, kind=_csr.SWEEP_DISTANCE
+            )
+        ]
+    results: List[Tuple[int, int]] = []
+    for node in chunk:
+        distances = bfs_distances(graph, node, backend=_csr.DICT_BACKEND)
+        results.append((len(distances), sum(distances.values())))
+    return results
+
+
 def closeness_centrality(
     graph: Graph,
     nodes: Optional[Iterable[Node]] = None,
     *,
     backend: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> Dict[Node, float]:
     """Harmonic-free classic closeness ``(r - 1) / sum of distances`` scaled by
     the reachable fraction ``(r - 1) / (n - 1)`` (Wasserman–Faust), which
@@ -31,25 +56,25 @@ def closeness_centrality(
     nodes:
         Restrict the computation to these nodes (defaults to all nodes).
     backend:
-        Traversal backend; the CSR path sums distances straight off the
-        distance array without materialising a per-node dict.
+        Traversal backend; the CSR path runs batched multi-source sweeps and
+        sums distances straight off the distance rows without materialising
+        per-node dicts.
+    workers:
+        Worker processes for the per-node BFS loop (``None`` resolves via
+        ``REPRO_WORKERS``).  Per-node sweep statistics are integers, so any
+        worker count returns bit-identical results.
     """
     n = graph.number_of_nodes()
     selected = list(nodes) if nodes is not None else list(graph.nodes())
+    choice = _csr.effective_backend(graph, backend)
+    chunks = _parallel.chunked(selected, _parallel.SOURCE_CHUNK_SIZE)
     result: Dict[Node, float] = {}
-    if _csr.effective_backend(graph, backend) == _csr.CSR_BACKEND and n > 0:
-        snapshot = _csr.as_csr(graph)
-        for node in selected:
-            reachable, total = _csr.csr_distance_stats(
-                snapshot, snapshot.index_of(node)
-            )
-            result[node] = _closeness_value(n, reachable, total)
-        return result
-    for node in selected:
-        distances = bfs_distances(graph, node, backend=_csr.DICT_BACKEND)
-        reachable = len(distances)
-        total = sum(distances.values())
-        result[node] = _closeness_value(n, reachable, total)
+    with _parallel.WorkerPool(
+        _distance_stats_chunk, payload=(graph, choice), workers=workers
+    ) as pool:
+        for chunk, stats in zip(chunks, pool.map(chunks)):
+            for node, (reachable, total) in zip(chunk, stats):
+                result[node] = _closeness_value(n, reachable, total)
     return result
 
 

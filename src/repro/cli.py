@@ -28,6 +28,17 @@ def _add_backend_argument(subparser) -> None:
              "implementation), or auto (pick per graph size; the default, "
              "and when passed explicitly it overrides REPRO_BACKEND)",
     )
+    # default=None so an absent flag leaves the REPRO_WORKERS environment
+    # variable (or serial execution) in charge.
+    subparser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for source sweeps and sampling (0 = serial; "
+             "the default, and when passed explicitly it overrides "
+             "REPRO_WORKERS).  Worker counts never change results, only "
+             "wall-clock time",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -118,6 +129,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.graphs.csr import set_default_backend
 
         set_default_backend(backend)
+    workers = getattr(args, "workers", None)
+    if workers is not None:
+        # `--workers 0` is set explicitly too, so it restores serial
+        # execution even when REPRO_WORKERS is exported.
+        from repro.parallel import set_default_workers
+
+        set_default_workers(workers)
     if args.command == "rank":
         return _command_rank(args)
     if args.command == "datasets":
@@ -153,6 +171,8 @@ def _command_rank(args) -> int:
             targets.append(int(token) if token.lstrip("-").isdigit() else token)
     else:
         targets = random_subset(graph, min(args.subset_size, graph.number_of_nodes()), args.seed)
+    # workers=None: the --workers flag was installed process-wide by main()
+    # via set_default_workers, mirroring the --backend mechanism.
     algorithm = SaPHyRaBC(args.epsilon, args.delta, seed=args.seed)
     result = algorithm.rank(graph, targets)
     print(f"# dataset={name} nodes={graph.number_of_nodes()} edges={graph.number_of_edges()}")

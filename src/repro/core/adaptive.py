@@ -12,8 +12,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro import parallel as _parallel
 from repro.stats.allocation import allocate_error_probabilities
 from repro.stats.bernstein import empirical_bernstein_bound
 from repro.stats.vc import vc_sample_size
@@ -21,6 +22,33 @@ from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_probability_pair
 
 LossSampler = Callable[[object], Mapping[int, float]]
+
+
+def _losses_chunk(payload, piece: Tuple[int, int]):
+    """Worker task: draw one chunk of loss samples; return partial sums.
+
+    ``payload`` carries either a problem object exposing ``sample_losses`` (a
+    picklable payload, required for ``workers > 1``) or the bare sampler
+    callable (serial in-process execution only).  The chunk draws from its
+    own seeded RNG stream, so partials are identical in any process.
+    """
+    sampler, num_hypotheses, base_seed = payload
+    chunk_index, draws = piece
+    rng = _parallel.chunk_rng(base_seed, chunk_index)
+    sample = getattr(sampler, "sample_losses", sampler)
+    totals = [0.0] * num_hypotheses
+    totals_sq = [0.0] * num_hypotheses
+    for _ in range(draws):
+        for index, loss in sample(rng).items():
+            totals[index] += loss
+            totals_sq[index] += loss * loss
+    # Problems with sampling diagnostics (e.g. Gen_bc rejection counters)
+    # expose collect_sample_stats/merge_sample_stats; snapshotting the
+    # worker-local counters per chunk lets the master fold them back in, so
+    # the reported statistics match serial runs for any worker count.
+    collect = getattr(sampler, "collect_sample_stats", None)
+    stats = collect() if collect is not None else None
+    return draws, totals, totals_sq, stats
 
 
 @dataclass
@@ -70,6 +98,17 @@ class _RiskAccumulator:
         for index, loss in losses.items():
             self.totals[index] += loss
             self.totals_sq[index] += loss * loss
+
+    def merge(self, count: int, totals: Sequence[float],
+              totals_sq: Sequence[float]) -> None:
+        """Fold one chunk's partial sums in (deterministic) chunk order."""
+        self.count += count
+        for index, value in enumerate(totals):
+            if value:
+                self.totals[index] += value
+        for index, value in enumerate(totals_sq):
+            if value:
+                self.totals_sq[index] += value
 
     def mean(self, index: int) -> float:
         if self.count == 0:
@@ -155,8 +194,17 @@ class AdaptiveSampler:
         sample_losses: LossSampler,
         num_hypotheses: int,
         rng: SeedLike = None,
+        *,
+        workers: Optional[int] = None,
+        payload: object = None,
     ) -> ApproximateEstimate:
         """Run the adaptive estimation loop.
+
+        Samples are drawn in fixed-size chunks, each from its own seeded RNG
+        stream (:func:`repro.parallel.chunk_rng`), and the chunk partial sums
+        are folded in chunk order.  The chunk layout depends only on the
+        (deterministic) round schedule, so the estimate is bit-identical for
+        any worker count.
 
         Parameters
         ----------
@@ -167,52 +215,98 @@ class AdaptiveSampler:
             Number of hypotheses ``k``.
         rng:
             Seed or RNG for reproducibility.
+        workers:
+            Worker processes for the sample draws (``None`` resolves via
+            ``REPRO_WORKERS``).
+        payload:
+            A picklable object exposing ``sample_losses`` (usually the
+            problem itself), shipped to the workers instead of the bare
+            callable.  Required when ``workers > 1``.
         """
         if num_hypotheses < 1:
             raise ValueError(f"num_hypotheses must be >= 1, got {num_hypotheses}")
+        resolved_workers = _parallel.resolve_workers(workers)
+        if resolved_workers > 1 and payload is None:
+            if workers is None:
+                # The count came from the environment/default, but a bare
+                # callable cannot be shipped to worker processes.  Degrade to
+                # in-process execution — results are identical either way
+                # (the chunk streams do not depend on the worker count).
+                resolved_workers = 0
+            else:
+                raise ValueError(
+                    "workers > 1 needs a picklable `payload` exposing "
+                    "sample_losses; a bare callable cannot be shipped to "
+                    "worker processes"
+                )
         rng = ensure_rng(rng)
+        base_seed = _parallel.derive_base_seed(rng)
         initial = self.initial_sample_size()
         maximum = self.maximum_sample_size()
         num_rounds = max(1, math.ceil(math.log2(max(1.0, maximum / initial))))
 
-        # Pilot batch: independent samples used only for variance estimation
-        # and the per-hypothesis delta allocation.
-        pilot = _RiskAccumulator(num_hypotheses)
-        for _ in range(initial):
-            pilot.add(sample_losses(rng))
-        pilot_variances = [pilot.variance(index) for index in range(num_hypotheses)]
-        delta_allocations = allocate_error_probabilities(
-            pilot_variances,
-            target_epsilon=self.epsilon,
-            delta=self.delta,
-            num_rounds=num_rounds,
-            max_samples=maximum,
-        )
-
-        accumulator = _RiskAccumulator(num_hypotheses)
-        target = initial
-        converged_by = "vc"
-        rounds_executed = 0
-        deviations = [math.inf] * num_hypotheses
-        while True:
-            rounds_executed += 1
-            while accumulator.count < target:
-                accumulator.add(sample_losses(rng))
-            deviations = [
-                empirical_bernstein_bound(
-                    accumulator.count,
-                    delta_allocations[index],
-                    accumulator.variance(index),
-                )
-                for index in range(num_hypotheses)
+        sampler = payload if payload is not None else sample_losses
+        merge_stats = getattr(sampler, "merge_sample_stats", None)
+        next_chunk = 0
+        with _parallel.WorkerPool(
+            _losses_chunk,
+            payload=(sampler, num_hypotheses, base_seed),
+            workers=resolved_workers,
+        ) as pool:
+            # Pilot batch: independent samples used only for variance
+            # estimation and the per-hypothesis delta allocation.
+            pilot = _RiskAccumulator(num_hypotheses)
+            pieces = _parallel.plan_chunks(
+                initial, _parallel.SAMPLE_CHUNK_SIZE, start_chunk=next_chunk
+            )
+            next_chunk += len(pieces)
+            for draws, totals, totals_sq, stats in pool.map(pieces):
+                pilot.merge(draws, totals, totals_sq)
+                if stats is not None and merge_stats is not None:
+                    merge_stats(stats)
+            pilot_variances = [
+                pilot.variance(index) for index in range(num_hypotheses)
             ]
-            if max(deviations) <= self.epsilon:
-                converged_by = "bernstein"
-                break
-            if target >= maximum:
-                converged_by = "vc"
-                break
-            target = min(2 * target, maximum)
+            delta_allocations = allocate_error_probabilities(
+                pilot_variances,
+                target_epsilon=self.epsilon,
+                delta=self.delta,
+                num_rounds=num_rounds,
+                max_samples=maximum,
+            )
+
+            accumulator = _RiskAccumulator(num_hypotheses)
+            target = initial
+            converged_by = "vc"
+            rounds_executed = 0
+            deviations = [math.inf] * num_hypotheses
+            while True:
+                rounds_executed += 1
+                pieces = _parallel.plan_chunks(
+                    target - accumulator.count,
+                    _parallel.SAMPLE_CHUNK_SIZE,
+                    start_chunk=next_chunk,
+                )
+                next_chunk += len(pieces)
+                for draws, totals, totals_sq, stats in pool.map(pieces):
+                    accumulator.merge(draws, totals, totals_sq)
+                    if stats is not None and merge_stats is not None:
+                        merge_stats(stats)
+                deviations = [
+                    empirical_bernstein_bound(
+                        accumulator.count,
+                        delta_allocations[index],
+                        accumulator.variance(index),
+                    )
+                    for index in range(num_hypotheses)
+                ]
+                if max(deviations) <= self.epsilon:
+                    converged_by = "bernstein"
+                    break
+                if target >= maximum:
+                    converged_by = "vc"
+                    break
+                target = min(2 * target, maximum)
 
         return ApproximateEstimate(
             estimates=accumulator.means(),

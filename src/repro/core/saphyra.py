@@ -38,6 +38,11 @@ class SaPHyRa:
         Constant ``c`` in the sample-size formulas (0.5 as in the paper).
     max_samples_cap:
         Optional hard cap on the number of samples in the approximate stage.
+    workers:
+        Worker processes for the sampling stage (``None`` resolves via
+        ``REPRO_WORKERS``); bit-identical for any worker count.  Parallel
+        runs ship the problem object to the workers, so it must be picklable
+        when ``workers > 1``.
 
     Examples
     --------
@@ -63,6 +68,7 @@ class SaPHyRa:
         seed: SeedLike = None,
         sample_constant: float = 0.5,
         max_samples_cap: Optional[int] = None,
+        workers: Optional[int] = None,
     ) -> None:
         check_probability_pair(epsilon, delta)
         self.epsilon = epsilon
@@ -70,6 +76,7 @@ class SaPHyRa:
         self.seed = seed
         self.sample_constant = sample_constant
         self.max_samples_cap = max_samples_cap
+        self.workers = workers
 
     def rank(self, problem: HypothesisRankingProblem) -> SaPHyRaResult:
         """Estimate and rank the expected risks of ``problem``'s hypotheses."""
@@ -123,7 +130,8 @@ class SaPHyRa:
             )
             with timings.measure("sampling"):
                 approx = sampler.estimate(
-                    problem.sample_losses, len(names), rng=rng
+                    problem.sample_losses, len(names), rng=rng,
+                    workers=self.workers, payload=problem,
                 )
 
             combined = [

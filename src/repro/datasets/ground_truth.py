@@ -20,9 +20,16 @@ Node = Hashable
 PathLike = Union[str, Path]
 
 
-def exact_betweenness(graph: Graph) -> Dict[Node, float]:
-    """Exact normalised betweenness of every node (Brandes, ``O(nm)``)."""
-    return betweenness_centrality(graph, normalized=True)
+def exact_betweenness(
+    graph: Graph, *, workers: Optional[int] = None
+) -> Dict[Node, float]:
+    """Exact normalised betweenness of every node (Brandes, ``O(nm)``).
+
+    ``workers`` fans the all-sources pass out over a worker pool (``None``
+    resolves via ``REPRO_WORKERS``); the per-source dependency vectors are
+    folded in source order, so any worker count returns bit-identical values.
+    """
+    return betweenness_centrality(graph, normalized=True, workers=workers)
 
 
 class GroundTruthCache:
@@ -49,9 +56,15 @@ class GroundTruthCache:
         if self._cache_dir is not None:
             self._cache_dir.mkdir(parents=True, exist_ok=True)
 
-    def get(self, key: str, graph: Graph) -> Dict[Node, float]:
+    def get(
+        self, key: str, graph: Graph, *, workers: Optional[int] = None
+    ) -> Dict[Node, float]:
         """Return the exact betweenness for ``graph``, computing it at most once
-        per ``key`` (a key should identify the graph, e.g. ``"flickr@1.0#0"``)."""
+        per ``key`` (a key should identify the graph, e.g. ``"flickr@1.0#0"``).
+
+        ``workers`` parallelises a cache miss's Brandes pass; the cached
+        values are identical for any worker count.
+        """
         if key in self._memory:
             return self._memory[key]
         if self._cache_dir is not None:
@@ -61,7 +74,7 @@ class GroundTruthCache:
                 if len(values) == graph.number_of_nodes():
                     self._memory[key] = values
                     return values
-        values = exact_betweenness(graph)
+        values = exact_betweenness(graph, workers=workers)
         self._memory[key] = values
         if self._cache_dir is not None:
             self._store(self._path_for(key), values)

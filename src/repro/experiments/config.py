@@ -10,7 +10,7 @@ in minutes.  Every knob can be turned up.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 
 @dataclass
@@ -42,6 +42,10 @@ class ExperimentConfig:
     max_samples_cap:
         Hard cap on per-run sample counts, keeping worst-case bench times
         bounded (``None`` disables the cap).
+    workers:
+        Worker processes forwarded to every estimator and the ground-truth
+        computation (``None`` resolves via ``REPRO_WORKERS``, 0 = serial).
+        Worker counts never change results — only wall-clock time.
     """
 
     datasets: Sequence[str] = ("flickr", "livejournal", "usa-road", "orkut")
@@ -54,6 +58,7 @@ class ExperimentConfig:
     subset_sizes: Sequence[int] = (10, 25, 50, 75, 100)
     algorithms: Sequence[str] = ("abra", "kadabra", "saphyra_full", "saphyra")
     max_samples_cap: int = 20_000
+    workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.scale <= 0:
@@ -67,6 +72,8 @@ class ExperimentConfig:
         unknown = set(self.algorithms) - {"abra", "kadabra", "saphyra_full", "saphyra"}
         if unknown:
             raise ValueError(f"unknown algorithms: {sorted(unknown)}")
+        if self.workers is not None and self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
 
     # ------------------------------------------------------------------
     # Presets

@@ -117,7 +117,9 @@ class ExperimentRunner:
     def ground_truth(self, name: str) -> Dict[Node, float]:
         """Exact betweenness of every node of the dataset (computed once)."""
         key = f"{name}@{self.config.scale}#{self.config.seed}"
-        return self._ground_truth_cache.get(key, self.dataset(name).graph)
+        return self._ground_truth_cache.get(
+            key, self.dataset(name).graph, workers=self.config.workers
+        )
 
     def subsets(
         self, name: str, size: int, count: int, *, seed_offset: int = 0
@@ -145,6 +147,7 @@ class ExperimentRunner:
                     self.config.delta,
                     seed=seed,
                     max_samples_cap=self.config.max_samples_cap,
+                    workers=self.config.workers,
                 )
                 result = estimator.estimate(graph)
             elif algorithm == "kadabra":
@@ -153,6 +156,7 @@ class ExperimentRunner:
                     self.config.delta,
                     seed=seed,
                     max_samples_cap=self.config.max_samples_cap,
+                    workers=self.config.workers,
                 )
                 result = estimator.estimate(graph)
             elif algorithm == "saphyra_full":
@@ -176,6 +180,7 @@ class ExperimentRunner:
             self.config.delta,
             seed=seed,
             max_samples_cap=self.config.max_samples_cap,
+            workers=self.config.workers,
         )
         result = algorithm.rank(graph, targets, block_cut_tree=bct)
         return SaPHyRaAsBaseline(result)

@@ -163,46 +163,53 @@ class _SearchSide:
 class _CSRSearchSide:
     """Index-space search side: level-synchronous expansion over CSR arrays.
 
-    Like the kernels in :mod:`repro.graphs.csr`, each level is expanded
-    either sequentially (small frontiers — the common case on road networks)
-    or vectorised (large frontiers), visiting edges in the identical order
-    either way.
+    The expansion itself is the shared hybrid kernel
+    :class:`repro.graphs.csr._BatchSweep` (single-slot), so the
+    vectorised/sequential strategy choice and the sigma overflow guard exist
+    in exactly one place; this class only adds the bidirectional bookkeeping
+    (predecessor reconstruction and path sampling back to the root).
     """
 
-    __slots__ = ("csr", "root", "dist", "sigma", "preds", "frontier", "level",
-                 "levels", "level_edges", "_dist_view", "_sigma_view",
-                 "_scratch", "_frontier_max_sigma")
+    __slots__ = ("csr", "root", "sweep", "_pred_groups")
 
     def __init__(self, csr, root: int) -> None:
         self.csr = csr
         self.root = root
-        n = csr.n
-        if _csr.HAS_NUMPY:
-            self.dist, self._dist_view = _csr._shared_state(n, "q")
-            self._dist_view.fill(-1)
-            self.sigma, self._sigma_view = _csr._shared_state(n, "q")
-            self.preds = None
-            self.level_edges: List[tuple] = []
-            self._scratch = _np.empty(n, dtype=_np.int64)
-        else:
-            self.dist = [-1] * n
-            self.sigma = [0] * n
-            self._sigma_view = None
-            self.preds = [None] * n  # lazily created per-node lists
-            self.level_edges = []
-        self.frontier: List[int] = [root]
-        self.dist[root] = 0
-        self.sigma[root] = 1
-        self.level = 0
-        self.levels = [[root]]
-        self._frontier_max_sigma = 1
+        self.sweep = _csr._BatchSweep(
+            csr, (root,), sigma_mode="int", track_edges=True
+        )
+        # Lazily built per-level ``{head: [tails]}`` groupings, so repeated
+        # path sampling pays one scan of a level's edge list, not one per
+        # visited node.
+        self._pred_groups: Dict[int, Dict[int, List[int]]] = {}
 
     @property
     def has_frontier(self) -> bool:
-        return len(self.frontier) > 0
+        return self.sweep.has_frontier
+
+    @property
+    def frontier(self):
+        return self.sweep.frontier
+
+    @property
+    def level(self) -> int:
+        return self.sweep.depth
+
+    @property
+    def levels(self):
+        return self.sweep.levels
+
+    @property
+    def dist(self):
+        # The element-indexable container (``array`` buffer or plain list).
+        return self.sweep.dist_store
+
+    @property
+    def sigma(self):
+        return self.sweep.sigma
 
     def frontier_cost(self) -> int:
-        return _csr._frontier_edge_count(self.csr, self.frontier)
+        return self.sweep.frontier_cost()
 
     def expand(self, frontier_cost: Optional[int] = None) -> int:
         """Expand one complete BFS level; return the number of scanned entries.
@@ -210,101 +217,26 @@ class _CSRSearchSide:
         ``frontier_cost`` lets the caller pass the total frontier degree it
         already computed for side selection instead of rescanning it here.
         """
-        next_level = self.level + 1
-        if frontier_cost is None:
-            frontier_cost = self.frontier_cost()
-        # Shortest-path counts grow multiplicatively per level (binomially on
-        # grids); leave the int64 buffer for exact Python ints before the
-        # next expansion could wrap.
-        if self._sigma_view is not None and _csr._sigma_may_overflow(
-            self._frontier_max_sigma, self.csr.max_degree
-        ):
-            self.sigma = self._sigma_view.tolist()
-            self._sigma_view = None
-        if _csr.HAS_NUMPY and frontier_cost >= _csr._SEQUENTIAL_EDGE_THRESHOLD:
-            front = _np.asarray(self.frontier, dtype=_np.int64)
-            nbrs, srcs = _csr._np_gather_neighbors(
-                self.csr.indptr, self.csr.indices, front
-            )
-            scanned = int(nbrs.size)
-            dist = self._dist_view
-            # Neighbours undiscovered at level start are exactly the nodes of
-            # the next level, so the unseen mask doubles as the edge mask.
-            unseen = dist[nbrs] < 0
-            edge_v = nbrs[unseen]
-            edge_u = srcs[unseen]
-            fresh = _csr._np_first_occurrence(edge_v, self._scratch)
-            dist[fresh] = next_level
-            edge_u_list = edge_u.tolist()
-            edge_v_list = edge_v.tolist()
-            if self._sigma_view is not None:
-                _np.add.at(self._sigma_view, edge_v, self._sigma_view[edge_u])
-                if fresh.size:
-                    self._frontier_max_sigma = int(
-                        self._sigma_view[fresh].max()
-                    )
-            else:
-                sigma = self.sigma
-                for tail, head in zip(edge_u_list, edge_v_list):
-                    sigma[head] += sigma[tail]
-                if fresh.size:
-                    self._frontier_max_sigma = max(
-                        sigma[node] for node in fresh.tolist()
-                    )
-            self.level_edges.append((edge_u_list, edge_v_list))
-            self.frontier = fresh.tolist()
-        else:
-            if _csr.HAS_NUMPY:
-                indptr, indices = self.csr.adjacency_lists()
-            else:
-                indptr, indices = self.csr.indptr, self.csr.indices
-            dist, sigma, preds = self.dist, self.sigma, self.preds
-            next_frontier: List[int] = []
-            edge_u_list: List[int] = []
-            edge_v_list: List[int] = []
-            scanned = 0
-            for node in self.frontier:
-                sigma_node = sigma[node]
-                for position in range(indptr[node], indptr[node + 1]):
-                    neighbor = indices[position]
-                    scanned += 1
-                    known = dist[neighbor]
-                    if known < 0:
-                        dist[neighbor] = next_level
-                        sigma[neighbor] = sigma_node
-                        next_frontier.append(neighbor)
-                        if preds is None:
-                            edge_u_list.append(node)
-                            edge_v_list.append(neighbor)
-                        else:
-                            preds[neighbor] = [node]
-                    elif known == next_level:
-                        sigma[neighbor] += sigma_node
-                        if preds is None:
-                            edge_u_list.append(node)
-                            edge_v_list.append(neighbor)
-                        else:
-                            preds[neighbor].append(node)
-            if preds is None:
-                self.level_edges.append((edge_u_list, edge_v_list))
-            if next_frontier:
-                self._frontier_max_sigma = max(
-                    sigma[node] for node in next_frontier
-                )
-            self.frontier = next_frontier
-        self.level = next_level
-        self.levels.append(self.frontier)
-        return scanned
+        return self.sweep.expand(frontier_cost)
 
     def preds_of(self, node: int) -> List[int]:
         """Predecessor indices of ``node`` in the dict backend's append order."""
-        if self.preds is not None:
-            return self.preds[node] or []
-        level = self.dist[node]
-        if level <= 0 or level > len(self.level_edges):
+        level = self.sweep.dist_store[node]
+        if level <= 0 or level > len(self.sweep.level_edges):
             return []
-        edge_u, edge_v = self.level_edges[level - 1]
-        return [u for u, v in zip(edge_u, edge_v) if v == node]
+        edge_u, edge_v = self.sweep.level_edges[level - 1]
+        if _csr.HAS_NUMPY:
+            # One vectorised scan per query; a path visits each level once.
+            return edge_u[edge_v == node].tolist()
+        # Pure Python: group the level's edges by head once and reuse, so a
+        # query costs O(deg) instead of rescanning the whole level.
+        groups = self._pred_groups.get(level)
+        if groups is None:
+            groups = {}
+            for tail, head in zip(edge_u, edge_v):
+                groups.setdefault(head, []).append(tail)
+            self._pred_groups[level] = groups
+        return groups.get(node, [])
 
     def sample_path_to(self, node_index: int, rng) -> List[int]:
         """Sample a shortest path ``root -> node`` as an index list."""
@@ -532,10 +464,10 @@ def _bidirectional_csr(
 def _best_meeting(side: _CSRSearchSide, other: _CSRSearchSide, best):
     """Update the best meeting distance after ``side`` expanded one level."""
     frontier = side.frontier
-    if not frontier:
+    if len(frontier) == 0:
         return best
     if _csr.HAS_NUMPY and len(frontier) >= 64:
-        other_dist = other._dist_view[_np.asarray(frontier, dtype=_np.int64)]
+        other_dist = other.sweep.dist[_np.asarray(frontier, dtype=_np.int64)]
         reached = other_dist >= 0
         if reached.any():
             candidate = side.level + int(other_dist[reached].min())

@@ -16,7 +16,14 @@ alternative:
   invalidated automatically when the graph mutates (via ``Graph._version``).
 * Integer-index kernels — ``csr_bfs``, ``csr_shortest_path_dag``,
   ``csr_brandes`` — vectorised with numpy when it is importable and falling
-  back to pure-Python loops over the same flat arrays otherwise.
+  back to pure-Python loops over the same flat arrays otherwise.  All of
+  them (and the bidirectional search in
+  :mod:`repro.graphs.bidirectional`) drive the one shared expand-one-level
+  kernel, :class:`_BatchSweep`.
+* Batched sweeps — :func:`multi_source_sweep` runs K sources per call over
+  stacked ``(K, n)`` state arrays, merging the thin per-source frontiers of
+  high-diameter (road-style) graphs into fat vectorised ones, with results
+  bit-identical to the per-source kernels.
 * Backend selection — :func:`resolve_backend` maps a user-facing
   ``backend=`` argument (``None``/``"auto"``/``"dict"``/``"csr"``) to a
   concrete backend, honouring the ``REPRO_BACKEND`` environment variable.
@@ -78,6 +85,30 @@ AUTO_CSR_THRESHOLD = 512
 _BACKEND_CHOICES = BACKENDS + (AUTO_BACKEND,)
 
 
+def _check_backend_name(value: str, *, source: str = "backend") -> None:
+    """Raise a uniform error for an invalid backend name.
+
+    ``source`` names where the value came from (the ``backend=`` argument or
+    the ``REPRO_BACKEND`` environment variable) so a typo'd setting is
+    attributable no matter how deep in the call stack it surfaces.
+    """
+    if value not in _BACKEND_CHOICES:
+        raise ValueError(
+            f"{source}={value!r} is not a valid backend; choose one of "
+            f"{_BACKEND_CHOICES} (the default can also be set via the "
+            f"{BACKEND_ENV_VAR} environment variable)"
+        )
+
+
+def _env_backend() -> Optional[str]:
+    """Return the validated ``REPRO_BACKEND`` value, or ``None`` if unset."""
+    env = os.environ.get(BACKEND_ENV_VAR, "").strip().lower()
+    if not env:
+        return None
+    _check_backend_name(env, source=BACKEND_ENV_VAR)
+    return env
+
+
 def default_backend() -> str:
     """Return the backend used when callers pass ``backend=None``.
 
@@ -86,13 +117,8 @@ def default_backend() -> str:
     """
     if _default_backend is not None:
         return _default_backend
-    env = os.environ.get(BACKEND_ENV_VAR, "").strip().lower()
-    if env:
-        if env not in _BACKEND_CHOICES:
-            raise ValueError(
-                f"{BACKEND_ENV_VAR}={env!r} is not a valid backend; "
-                f"choose one of {_BACKEND_CHOICES}"
-            )
+    env = _env_backend()
+    if env is not None:
         return env
     return AUTO_BACKEND
 
@@ -104,10 +130,8 @@ def set_default_backend(backend: Optional[str]) -> None:
     overriding any ``REPRO_BACKEND`` environment variable.
     """
     global _default_backend
-    if backend is not None and backend not in _BACKEND_CHOICES:
-        raise ValueError(
-            f"unknown backend {backend!r}; choose one of {_BACKEND_CHOICES}"
-        )
+    if backend is not None:
+        _check_backend_name(backend)
     _default_backend = backend
 
 
@@ -116,11 +140,18 @@ def resolve_backend(backend: Optional[str] = None) -> str:
 
     May return ``"auto"``, meaning "decide per graph" — dispatch sites pass
     the graph through :func:`effective_backend` instead when they can.
+
+    An invalid ``REPRO_BACKEND`` value is rejected here as well (not only
+    when it is actually consulted), so a typo'd variable exported mid-run
+    surfaces as one clear error naming the variable instead of a confusing
+    deep-stack failure on some later dispatch.
     """
+    env = _env_backend()
     if backend is None:
-        backend = default_backend()
-    if backend not in BACKENDS and backend != AUTO_BACKEND:
-        raise ValueError(f"unknown backend {backend!r}; choose one of {BACKENDS}")
+        if _default_backend is not None:
+            return _default_backend
+        return env if env is not None else AUTO_BACKEND
+    _check_backend_name(backend)
     return backend
 
 
@@ -154,8 +185,19 @@ def effective_backend(
     threshold = AUTO_CSR_THRESHOLD if auto_threshold is None else auto_threshold
     if graph.number_of_nodes() + graph.number_of_edges() >= threshold:
         return CSR_BACKEND
-    if auto_threshold is None and graph in _csr_cache:
-        return CSR_BACKEND
+    if auto_threshold is None:
+        cached = _csr_cache.get(graph)
+        if cached is not None:
+            if cached[0] == graph._version:
+                # A current snapshot exists, so the array kernels are free to
+                # use even though the graph is small.
+                return CSR_BACKEND
+            # The graph mutated since the snapshot was taken: routing a small
+            # graph to CSR now would force a pointless re-freeze, and keeping
+            # the stale snapshot alive would let the cache hold arbitrarily
+            # large dead arrays under mutate/query cycles.  Evict and fall
+            # through to the dict reference.
+            del _csr_cache[graph]
     return DICT_BACKEND
 
 
@@ -431,9 +473,20 @@ def weighted_choice(items: Sequence, weights: Sequence[int], rng):
     The threshold is drawn with ``rng.randrange(total)`` over the *integer*
     total, so the choice is exact — no float accumulation bias even when the
     weights (shortest-path counts) exceed ``2**53``.
+
+    Raises
+    ------
+    SamplingError
+        If the lengths differ (a silent ``zip`` truncation would otherwise
+        return an arbitrary item), or if the total weight is not positive.
     """
     from repro.errors import SamplingError
 
+    if len(items) != len(weights):
+        raise SamplingError(
+            f"weighted_choice needs one weight per item, got {len(items)} "
+            f"items but {len(weights)} weights"
+        )
     total = 0
     for weight in weights:
         total += weight
@@ -448,9 +501,9 @@ def weighted_choice(items: Sequence, weights: Sequence[int], rng):
     return items[-1]
 
 
-# -------------------------- numpy kernels -----------------------------
+# ---------------------- the level-expansion kernel --------------------
 #
-# The numpy kernels are *hybrid*: each BFS level is expanded either with
+# The expansion kernel is *hybrid*: each BFS level is expanded either with
 # vectorised array operations (large frontiers — social networks collapse to
 # a handful of huge levels) or with a sequential Python loop over cached
 # adjacency lists (small frontiers — road networks have hundreds of thin
@@ -459,6 +512,13 @@ def weighted_choice(items: Sequence, weights: Sequence[int], rng):
 # affects results, only speed.  Traversal state lives in ``array`` buffers
 # shared with numpy views (``np.frombuffer``), giving the sequential path
 # fast C-array subscription and the vectorised path zero-copy arrays.
+#
+# :class:`_BatchSweep` below is the ONLY copy of this hybrid expansion and
+# of the int64→Python-int sigma overflow guard.  Every level-synchronous
+# consumer — ``_np_bfs``, ``_np_shortest_path_dag`` (and through it
+# ``csr_brandes``), the bidirectional ``_CSRSearchSide``, and the batched
+# :func:`multi_source_sweep` — drives the same kernel, so the expansion
+# logic cannot silently diverge between call sites again.
 
 #: Frontiers whose total degree falls below this are expanded sequentially.
 _SEQUENTIAL_EDGE_THRESHOLD = 192
@@ -482,30 +542,6 @@ def _shared_state(n: int, typecode: str):
     return store, view
 
 
-def _np_gather_neighbors(indptr, indices, frontier, with_sources: bool = True):
-    """Return ``(neighbors, sources)`` of ``frontier`` in scan order.
-
-    ``neighbors[k]`` is scanned while expanding ``sources[k]``; concatenating
-    the per-node adjacency slices in frontier order reproduces exactly the
-    edge scan order of the sequential dict BFS.  ``with_sources=False`` skips
-    materialising the source array (plain BFS does not need it).
-    """
-    starts = indptr[frontier]
-    counts = indptr[frontier + 1] - starts
-    total = int(counts.sum())
-    if total == 0:
-        empty = _np.empty(0, dtype=_np.int64)
-        return empty, empty
-    row_offsets = _np.cumsum(counts)
-    row_offsets -= counts
-    positions = _np.arange(total, dtype=_np.int64)
-    positions += _np.repeat(starts - row_offsets, counts)
-    neighbors = indices[positions]
-    if not with_sources:
-        return neighbors, None
-    return neighbors, _np.repeat(frontier, counts)
-
-
 def _np_first_occurrence(values, scratch):
     """Deduplicate ``values`` keeping the first occurrence of each element.
 
@@ -520,200 +556,325 @@ def _np_first_occurrence(values, scratch):
     return values[scratch[values] == positions]
 
 
-def _frontier_edge_count(csr: CSRGraph, frontier) -> int:
-    """Total degree of ``frontier`` (a list or an int64 array)."""
-    if isinstance(frontier, list):
-        indptr_list, _ = csr.adjacency_lists()
-        return sum(indptr_list[node + 1] - indptr_list[node] for node in frontier)
-    indptr = csr.indptr
-    return int((indptr[frontier + 1] - indptr[frontier]).sum())
+class _BatchSweep:
+    """Level-synchronous sweep state over ``B`` stacked sources.
 
+    This class is the single copy of the hybrid vectorised/sequential
+    expand-one-level kernel *and* of the int64→Python-int sigma overflow
+    guard (see the module comment above).  It runs ``B`` independent
+    single-source searches over one flattened state space of size ``B * n``:
+    source slot ``k`` owns the flat ids ``k * n .. k * n + n - 1`` and a
+    node ``v`` in slot ``k`` is the flat id ``k * n + v``.  With ``B == 1``
+    flat ids equal node ids and the sweep *is* the single-source kernel; with
+    ``B > 1`` the per-slot thin frontiers merge into one fat frontier, which
+    is what makes high-diameter (road-style) graphs vectorise.
 
-def _np_bfs(csr: CSRGraph, source: int, max_depth: Optional[int]):
-    """Level-synchronous hybrid BFS; returns ``(dist, levels)``.
+    Per-slot determinism: the flattened frontier keeps every slot's nodes in
+    that slot's discovery order, so the edge stream restricted to one slot is
+    exactly the edge stream the single-source kernel scans.  All per-node
+    accumulations (integer and float sigma, Brandes dependencies) therefore
+    see the same additions in the same order, and batched results are
+    bit-identical to per-source results.
 
-    ``levels[k]`` holds the indices discovered at depth ``k`` in discovery
-    order (int64 arrays).
+    Parameters
+    ----------
+    csr:
+        The snapshot to sweep over.
+    roots:
+        One source node index per slot.
+    sigma_mode:
+        ``None`` (distances only), ``"int"`` (exact shortest-path counts with
+        the overflow guard) or ``"float"`` (Brandes-style float counts).
+    track_edges:
+        Record the per-level DAG edge arrays ``(u, v)`` in scan order (needed
+        by predecessor reconstruction and the Brandes backward pass).
     """
-    indptr, indices = csr.indptr, csr.indices
-    dist_store, dist = _shared_state(csr.n, "q")
-    dist.fill(-1)
-    dist[source] = 0
-    scratch = _np.empty(csr.n, dtype=_np.int64)
-    frontier: object = [source]
-    levels = [_np.array([source], dtype=_np.int64)]
-    depth = 0
-    while (max_depth is None or depth < max_depth):
-        if _frontier_edge_count(csr, frontier) < _SEQUENTIAL_EDGE_THRESHOLD:
-            indptr_list, indices_list = csr.adjacency_lists()
-            if not isinstance(frontier, list):
-                frontier = frontier.tolist()
-            fresh_list: List[int] = []
-            next_depth = depth + 1
-            for node in frontier:
-                for position in range(indptr_list[node], indptr_list[node + 1]):
-                    neighbor = indices_list[position]
-                    if dist_store[neighbor] < 0:
-                        dist_store[neighbor] = next_depth
-                        fresh_list.append(neighbor)
-            if not fresh_list:
-                break
-            depth = next_depth
-            levels.append(_np.asarray(fresh_list, dtype=_np.int64))
-            frontier = fresh_list
+
+    __slots__ = ("csr", "batch", "n", "size", "float_sigma", "track_edges",
+                 "dist_store", "dist", "sigma", "sigma_view", "frontier",
+                 "depth", "levels", "level_edges", "frontier_max_sigma",
+                 "scratch")
+
+    def __init__(self, csr: CSRGraph, roots, *, sigma_mode: Optional[str] = None,
+                 track_edges: bool = False) -> None:
+        if track_edges and sigma_mode is None:
+            # Only the sigma-tracking loops record DAG edges; allowing the
+            # combination would let the two expansion strategies disagree on
+            # level_edges content, breaking the strategy-never-affects-
+            # results invariant.
+            raise ValueError("track_edges requires a sigma_mode")
+        self.csr = csr
+        self.batch = len(roots)
+        self.n = csr.n
+        self.size = self.batch * csr.n
+        self.float_sigma = sigma_mode == "float"
+        self.track_edges = track_edges
+        n = csr.n
+        flat_roots = (
+            list(roots) if self.batch == 1
+            else [slot * n + root for slot, root in enumerate(roots)]
+        )
+        if HAS_NUMPY:
+            self.dist_store, self.dist = _shared_state(self.size, "q")
+            self.dist.fill(-1)
+            self.scratch = _np.empty(self.size, dtype=_np.int64)
         else:
-            if isinstance(frontier, list):
-                frontier = _np.asarray(frontier, dtype=_np.int64)
-            nbrs, _ = _np_gather_neighbors(
-                indptr, indices, frontier, with_sources=False
+            self.dist_store = [-1] * self.size
+            self.dist = self.dist_store
+            self.scratch = None
+        if sigma_mode is None:
+            self.sigma = None
+            self.sigma_view = None
+        elif HAS_NUMPY:
+            # ``sigma`` is what gets indexed element-wise: the shared buffer
+            # while counts fit in int64, a plain list of Python ints after
+            # the overflow guard trips (float sigma — the Brandes case —
+            # never overflows).
+            self.sigma, self.sigma_view = _shared_state(
+                self.size, "d" if self.float_sigma else "q"
             )
-            fresh = _np_first_occurrence(nbrs[dist[nbrs] < 0], scratch)
-            if fresh.size == 0:
-                break
-            depth += 1
-            dist[fresh] = depth
-            levels.append(fresh)
-            frontier = fresh
-    return dist, levels
+        else:
+            self.sigma = [0.0 if self.float_sigma else 0] * self.size
+            self.sigma_view = None
+        for flat in flat_roots:
+            self.dist_store[flat] = 0
+            if self.sigma is not None:
+                self.sigma[flat] = 1.0 if self.float_sigma else 1
+        self.frontier: object = flat_roots
+        self.depth = 0
+        self.levels: List[object] = [
+            _np.asarray(flat_roots, dtype=_np.int64) if HAS_NUMPY else flat_roots
+        ]
+        self.level_edges: List[Tuple[object, object]] = []
+        self.frontier_max_sigma = 1
 
+    # ------------------------------------------------------------------
+    @property
+    def has_frontier(self) -> bool:
+        return len(self.frontier) > 0
 
-def _np_shortest_path_dag(
-    csr: CSRGraph, source: int, max_depth: Optional[int], float_sigma: bool
-) -> CSRShortestPathDAG:
-    indptr, indices = csr.indptr, csr.indices
-    n = csr.n
-    dist_store, dist = _shared_state(n, "q")
-    dist.fill(-1)
-    dist[source] = 0
-    sigma_store, sigma_view = _shared_state(n, "d" if float_sigma else "q")
-    sigma_view[source] = 1
-    # ``sigma`` is what gets indexed element-wise: the shared buffer while
-    # counts fit in int64, a plain list of Python ints after the overflow
-    # guard trips (float sigma — the Brandes case — never overflows).
-    sigma: object = sigma_store
-    frontier_max_sigma = 1
-    scratch = _np.empty(n, dtype=_np.int64)
-    frontier: object = [source]
-    levels = [_np.array([source], dtype=_np.int64)]
-    level_edges: List[Tuple[object, object]] = []
-    depth = 0
-    while (max_depth is None or depth < max_depth):
+    def frontier_cost(self) -> int:
+        """Total degree of the current frontier (the cost of one expansion)."""
+        frontier = self.frontier
+        if len(frontier) == 0:
+            return 0
+        if isinstance(frontier, list):
+            indptr, _ = self.csr.adjacency_lists()
+            if self.batch == 1:
+                return sum(indptr[node + 1] - indptr[node] for node in frontier)
+            n = self.n
+            total = 0
+            for flat in frontier:
+                node = flat % n
+                total += indptr[node + 1] - indptr[node]
+            return total
+        indptr = self.csr.indptr
+        nodes = frontier if self.batch == 1 else frontier % self.n
+        return int((indptr[nodes + 1] - indptr[nodes]).sum())
+
+    def expand(self, frontier_cost: Optional[int] = None) -> int:
+        """Expand one complete BFS level; return the number of scanned entries.
+
+        ``frontier_cost`` lets a caller that already computed the frontier
+        degree (for side selection in the bidirectional search) pass it in
+        instead of rescanning.  The level is always recorded — possibly empty
+        when the sweep is exhausted — so ``levels``/``level_edges`` stay
+        aligned with ``depth``; drivers that want no trailing empty level
+        call :meth:`trim` once the loop ends.
+        """
+        if frontier_cost is None:
+            frontier_cost = self.frontier_cost()
+        # Shortest-path counts grow multiplicatively per level (binomially on
+        # grids); leave the int64 buffer for exact Python ints before the
+        # next expansion could wrap.  Float sigma never overflows.
         if (
-            not float_sigma
-            and sigma_view is not None
-            and _sigma_may_overflow(frontier_max_sigma, csr.max_degree)
+            self.sigma_view is not None
+            and not self.float_sigma
+            and _sigma_may_overflow(self.frontier_max_sigma, self.csr.max_degree)
         ):
-            sigma = sigma_view.tolist()
-            sigma_view = None
-        if _frontier_edge_count(csr, frontier) < _SEQUENTIAL_EDGE_THRESHOLD:
-            indptr_list, indices_list = csr.adjacency_lists()
-            if not isinstance(frontier, list):
-                frontier = frontier.tolist()
-            fresh_list: List[int] = []
-            edge_u_list: List[int] = []
-            edge_v_list: List[int] = []
-            next_depth = depth + 1
-            for node in frontier:
-                sigma_node = sigma[node]
-                for position in range(indptr_list[node], indptr_list[node + 1]):
-                    neighbor = indices_list[position]
-                    known = dist_store[neighbor]
+            self.sigma = self.sigma_view.tolist()
+            self.sigma_view = None
+        if HAS_NUMPY and frontier_cost >= _SEQUENTIAL_EDGE_THRESHOLD:
+            scanned = self._expand_vectorised()
+        else:
+            scanned = self._expand_sequential()
+        self.depth += 1
+        return scanned
+
+    def trim(self) -> None:
+        """Drop a trailing empty level recorded by the final expansion."""
+        if len(self.levels) > 1 and len(self.levels[-1]) == 0:
+            self.levels.pop()
+            if self.track_edges and self.level_edges:
+                self.level_edges.pop()
+
+    # ------------------------------------------------------------------
+    def _expand_sequential(self) -> int:
+        """Expand via a Python loop over cached adjacency lists."""
+        indptr, indices = self.csr.adjacency_lists()
+        frontier = self.frontier
+        if not isinstance(frontier, list):
+            frontier = frontier.tolist()
+        n = self.n
+        single = self.batch == 1
+        next_depth = self.depth + 1
+        dist = self.dist_store
+        sigma = self.sigma
+        track_edges = self.track_edges
+        fresh: List[int] = []
+        edge_u: List[int] = []
+        edge_v: List[int] = []
+        scanned = 0
+        if sigma is None:
+            for flat in frontier:
+                node = flat if single else flat % n
+                base = flat - node
+                start = indptr[node]
+                stop = indptr[node + 1]
+                scanned += stop - start
+                for position in range(start, stop):
+                    neighbor = base + indices[position]
+                    if dist[neighbor] < 0:
+                        dist[neighbor] = next_depth
+                        fresh.append(neighbor)
+        else:
+            for flat in frontier:
+                node = flat if single else flat % n
+                base = flat - node
+                sigma_flat = sigma[flat]
+                for position in range(indptr[node], indptr[node + 1]):
+                    neighbor = base + indices[position]
+                    scanned += 1
+                    known = dist[neighbor]
                     if known < 0:
-                        dist_store[neighbor] = next_depth
-                        fresh_list.append(neighbor)
+                        dist[neighbor] = next_depth
+                        fresh.append(neighbor)
                         known = next_depth
                     if known == next_depth:
-                        sigma[neighbor] += sigma_node
-                        edge_u_list.append(node)
-                        edge_v_list.append(neighbor)
-            if not fresh_list:
-                break
-            depth = next_depth
-            level_edges.append(
-                (
-                    _np.asarray(edge_u_list, dtype=_np.int64),
-                    _np.asarray(edge_v_list, dtype=_np.int64),
+                        sigma[neighbor] += sigma_flat
+                        if track_edges:
+                            edge_u.append(flat)
+                            edge_v.append(neighbor)
+            if fresh and not self.float_sigma and self.sigma_view is not None:
+                self.frontier_max_sigma = max(sigma[flat] for flat in fresh)
+        if HAS_NUMPY:
+            self.levels.append(_np.asarray(fresh, dtype=_np.int64))
+            if track_edges:
+                self.level_edges.append(
+                    (
+                        _np.asarray(edge_u, dtype=_np.int64),
+                        _np.asarray(edge_v, dtype=_np.int64),
+                    )
                 )
-            )
-            levels.append(_np.asarray(fresh_list, dtype=_np.int64))
-            if not float_sigma:
-                frontier_max_sigma = max(sigma[node] for node in fresh_list)
-            frontier = fresh_list
         else:
-            if isinstance(frontier, list):
-                frontier = _np.asarray(frontier, dtype=_np.int64)
-            nbrs, srcs = _np_gather_neighbors(indptr, indices, frontier)
-            # In a level-synchronous BFS every neighbour that was undiscovered
-            # when the level started sits at the next depth, so the unseen
-            # mask doubles as the DAG-edge mask (in dict scan order).
-            unseen = dist[nbrs] < 0
-            edge_v = nbrs[unseen]
-            fresh = _np_first_occurrence(edge_v, scratch)
-            if fresh.size == 0:
-                break
-            depth += 1
-            dist[fresh] = depth
+            self.levels.append(fresh)
+            if track_edges:
+                self.level_edges.append((edge_u, edge_v))
+        self.frontier = fresh
+        return scanned
+
+    def _expand_vectorised(self) -> int:
+        """Expand via numpy gather/scatter over the whole frontier at once."""
+        indptr, indices = self.csr.indptr, self.csr.indices
+        frontier = self.frontier
+        if isinstance(frontier, list):
+            frontier = _np.asarray(frontier, dtype=_np.int64)
+        nodes = frontier if self.batch == 1 else frontier % self.n
+        starts = indptr[nodes]
+        counts = indptr[nodes + 1] - starts
+        total = int(counts.sum())
+        empty = _np.empty(0, dtype=_np.int64)
+        if total == 0:
+            self.levels.append(empty)
+            if self.track_edges:
+                self.level_edges.append((empty, empty))
+            self.frontier = empty
+            return 0
+        # Concatenating the per-node adjacency slices in frontier order
+        # reproduces exactly the edge scan order of the sequential dict BFS.
+        row_offsets = _np.cumsum(counts)
+        row_offsets -= counts
+        positions = _np.arange(total, dtype=_np.int64)
+        positions += _np.repeat(starts - row_offsets, counts)
+        nbrs = indices[positions]
+        if self.batch > 1:
+            nbrs = nbrs + _np.repeat(frontier - nodes, counts)
+        srcs = _np.repeat(frontier, counts) if self.sigma is not None else None
+        next_depth = self.depth + 1
+        dist = self.dist
+        # In a level-synchronous BFS every neighbour that was undiscovered
+        # when the level started sits at the next depth, so the unseen mask
+        # doubles as the DAG-edge mask (in dict scan order).
+        unseen = dist[nbrs] < 0
+        edge_v = nbrs[unseen]
+        fresh = _np_first_occurrence(edge_v, self.scratch)
+        dist[fresh] = next_depth
+        if self.sigma is not None:
             edge_u = srcs[unseen]
-            if sigma_view is not None:
-                _accumulate_level(sigma_view, edge_v, sigma_view[edge_u],
-                                  float_sigma, n)
-                if not float_sigma and fresh.size:
-                    frontier_max_sigma = int(sigma_view[fresh].max())
+            if self.sigma_view is not None:
+                _accumulate_level(
+                    self.sigma_view, edge_v, self.sigma_view[edge_u],
+                    self.float_sigma, self.size,
+                )
+                if not self.float_sigma and fresh.size:
+                    self.frontier_max_sigma = int(self.sigma_view[fresh].max())
             else:
+                sigma = self.sigma
                 for tail, head in zip(edge_u.tolist(), edge_v.tolist()):
                     sigma[head] += sigma[tail]
-                frontier_max_sigma = max(sigma[node] for node in fresh.tolist())
-            level_edges.append((edge_u, edge_v))
-            levels.append(fresh)
-            frontier = fresh
-    order = _np.concatenate(levels) if len(levels) > 1 else levels[0]
-    if float_sigma:
-        sigma = sigma_view
-    return CSRShortestPathDAG(csr, source, dist, sigma, order, levels, level_edges)
+            if self.track_edges:
+                self.level_edges.append((edge_u, edge_v))
+        self.levels.append(fresh)
+        self.frontier = fresh
+        return total
 
 
-def _accumulate_level(totals, heads, values, as_float: bool, n: int) -> None:
+def _accumulate_level(totals, heads, values, as_float: bool, size: int) -> None:
     """Scatter-add ``values`` into ``totals[heads]`` preserving input order.
 
-    Every head receives its first contribution in this very call (its total
-    is still zero), so ``bincount`` — which sums each bin sequentially in
-    input order — reproduces the dict backend's float rounding exactly while
-    being far faster than ``np.add.at``.  Integer totals keep ``np.add.at``
-    (bincount would go through float64 and lose exactness past ``2**53``).
+    Every head receives *all* of its contributions within this one call while
+    its total is still zero, so per-bin summation in input order reproduces
+    the dict backend's float rounding exactly.  Both float strategies have
+    that property — ``bincount`` sums each bin sequentially in input order,
+    ``np.add.at`` applies the additions one by one — so the choice between
+    them (bincount allocates ``size`` floats per call, add.at pays a high
+    per-element cost) affects speed only.  Integer totals always use
+    ``np.add.at`` (bincount would go through float64 and lose exactness past
+    ``2**53``).
     """
     if not as_float:
         _np.add.at(totals, heads, values)
     elif heads.size:
-        totals += _np.bincount(heads, weights=values, minlength=n)
+        if 8 * heads.size >= size:
+            totals += _np.bincount(heads, weights=values, minlength=size)
+        else:
+            _np.add.at(totals, heads, values)
 
 
-def _np_brandes(csr: CSRGraph, source: int):
-    """Forward + backward Brandes pass; returns ``(delta, order, dist)``.
+def _backward_dependencies(levels, level_edges, sigma, size, scratch):
+    """Brandes' backward accumulation over a (possibly batched) sweep.
 
-    Bit-identical to the dict implementation: the backward edge sequence is
-    re-ordered per level so contributions hit ``delta`` in exactly the order
-    the sequential ``for node in reversed(order)`` loop produces, and each
-    tail's contributions land while its ``delta`` entry is still zero (its
-    own additions happen one level earlier), so per-level ``bincount``
-    accumulation preserves the rounding order too.
+    Bit-identical to the dict implementation: the edge sequence of each level
+    is re-ordered so contributions hit ``delta`` in exactly the order the
+    sequential ``for node in reversed(order)`` loop produces (per slot, for
+    batched sweeps — flat ids never collide across slots), and each tail's
+    contributions land while its ``delta`` entry is still zero (its own
+    additions happen one level earlier), so per-level scatter-adds preserve
+    the rounding order too.  Returns the flat ``delta`` array.
     """
-    dag = _np_shortest_path_dag(csr, source, None, float_sigma=True)
-    n = csr.n
-    sigma = dag.sigma
-    delta_store, delta = _shared_state(n, "d")
-    scratch = _np.empty(n, dtype=_np.int64)
-    for level in range(len(dag.levels) - 1, 0, -1):
-        edge_u, edge_v = dag.level_edges[level - 1]
-        size = edge_u.size
-        if size == 0:
+    delta_store, delta = _shared_state(size, "d")
+    for level in range(len(levels) - 1, 0, -1):
+        edge_u, edge_v = level_edges[level - 1]
+        count = edge_u.size
+        if count == 0:
             continue
-        if size < _SEQUENTIAL_EDGE_THRESHOLD:
+        if count < _SEQUENTIAL_EDGE_THRESHOLD:
             # Sequential: group predecessor edges per head, walk heads in
             # reverse discovery order — the dict backend's exact sequence.
             per_head: Dict[int, List[int]] = {}
             for tail, head in zip(edge_u.tolist(), edge_v.tolist()):
                 per_head.setdefault(head, []).append(tail)
-            for head in reversed(dag.levels[level].tolist()):
+            for head in reversed(levels[level].tolist()):
                 tails = per_head.get(head)
                 if not tails:
                     continue
@@ -722,14 +883,60 @@ def _np_brandes(csr: CSRGraph, source: int):
                 for tail in tails:
                     delta_store[tail] += sigma[tail] / sigma_head * coefficient
         else:
-            nodes = dag.levels[level]
+            nodes = levels[level]
             scratch[nodes] = _np.arange(nodes.size)
             reorder = _np.argsort(nodes.size - 1 - scratch[edge_v], kind="stable")
             heads = edge_v[reorder]
             tails = edge_u[reorder]
             contributions = sigma[tails] / sigma[heads] * (1.0 + delta[heads])
-            delta += _np.bincount(tails, weights=contributions, minlength=n)
-    return delta, dag.order, dag.dist
+            _accumulate_level(delta, tails, contributions, True, size)
+    return delta
+
+
+def _np_bfs(csr: CSRGraph, source: int, max_depth: Optional[int]):
+    """Level-synchronous hybrid BFS; returns ``(dist, levels)``.
+
+    ``levels[k]`` holds the indices discovered at depth ``k`` in discovery
+    order (int64 arrays).
+    """
+    sweep = _BatchSweep(csr, (source,))
+    while sweep.has_frontier and (max_depth is None or sweep.depth < max_depth):
+        sweep.expand()
+    sweep.trim()
+    return sweep.dist, sweep.levels
+
+
+def _np_shortest_path_dag(
+    csr: CSRGraph, source: int, max_depth: Optional[int], float_sigma: bool
+) -> CSRShortestPathDAG:
+    sweep = _BatchSweep(
+        csr, (source,),
+        sigma_mode="float" if float_sigma else "int",
+        track_edges=True,
+    )
+    while sweep.has_frontier and (max_depth is None or sweep.depth < max_depth):
+        sweep.expand()
+    sweep.trim()
+    levels = sweep.levels
+    order = _np.concatenate(levels) if len(levels) > 1 else levels[0]
+    sigma = sweep.sigma_view if float_sigma else sweep.sigma
+    return CSRShortestPathDAG(
+        csr, source, sweep.dist, sigma, order, levels, sweep.level_edges
+    )
+
+
+def _np_brandes(csr: CSRGraph, source: int):
+    """Forward + backward Brandes pass; returns ``(delta, order, dist)``."""
+    sweep = _BatchSweep(csr, (source,), sigma_mode="float", track_edges=True)
+    while sweep.has_frontier:
+        sweep.expand()
+    sweep.trim()
+    levels = sweep.levels
+    order = _np.concatenate(levels) if len(levels) > 1 else levels[0]
+    delta = _backward_dependencies(
+        levels, sweep.level_edges, sweep.sigma_view, sweep.size, sweep.scratch
+    )
+    return delta, order, sweep.dist
 
 
 # ----------------------- pure-Python kernels --------------------------
@@ -848,13 +1055,140 @@ def csr_brandes(csr: CSRGraph, source: int):
     return _py_brandes(csr, source)
 
 
-def csr_distance_stats(csr: CSRGraph, source: int) -> Tuple[int, int]:
-    """Return ``(reachable node count, total hop distance)`` from ``source``.
+#: ``kind`` values accepted by :func:`multi_source_sweep`.
+SWEEP_DISTANCE = "distance"
+SWEEP_SIGMA = "sigma"
+SWEEP_BRANDES = "brandes"
+_SWEEP_KINDS = (SWEEP_DISTANCE, SWEEP_SIGMA, SWEEP_BRANDES)
 
-    The closeness kernel: one BFS without materialising a per-node dict.
+#: Rough cap on the flattened edge-stream footprint of one batch; the
+#: default batch size is derived from it so batching never allocates more
+#: than a few tens of megabytes of transient level state.
+_BATCH_EDGE_BUDGET = 2_000_000
+
+
+def default_sweep_batch(csr: CSRGraph) -> int:
+    """Default number of sources stacked per :func:`multi_source_sweep` batch.
+
+    Sized so one batch's flattened state (``B * n`` arrays plus up to
+    ``B * 2m`` of recorded level edges) stays within a fixed memory budget:
+    high-diameter road graphs (small ``m``) get large batches — where
+    batching is the whole point — while dense social graphs, whose fat
+    frontiers already vectorise per source, get small ones.
     """
-    dist, order = csr_bfs(csr, source)
-    if HAS_NUMPY:
+    return max(1, min(64, _BATCH_EDGE_BUDGET // max(1, 2 * csr.m)))
+
+
+def multi_source_sweep(
+    csr: CSRGraph,
+    sources: Sequence[int],
+    *,
+    kind: str = SWEEP_DISTANCE,
+    batch_size: Optional[int] = None,
+) -> List[object]:
+    """Run one sweep per source, ``batch_size`` sources at a time.
+
+    The batched kernel stacks ``B`` single-source sweeps onto flattened
+    ``(B * n)`` state arrays and expands them level-synchronously together
+    (see :class:`_BatchSweep`): the per-slot thin frontiers of high-diameter
+    graphs merge into one fat frontier that the vectorised expansion path
+    can chew through, which is where per-source kernels lose to per-level
+    numpy overhead.  Results are **bit-identical** to running the per-source
+    kernels (``csr_bfs`` / ``csr_shortest_path_dag`` / ``csr_brandes``) one
+    source at a time.
+
+    Parameters
+    ----------
+    csr:
+        The snapshot to sweep.
+    sources:
+        Source node *indices* (one result per source, in order).
+    kind:
+        ``"distance"`` — per-source length-``n`` hop-distance arrays
+        (``-1`` = unreachable);
+        ``"sigma"`` — per-source ``(dist, sigma)`` pairs with exact
+        shortest-path counts (Python ints once the int64 overflow guard
+        trips, exactly like the per-source kernel);
+        ``"brandes"`` — per-source Brandes dependency arrays, including the
+        ``delta[source]`` residue the caller must ignore (mirroring
+        ``csr_brandes``).
+    batch_size:
+        Sources per stacked batch; defaults to :func:`default_sweep_batch`.
+
+    Without numpy the batched layout has nothing to vectorise, so the
+    function falls back to the per-source pure-Python kernels (results are
+    identical by the same contract).
+    """
+    if kind not in _SWEEP_KINDS:
+        raise ValueError(f"unknown sweep kind {kind!r}; choose one of {_SWEEP_KINDS}")
+    source_list = [int(source) for source in sources]
+    for source in source_list:
+        if source < 0 or source >= csr.n:
+            raise GraphError(
+                f"source index {source} out of range for a {csr.n}-node snapshot"
+            )
+    results: List[object] = []
+    if not HAS_NUMPY:
+        for source in source_list:
+            if kind == SWEEP_DISTANCE:
+                results.append(csr_bfs(csr, source)[0])
+            elif kind == SWEEP_SIGMA:
+                dag = csr_shortest_path_dag(csr, source)
+                results.append((dag.dist, dag.sigma))
+            else:
+                delta, _, _ = csr_brandes(csr, source)
+                results.append(delta)
+        return results
+    if batch_size is None:
+        batch_size = default_sweep_batch(csr)
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    n = csr.n
+    for start in range(0, len(source_list), batch_size):
+        roots = source_list[start : start + batch_size]
+        sweep = _BatchSweep(
+            csr,
+            roots,
+            sigma_mode=(
+                "float" if kind == SWEEP_BRANDES
+                else "int" if kind == SWEEP_SIGMA
+                else None
+            ),
+            track_edges=kind == SWEEP_BRANDES,
+        )
+        while sweep.has_frontier:
+            sweep.expand()
+        sweep.trim()
+        if kind == SWEEP_BRANDES:
+            delta = _backward_dependencies(
+                sweep.levels, sweep.level_edges, sweep.sigma_view,
+                sweep.size, sweep.scratch,
+            )
+            for slot in range(len(roots)):
+                results.append(delta[slot * n : (slot + 1) * n].copy())
+        elif kind == SWEEP_SIGMA:
+            for slot in range(len(roots)):
+                dist_row = sweep.dist[slot * n : (slot + 1) * n].copy()
+                if sweep.sigma_view is not None:
+                    sigma_row: object = sweep.sigma_view[
+                        slot * n : (slot + 1) * n
+                    ].copy()
+                else:
+                    sigma_row = sweep.sigma[slot * n : (slot + 1) * n]
+                results.append((dist_row, sigma_row))
+        else:
+            for slot in range(len(roots)):
+                results.append(sweep.dist[slot * n : (slot + 1) * n].copy())
+    return results
+
+
+def distance_stats_from_row(dist) -> Tuple[int, int]:
+    """``(reachable node count, total hop distance)`` of one distance row.
+
+    Accepts either a numpy row from :func:`multi_source_sweep` or the list
+    the pure-Python fallback produces (``-1`` = unreachable).
+    """
+    if HAS_NUMPY and not isinstance(dist, list):
         reached = dist >= 0
         return int(reached.sum()), int(dist[reached].sum())
     reachable = 0
@@ -864,3 +1198,14 @@ def csr_distance_stats(csr: CSRGraph, source: int) -> Tuple[int, int]:
             reachable += 1
             total += value
     return reachable, total
+
+
+def csr_distance_stats(csr: CSRGraph, source: int) -> Tuple[int, int]:
+    """Return ``(reachable node count, total hop distance)`` from ``source``.
+
+    The single-source convenience form of the closeness statistic;
+    bulk callers run :func:`multi_source_sweep` over whole source chunks
+    instead (see ``repro.centrality.closeness``).
+    """
+    [dist] = multi_source_sweep(csr, (source,), kind=SWEEP_DISTANCE)
+    return distance_stats_from_row(dist)

@@ -127,6 +127,15 @@ class _BCProblem:
     def sample_losses(self, rng: SeedLike = None) -> Mapping[int, float]:
         return self._generator.sample_losses(rng)
 
+    def collect_sample_stats(self):
+        """Detach this copy's sampling counters (worker side of the
+        stats round-trip the adaptive sampler runs per chunk)."""
+        return self._generator.take_stats()
+
+    def merge_sample_stats(self, stats) -> None:
+        """Fold a chunk's counters back in (master side)."""
+        self._generator.stats.merge(stats)
+
     def vc_dimension(self) -> float:
         return self._vc_dimension
 
@@ -152,6 +161,11 @@ class SaPHyRaBC:
     backend:
         Traversal backend (``"dict"``, ``"csr"`` or ``None`` for the
         default); both draw identical samples from identical seeds.
+    workers:
+        Worker processes for the sampling stage (``None`` resolves via
+        ``REPRO_WORKERS``).  Sampling uses per-chunk seeded RNG streams
+        folded in chunk order, so any worker count returns bit-identical
+        rankings.
 
     Examples
     --------
@@ -173,6 +187,7 @@ class SaPHyRaBC:
         max_samples_cap: Optional[int] = None,
         use_exact_subspace: bool = True,
         backend: Optional[str] = None,
+        workers: Optional[int] = None,
     ) -> None:
         check_probability_pair(epsilon, delta)
         self.epsilon = epsilon
@@ -182,6 +197,7 @@ class SaPHyRaBC:
         self.max_samples_cap = max_samples_cap
         self.use_exact_subspace = use_exact_subspace
         self.backend = backend
+        self.workers = workers
 
     # ------------------------------------------------------------------
     def rank(
@@ -259,10 +275,10 @@ class SaPHyRaBC:
                     work=0,
                 )
 
-        generator = GenBC(space, target_list)
-        if not self.use_exact_subspace:
-            # Ablation mode: nothing is ever rejected.
-            generator._in_exact_subspace = lambda path: False  # type: ignore[assignment]
+        # Ablation mode (no exact subspace): nothing is ever rejected.
+        generator = GenBC(
+            space, target_list, reject_exact_subspace=self.use_exact_subspace
+        )
         problem = _BCProblem(space, generator, exact, vc_dimension)
 
         # The framework estimates risks in PISP units; converting to
@@ -275,6 +291,7 @@ class SaPHyRaBC:
             seed=rng,
             sample_constant=self.sample_constant,
             max_samples_cap=self.max_samples_cap,
+            workers=self.workers,
         )
         with timings.measure("sampling"):
             framework_result = orchestrator.rank(problem)

@@ -38,6 +38,17 @@ class GenBCStatistics:
     visited_edges: int = 0
     path_length_histogram: Dict[int, int] = field(default_factory=dict)
 
+    def merge(self, other: "GenBCStatistics") -> None:
+        """Fold another statistics snapshot (e.g. from a worker) into this one."""
+        self.samples_returned += other.samples_returned
+        self.rejections += other.rejections
+        self.pairs_drawn += other.pairs_drawn
+        self.visited_edges += other.visited_edges
+        for length, count in other.path_length_histogram.items():
+            self.path_length_histogram[length] = (
+                self.path_length_histogram.get(length, 0) + count
+            )
+
 
 class GenBC:
     """Sampler over the approximate PISP subspace.
@@ -56,6 +67,10 @@ class GenBC:
     backend:
         Traversal backend for the in-block bidirectional searches; defaults
         to the sample space's backend.
+    reject_exact_subspace:
+        Disable to keep length-2 target-middle paths (the pure-sampling
+        ablation of SaPHyRa_bc); a constructor flag rather than a patched
+        method so the sampler stays picklable for worker processes.
     """
 
     def __init__(
@@ -65,6 +80,7 @@ class GenBC:
         *,
         max_rejections: int = 100_000,
         backend: Optional[str] = None,
+        reject_exact_subspace: bool = True,
     ) -> None:
         self.space = space
         self.backend = backend if backend is not None else space.backend
@@ -74,6 +90,7 @@ class GenBC:
             node: position for position, node in enumerate(self.targets)
         }
         self.max_rejections = max_rejections
+        self.reject_exact_subspace = reject_exact_subspace
         self.stats = GenBCStatistics()
 
     # ------------------------------------------------------------------
@@ -128,6 +145,8 @@ class GenBC:
     # ------------------------------------------------------------------
     def _in_exact_subspace(self, path: List[Node]) -> bool:
         """True iff the path has length 2 and its middle node is a target."""
+        if not self.reject_exact_subspace:
+            return False
         return len(path) == 3 and path[1] in self.target_set
 
     def acceptance_rate(self) -> Optional[float]:
@@ -135,3 +154,15 @@ class GenBC:
         if self.stats.pairs_drawn == 0:
             return None
         return self.stats.samples_returned / self.stats.pairs_drawn
+
+    def take_stats(self) -> GenBCStatistics:
+        """Detach and return the counters accumulated since the last call.
+
+        Worker processes snapshot their local copy's counters per chunk this
+        way; the master folds the snapshots back with
+        :meth:`GenBCStatistics.merge`, so diagnostics match serial runs for
+        any worker count.
+        """
+        stats = self.stats
+        self.stats = GenBCStatistics()
+        return stats

@@ -74,6 +74,9 @@ class SaPHyRaCC:
         RNG seed.
     max_samples_cap:
         Optional cap on the number of samples.
+    workers:
+        Worker processes for the sampling stage (``None`` resolves via
+        ``REPRO_WORKERS``); bit-identical for any worker count.
 
     Examples
     --------
@@ -92,6 +95,7 @@ class SaPHyRaCC:
         seed: SeedLike = None,
         max_samples_cap: Optional[int] = None,
         backend: Optional[str] = None,
+        workers: Optional[int] = None,
     ) -> None:
         check_probability_pair(epsilon, delta)
         self.epsilon = epsilon
@@ -99,6 +103,7 @@ class SaPHyRaCC:
         self.seed = seed
         self.max_samples_cap = max_samples_cap
         self.backend = backend
+        self.workers = workers
 
     def rank(
         self,
@@ -122,6 +127,7 @@ class SaPHyRaCC:
                 self.delta,
                 seed=self.seed,
                 max_samples_cap=self.max_samples_cap,
+                workers=self.workers,
             )
             framework_result = orchestrator.rank(problem)
 

@@ -101,11 +101,19 @@ class ClosenessProblem:
             self._target_indices = [
                 self._snapshot.index_of(node) for node in targets
             ]
-            # One BFS distance array per target (``-1`` = unreachable).
-            self._target_distances = {
-                node: _csr.csr_bfs(self._snapshot, index)[0]
-                for node, index in zip(targets, self._target_indices)
-            }
+            # One BFS distance array per target (``-1`` = unreachable),
+            # computed as batched multi-source sweeps: the per-target thin
+            # frontiers merge into fat ones on road-style graphs.
+            self._target_distances = dict(
+                zip(
+                    targets,
+                    _csr.multi_source_sweep(
+                        self._snapshot,
+                        self._target_indices,
+                        kind=_csr.SWEEP_DISTANCE,
+                    ),
+                )
+            )
         else:
             self._snapshot = None
             self._target_indices = None

@@ -44,6 +44,12 @@ GRAPH_CASES = [
 SEEDS = (0, 1, 2)
 
 
+@pytest.fixture(scope="module")
+def overflow_grid():
+    """A road-style grid whose sigma counts cross ``2**63`` (hop dist ~70)."""
+    return grid_road_graph(100, 100, seed=1)[0]
+
+
 def _random_pairs(graph: Graph, count: int, seed: int):
     rng = random.Random(seed)
     nodes = list(graph.nodes())
@@ -232,18 +238,16 @@ class TestBigSigmaExactness:
     sigma grows binomially and exceeded 2**63 around hop distance 70, which
     used to wrap the CSR backend's counts and break path sampling)."""
 
-    @pytest.fixture(scope="class")
-    def grid(self):
-        return grid_road_graph(100, 100, seed=1)[0]
-
-    def test_dag_sigma_beyond_int64(self, grid):
+    def test_dag_sigma_beyond_int64(self, overflow_grid):
+        grid = overflow_grid
         source = next(iter(grid.nodes()))
         reference = shortest_path_dag(grid, source, backend="dict")
         candidate = shortest_path_dag(grid, source, backend="csr")
         assert max(reference.sigma.values()) > 2**63  # the test bites
         assert reference.sigma == candidate.sigma
 
-    def test_bidirectional_long_pair(self, grid):
+    def test_bidirectional_long_pair(self, overflow_grid):
+        grid = overflow_grid
         nodes = list(grid.nodes())
         rng = random.Random(1)
         checked = 0
@@ -263,6 +267,173 @@ class TestBigSigmaExactness:
             )
             checked += 1
         assert checked > 0  # at least one long pair exercised the guard
+
+
+class TestBatchedSweepEquivalence:
+    """The batched multi-source sweep is bit-identical to the per-source
+    kernels and to the dict reference — including on a road-style grid whose
+    sigma counts cross the int64-overflow boundary (hop distance >= 70)."""
+
+    @pytest.fixture(scope="class")
+    def social(self):
+        return barabasi_albert_graph(400, 3, seed=5)
+
+    def _sources(self, graph, count):
+        nodes = list(graph.nodes())
+        step = max(1, len(nodes) // count)
+        return nodes[::step][:count]
+
+    def test_sigma_sweep_crosses_overflow_boundary(self, overflow_grid):
+        from repro.graphs import csr as csr_module
+
+        grid = overflow_grid
+        snapshot = csr_module.as_csr(grid)
+        sources = self._sources(grid, 3)
+        indices = [snapshot.index_of(node) for node in sources]
+        rows = csr_module.multi_source_sweep(
+            snapshot, indices, kind=csr_module.SWEEP_SIGMA, batch_size=2
+        )
+        deep = False
+        for source, (dist_row, sigma_row) in zip(sources, rows):
+            reference = shortest_path_dag(grid, source, backend="dict")
+            labels = snapshot.labels
+            for index in range(snapshot.n):
+                label = labels[index]
+                assert int(dist_row[index]) == reference.distances.get(label, -1)
+                assert int(sigma_row[index]) == reference.sigma.get(label, 0)
+            if max(reference.sigma.values()) > 2**63:
+                deep = True
+            assert max(reference.distances.values()) >= 70
+        assert deep  # the overflow guard actually tripped
+
+    def test_brandes_sweep_bitwise(self, overflow_grid, social):
+        from repro.graphs import csr as csr_module
+
+        for graph in (overflow_grid, social):
+            snapshot = csr_module.as_csr(graph)
+            sources = self._sources(graph, 4)
+            indices = [snapshot.index_of(node) for node in sources]
+            rows = csr_module.multi_source_sweep(
+                snapshot, indices, kind=csr_module.SWEEP_BRANDES, batch_size=3
+            )
+            for source, index, row in zip(sources, indices, rows):
+                per_source, _, _ = csr_module.csr_brandes(snapshot, index)
+                assert list(row) == list(per_source)
+                reference = single_source_dependencies(
+                    graph, source, backend="dict"
+                )
+                labels = snapshot.labels
+                for node in range(snapshot.n):
+                    if node == index:
+                        continue
+                    assert row[node] == reference.get(labels[node], 0.0)
+
+    def test_distance_sweep_bitwise(self, overflow_grid):
+        from repro.graphs import csr as csr_module
+
+        snapshot = csr_module.as_csr(overflow_grid)
+        sources = self._sources(overflow_grid, 5)
+        indices = [snapshot.index_of(node) for node in sources]
+        rows = csr_module.multi_source_sweep(
+            snapshot, indices, kind=csr_module.SWEEP_DISTANCE, batch_size=2
+        )
+        for index, row in zip(indices, rows):
+            dist, _ = csr_module.csr_bfs(snapshot, index)
+            assert list(row) == list(dist)
+
+
+class TestWorkerPoolEquivalence:
+    """`workers > 1` is bit-identical to serial, which is bit-identical to
+    the dict reference — on a social-style BA graph and on a road-style grid
+    crossing the sigma overflow boundary."""
+
+    @pytest.fixture(scope="class")
+    def social(self):
+        return barabasi_albert_graph(300, 3, seed=6)
+
+    @pytest.fixture(scope="class")
+    def road(self):
+        # Small enough for dict-backend Brandes, deep enough for thin
+        # frontiers; the 100x100 overflow grid is covered by the sweep tests.
+        return grid_road_graph(16, 16, seed=3)[0]
+
+    def test_exact_brandes_workers_bitwise(self, social, road):
+        for graph in (social, road):
+            reference = betweenness_centrality(graph, backend="dict")
+            for backend in ("dict", "csr"):
+                for workers in (0, 2):
+                    candidate = betweenness_centrality(
+                        graph, backend=backend, workers=workers
+                    )
+                    assert candidate == reference
+
+    def test_closeness_workers_bitwise(self, social, road):
+        for graph in (social, road):
+            reference = closeness_centrality(graph, backend="dict")
+            for backend in ("dict", "csr"):
+                for workers in (0, 2):
+                    candidate = closeness_centrality(
+                        graph, backend=backend, workers=workers
+                    )
+                    assert candidate == reference
+
+    def test_pivot_betweenness_workers_bitwise(self, social):
+        pivots = random_subset(social, 7, 1)
+        reference = betweenness_from_pivots(social, pivots, backend="dict")
+        assert reference == betweenness_from_pivots(
+            social, pivots, backend="csr", workers=2
+        )
+
+    def test_samplers_workers_bitwise(self, social):
+        for cls, cap in (
+            (RiondatoKornaropoulos, 150),
+            (KADABRA, 150),
+            (ABRA, 100),
+        ):
+            runs = {
+                workers: cls(
+                    0.1, 0.1, seed=7, max_samples_cap=cap, workers=workers
+                ).estimate(social)
+                for workers in (0, 1, 2)
+            }
+            assert runs[0].scores == runs[1].scores == runs[2].scores
+            assert runs[0].num_samples == runs[2].num_samples
+            assert runs[0].converged_by == runs[2].converged_by
+
+    def test_samplers_workers_bitwise_across_backends(self, social):
+        reference = RiondatoKornaropoulos(
+            0.1, 0.1, seed=7, max_samples_cap=120, backend="dict"
+        ).estimate(social)
+        candidate = RiondatoKornaropoulos(
+            0.1, 0.1, seed=7, max_samples_cap=120, backend="csr", workers=2
+        ).estimate(social)
+        assert reference.scores == candidate.scores
+
+    def test_saphyra_variants_workers_bitwise(self, social):
+        # High-degree targets sit in the middle of many length-2 paths, so
+        # the exact-subspace rejection path of Gen_bc is actually exercised.
+        targets = sorted(social.nodes(), key=social.degree, reverse=True)[:12]
+        bc_runs = [
+            SaPHyRaBC(
+                0.1, 0.1, seed=7, max_samples_cap=300, workers=workers
+            ).rank(social, targets)
+            for workers in (0, 2)
+        ]
+        assert bc_runs[0].scores == bc_runs[1].scores
+        assert bc_runs[0].ranking == bc_runs[1].ranking
+        assert bc_runs[0].num_samples == bc_runs[1].num_samples
+        # Diagnostics are covered by the contract too: worker-local Gen_bc
+        # counters are snapshotted per chunk and folded back in the master.
+        assert bc_runs[0].rejections == bc_runs[1].rejections
+        assert bc_runs[0].rejections > 0  # the check bites
+        cc_runs = [
+            SaPHyRaCC(
+                0.1, 0.1, seed=7, max_samples_cap=300, workers=workers
+            ).rank(social, targets)
+            for workers in (0, 2)
+        ]
+        assert cc_runs[0].closeness == cc_runs[1].closeness
+        assert cc_runs[0].ranking == cc_runs[1].ranking
 
 
 class TestSubgraphDeterminism:

@@ -155,6 +155,42 @@ class TestBackendSelection:
         as_csr(tiny)
         assert effective_backend(tiny, None) == "csr"
 
+    @pytest.mark.skipif(not csr_module.HAS_NUMPY, reason="needs numpy")
+    def test_effective_backend_auto_ignores_stale_snapshot(self):
+        # Regression: the auto heuristic used to probe `graph in cache`
+        # without checking the snapshot's version, so a small graph mutated
+        # after snapshotting was still routed to CSR (forcing a pointless
+        # re-freeze on every query).
+        tiny = path_graph(4)
+        as_csr(tiny)
+        tiny.add_edge(0, 3)
+        assert effective_backend(tiny, None) == "dict"
+
+    @pytest.mark.skipif(not csr_module.HAS_NUMPY, reason="needs numpy")
+    def test_effective_backend_evicts_stale_cache_entry(self):
+        # The stale snapshot must also be dropped so mutate/query cycles
+        # cannot keep dead array copies alive indefinitely.
+        tiny = path_graph(4)
+        as_csr(tiny)
+        tiny.add_edge(0, 3)
+        effective_backend(tiny, None)
+        assert csr_module._csr_cache.get(tiny) is None
+
+    def test_resolve_backend_rejects_bad_env_eagerly(self, monkeypatch):
+        # A typo'd REPRO_BACKEND must surface as one clear error naming the
+        # variable at the next dispatch, not as a deep-stack failure.
+        monkeypatch.setenv(csr_module.BACKEND_ENV_VAR, "bogus")
+        with pytest.raises(ValueError, match=csr_module.BACKEND_ENV_VAR):
+            resolve_backend(None)
+        with pytest.raises(ValueError, match=csr_module.BACKEND_ENV_VAR):
+            resolve_backend("csr")
+
+    def test_backend_errors_name_the_env_var(self):
+        with pytest.raises(ValueError, match=csr_module.BACKEND_ENV_VAR):
+            resolve_backend("sparse")
+        with pytest.raises(ValueError, match=csr_module.BACKEND_ENV_VAR):
+            set_default_backend("sparse")
+
 
 class TestWeightedChoice:
     def test_distribution_roughly_proportional(self):
@@ -179,6 +215,14 @@ class TestWeightedChoice:
 
     def test_single_item(self):
         assert weighted_choice(["only"], [7], random.Random(1)) == "only"
+
+    def test_length_mismatch_raises(self):
+        # Regression: `zip` used to truncate silently and the `items[-1]`
+        # fallback masked the mismatch, returning an arbitrary item.
+        with pytest.raises(SamplingError, match="3 items but 2 weights"):
+            weighted_choice(["a", "b", "c"], [1, 2], random.Random(0))
+        with pytest.raises(SamplingError, match="1 items but 2 weights"):
+            weighted_choice(["a"], [1, 2], random.Random(0))
 
 
 class TestKernels:

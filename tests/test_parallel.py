@@ -1,0 +1,158 @@
+"""Unit tests for the worker-pool executor (:mod:`repro.parallel`).
+
+The determinism contract — worker counts never change results — is asserted
+end-to-end in ``test_backend_equivalence.py``; this module covers the
+executor primitives themselves: worker-count resolution, chunk planning,
+per-chunk RNG streams, and ordered (i)map over in-process and process-pool
+execution.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import parallel
+
+
+def _square_chunk(payload, chunk):
+    offset = payload or 0
+    return [offset + value * value for value in chunk]
+
+
+def _piece_echo(payload, piece):
+    chunk_index, draws = piece
+    rng = parallel.chunk_rng(payload, chunk_index)
+    return [rng.randrange(1000) for _ in range(draws)]
+
+
+class TestResolveWorkers:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(parallel.WORKERS_ENV_VAR, raising=False)
+        parallel.set_default_workers(None)
+        assert parallel.resolve_workers() == 0
+        assert parallel.resolve_workers(3) == 3
+
+    def test_env_variable(self, monkeypatch):
+        parallel.set_default_workers(None)
+        monkeypatch.setenv(parallel.WORKERS_ENV_VAR, "4")
+        assert parallel.resolve_workers() == 4
+        assert parallel.resolve_workers(2) == 2  # explicit argument wins
+
+    def test_env_variable_invalid(self, monkeypatch):
+        parallel.set_default_workers(None)
+        monkeypatch.setenv(parallel.WORKERS_ENV_VAR, "many")
+        with pytest.raises(ValueError, match=parallel.WORKERS_ENV_VAR):
+            parallel.resolve_workers()
+
+    def test_set_default_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(parallel.WORKERS_ENV_VAR, "4")
+        parallel.set_default_workers(0)
+        try:
+            assert parallel.resolve_workers() == 0
+        finally:
+            parallel.set_default_workers(None)
+
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            parallel.resolve_workers(-1)
+        with pytest.raises(TypeError):
+            parallel.resolve_workers(2.5)
+        with pytest.raises(TypeError):
+            parallel.resolve_workers(True)
+
+    def test_start_method_invalid(self, monkeypatch):
+        monkeypatch.setenv(parallel.START_METHOD_ENV_VAR, "teleport")
+        with pytest.raises(ValueError, match=parallel.START_METHOD_ENV_VAR):
+            parallel.start_method()
+
+
+class TestChunking:
+    def test_chunked_splits_and_preserves_order(self):
+        assert parallel.chunked(list(range(7)), 3) == [[0, 1, 2], [3, 4, 5], [6]]
+        assert parallel.chunked([], 3) == []
+
+    def test_chunked_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            parallel.chunked([1], 0)
+
+    def test_plan_chunks_layout(self):
+        assert parallel.plan_chunks(10, 4) == [(0, 4), (1, 4), (2, 2)]
+        assert parallel.plan_chunks(4, 4, start_chunk=5) == [(5, 4)]
+        assert parallel.plan_chunks(0, 4) == []
+
+    def test_plan_chunks_is_schedule_only(self):
+        # Two rounds of an adaptive schedule tile the same global stream as
+        # one big draw with the same chunk size.
+        first = parallel.plan_chunks(8, 4)
+        second = parallel.plan_chunks(8, 4, start_chunk=len(first))
+        assert first + second == parallel.plan_chunks(16, 4)
+
+
+class TestChunkRNG:
+    def test_streams_are_deterministic_and_independent(self):
+        a1 = parallel.chunk_rng(7, 0).random()
+        a2 = parallel.chunk_rng(7, 0).random()
+        b = parallel.chunk_rng(7, 1).random()
+        c = parallel.chunk_rng(8, 0).random()
+        assert a1 == a2
+        assert a1 != b
+        assert a1 != c
+
+    def test_base_seed_derivation_consumes_parent(self):
+        import random
+
+        parent = random.Random(3)
+        first = parallel.derive_base_seed(parent)
+        second = parallel.derive_base_seed(parent)
+        assert first != second
+        assert parallel.derive_base_seed(random.Random(3)) == first
+
+
+class TestWorkerPool:
+    CHUNKS = [[1, 2], [3], [4, 5, 6], []]
+    EXPECTED = [[1, 4], [9], [16, 25, 36], []]
+
+    @pytest.mark.parametrize("workers", [0, 1, 2])
+    def test_map_results_in_chunk_order(self, workers):
+        with parallel.WorkerPool(
+            _square_chunk, payload=0, workers=workers
+        ) as pool:
+            assert pool.map(self.CHUNKS) == self.EXPECTED
+
+    @pytest.mark.parametrize("workers", [0, 2])
+    def test_imap_streams_in_chunk_order(self, workers):
+        with parallel.WorkerPool(
+            _square_chunk, payload=0, workers=workers
+        ) as pool:
+            assert list(pool.imap(self.CHUNKS)) == self.EXPECTED
+
+    def test_payload_is_shared(self):
+        with parallel.WorkerPool(_square_chunk, payload=100, workers=2) as pool:
+            assert pool.map([[1], [2]]) == [[101], [104]]
+
+    def test_pool_reuse_across_map_calls(self):
+        with parallel.WorkerPool(_square_chunk, payload=0, workers=2) as pool:
+            assert pool.map([[1], [2]]) == [[1], [4]]
+            assert pool.map([[3], [4]]) == [[9], [16]]
+
+    @pytest.mark.parametrize("workers", [0, 2])
+    def test_chunk_rng_streams_match_across_worker_counts(self, workers):
+        pieces = parallel.plan_chunks(10, 4)
+        with parallel.WorkerPool(
+            _piece_echo, payload=123, workers=workers
+        ) as pool:
+            draws = [value for part in pool.map(pieces) for value in part]
+        expected = [
+            value
+            for chunk_index, count in pieces
+            for value in _piece_echo(123, (chunk_index, count))
+        ]
+        assert draws == expected
+
+    def test_close_is_idempotent(self):
+        pool = parallel.WorkerPool(_square_chunk, workers=0)
+        pool.map([[1]])
+        pool.close()
+        pool.close()
