@@ -6,6 +6,9 @@ by Thai, Thai, Vu and Dinh.  It provides:
 
 * a graph substrate (:mod:`repro.graphs`) with biconnected-component
   decomposition, block-cut trees and balanced bidirectional BFS;
+* the unified sampling engine (:mod:`repro.engine`): shared sample
+  schedules, stopping rules, the deterministic chunked driver, and the
+  cross-sample source-DAG cache every estimator draws through;
 * the generic SaPHyRa hypothesis-ranking framework (:mod:`repro.core`);
 * the betweenness-centrality instantiation SaPHyRa_bc
   (:mod:`repro.saphyra_bc`);

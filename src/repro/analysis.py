@@ -11,7 +11,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Mapping, Optional, Sequence
 
-from repro.baselines import ABRA, KADABRA, BaderPivot, RiondatoKornaropoulos
+from repro.baselines import (
+    ABRA,
+    KADABRA,
+    BaderPivot,
+    EgoBetweenness,
+    RiondatoKornaropoulos,
+)
 from repro.centrality.brandes import betweenness_centrality
 from repro.graphs.graph import Graph
 from repro.metrics.rank_correlation import kendall_tau, spearman_rank_correlation
@@ -30,6 +36,7 @@ AVAILABLE_ESTIMATORS = (
     "abra",
     "rk",
     "bader",
+    "ego",
 )
 
 
@@ -222,6 +229,11 @@ def _run_estimator(
         ),
         "bader": lambda: BaderPivot(
             epsilon, delta, seed=seed, backend=backend, workers=workers
+        ),
+        # The no-guarantee heuristic reference point; it can focus on the
+        # target subset directly (the scores of other nodes are never read).
+        "ego": lambda: EgoBetweenness(
+            targets, backend=backend, workers=workers
         ),
     }
     result = factories[name]().estimate(graph)

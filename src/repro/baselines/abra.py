@@ -18,19 +18,20 @@ constant.
 
 from __future__ import annotations
 
-import math
 from collections import defaultdict
 from typing import Dict, Hashable, Optional, Tuple
 
 from repro import parallel as _parallel
 from repro.baselines.base import BaselineResult
+from repro.engine import dag_cache as _dag_cache
+from repro.engine.driver import SampleDriver
+from repro.engine.schedule import SampleSchedule
+from repro.engine.stopping import BernsteinSumsRule
 from repro.errors import GraphError
 from repro.graphs import csr as _csr
 from repro.graphs.components import is_connected
 from repro.graphs.diameter import estimate_diameter, exact_diameter
 from repro.graphs.graph import Graph
-from repro.graphs.traversal import shortest_path_dag
-from repro.stats.bernstein import empirical_bernstein_bound
 from repro.stats.vc import vc_sample_size
 from repro.saphyra_bc.vc_bounds import vc_from_hop_diameter
 from repro.utils.rng import SeedLike, ensure_rng
@@ -51,12 +52,11 @@ def _abra_sample_chunk(payload, piece: Tuple[int, int]):
     estimator, graph, nodes, backend, base_seed = payload
     chunk_index, draws = piece
     rng = _parallel.chunk_rng(base_seed, chunk_index)
-    snapshot = _csr.as_csr(graph) if backend == _csr.CSR_BACKEND else None
     totals: Dict[Node, float] = defaultdict(float)
     totals_sq: Dict[Node, float] = defaultdict(float)
     for _ in range(draws):
-        if snapshot is not None:
-            estimator._add_pair_sample_csr(snapshot, nodes, totals, totals_sq, rng)
+        if backend == _csr.CSR_BACKEND:
+            estimator._add_pair_sample_csr(graph, nodes, totals, totals_sq, rng)
         else:
             estimator._add_pair_sample(graph, nodes, totals, totals_sq, rng)
     return dict(totals), dict(totals_sq)
@@ -135,56 +135,40 @@ class ABRA:
             )
             if self.max_samples_cap is not None:
                 max_samples = min(max_samples, self.max_samples_cap)
-            first_stage = max(
-                32,
-                math.ceil(
-                    self.sample_constant / self.epsilon**2 * math.log(1.0 / self.delta)
-                ),
-            )
-            first_stage = min(first_stage, max_samples)
-            num_stages = max(
-                1,
-                math.ceil(
-                    math.log(max(1.0, max_samples / first_stage))
-                    / math.log(self.stage_growth)
-                ),
+            schedule = SampleSchedule.from_guarantee(
+                self.epsilon,
+                self.delta,
+                max_samples,
+                sample_constant=self.sample_constant,
+                growth=self.stage_growth,
             )
             # Union bound over nodes and stages.
-            per_check_delta = self.delta / (num_stages * n)
+            per_check_delta = self.delta / (schedule.num_stages() * n)
 
             totals: Dict[Node, float] = {node: 0.0 for node in nodes}
             totals_sq: Dict[Node, float] = {node: 0.0 for node in nodes}
             choice = _csr.effective_backend(graph, self.backend)
             base_seed = _parallel.derive_base_seed(rng)
-            drawn = 0
-            next_chunk = 0
-            target = first_stage
-            converged_by = "cap"
-            with _parallel.WorkerPool(
+
+            def fold(partial) -> None:
+                part, part_sq = partial
+                for node, value in part.items():
+                    totals[node] += value
+                for node, value in part_sq.items():
+                    totals_sq[node] += value
+
+            stopping = BernsteinSumsRule(
+                totals, totals_sq,
+                epsilon=self.epsilon, per_check_delta=per_check_delta,
+            )
+            with SampleDriver(
                 _abra_sample_chunk,
                 payload=(self, graph, nodes, choice, base_seed),
                 workers=self.workers,
-            ) as pool:
-                while True:
-                    pieces = _parallel.plan_chunks(
-                        target - drawn,
-                        _parallel.SAMPLE_CHUNK_SIZE,
-                        start_chunk=next_chunk,
-                    )
-                    next_chunk += len(pieces)
-                    for part, part_sq in pool.map(pieces):
-                        for node, value in part.items():
-                            totals[node] += value
-                        for node, value in part_sq.items():
-                            totals_sq[node] += value
-                    drawn = target
-                    if self._deviations_ok(totals, totals_sq, drawn, per_check_delta):
-                        converged_by = "adaptive"
-                        break
-                    if drawn >= max_samples:
-                        converged_by = "cap"
-                        break
-                    target = min(max_samples, math.ceil(target * self.stage_growth))
+            ) as driver:
+                outcome = driver.run_schedule(schedule, stopping, fold)
+            drawn = outcome.num_samples
+            converged_by = outcome.converged_by
             scores = {node: totals[node] / drawn for node in nodes}
 
         return BaselineResult(
@@ -207,28 +191,24 @@ class ABRA:
         totals_sq: Dict[Node, float],
         rng,
     ) -> None:
-        """Sample one node pair and add the fractional path counts."""
+        """Sample one node pair and add the fractional path counts.
+
+        The source DAG comes from the shared :mod:`repro.engine.dag_cache`
+        (a repeated source reuses the traversal) and the backward ``beta``
+        pass is the shared :meth:`ShortestPathDAG.path_counts_to` kernel —
+        ABRA no longer carries private traversal loops.
+        """
         source = rng.choice(nodes)
         target = rng.choice(nodes)
         while target == source:
             target = rng.choice(nodes)
-        dag = shortest_path_dag(graph, source, backend=_csr.DICT_BACKEND)
+        dag = _dag_cache.source_dag(graph, source, backend=_csr.DICT_BACKEND)
         if target not in dag.distances:  # pragma: no cover - connected graphs
             return
-        # Backward pass: beta[w] = number of shortest paths from w to target
-        # inside the DAG.  Only nodes with d(w) < d(target) can contribute.
+        # beta[w] = number of shortest paths from w to target inside the
+        # DAG.  Only nodes with d(w) < d(target) can contribute.
         target_distance = dag.distances[target]
-        beta: Dict[Node, float] = {target: 1.0}
-        frontier = [target]
-        while frontier:
-            next_frontier = []
-            for node in frontier:
-                for predecessor in dag.predecessors[node]:
-                    if predecessor not in beta:
-                        beta[predecessor] = 0.0
-                        next_frontier.append(predecessor)
-                    beta[predecessor] += beta[node]
-            frontier = next_frontier
+        beta = dag.path_counts_to(target)
         sigma_uv = dag.sigma[target]
         for node, paths_to_target in beta.items():
             if node == source or node == target:
@@ -241,7 +221,7 @@ class ABRA:
 
     def _add_pair_sample_csr(
         self,
-        snapshot,
+        graph: Graph,
         nodes,
         totals: Dict[Node, float],
         totals_sq: Dict[Node, float],
@@ -249,40 +229,26 @@ class ABRA:
     ) -> None:
         """Index-space twin of :meth:`_add_pair_sample`.
 
-        Draws the same node pair (identical RNG consumption), runs the DAG
-        construction and backward ``beta`` pass over integer indices, and
-        applies the identical fractional updates to the label-keyed totals.
+        Draws the same node pair (identical RNG consumption), reuses the
+        cached index-space DAG, and runs the shared
+        :meth:`~repro.graphs.csr.CSRShortestPathDAG.path_counts_to` kernel;
+        the fractional updates to the label-keyed totals are identical.
         """
         source = rng.choice(nodes)
         target = rng.choice(nodes)
         while target == source:
             target = rng.choice(nodes)
-        source_index = snapshot.index[source]
+        dag = _dag_cache.source_dag(graph, source, backend=_csr.CSR_BACKEND)
+        snapshot = dag.csr
         target_index = snapshot.index[target]
-        dag = _csr.csr_shortest_path_dag(snapshot, source_index)
         dist = dag.dist
         if dist[target_index] < 0:  # pragma: no cover - connected graphs
             return
         target_distance = dist[target_index]
-        beta: Dict[int, float] = {target_index: 1.0}
-        frontier = [target_index]
-        while frontier:
-            next_frontier = []
-            for node in frontier:
-                predecessors = dag.predecessors(node)
-                predecessors = (
-                    predecessors.tolist()
-                    if _csr.HAS_NUMPY
-                    else list(predecessors)
-                )
-                for predecessor in predecessors:
-                    if predecessor not in beta:
-                        beta[predecessor] = 0.0
-                        next_frontier.append(predecessor)
-                    beta[predecessor] += beta[node]
-            frontier = next_frontier
+        beta = dag.path_counts_to(target_index)
         sigma = dag.sigma
         sigma_uv = sigma[target_index]
+        source_index = dag.source
         labels = snapshot.labels
         for node, paths_to_target in beta.items():
             if node == source_index or node == target_index:
@@ -293,23 +259,3 @@ class ABRA:
             label = labels[node]
             totals[label] += fraction
             totals_sq[label] += fraction * fraction
-
-    def _deviations_ok(
-        self,
-        totals: Dict[Node, float],
-        totals_sq: Dict[Node, float],
-        num_samples: int,
-        per_check_delta: float,
-    ) -> bool:
-        """Check whether every node's Bernstein deviation is below epsilon."""
-        if num_samples < 2:
-            return False
-        for node, total in totals.items():
-            centered = totals_sq[node] - total * total / num_samples
-            variance = max(0.0, centered / (num_samples - 1))
-            deviation = empirical_bernstein_bound(
-                num_samples, per_check_delta, variance
-            )
-            if deviation > self.epsilon:
-                return False
-        return True

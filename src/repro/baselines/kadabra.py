@@ -13,11 +13,13 @@ capped by the diameter-based VC bound.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, Hashable, Optional, Tuple
 
 from repro import parallel as _parallel
 from repro.baselines.base import BaselineResult
+from repro.engine.driver import SampleDriver
+from repro.engine.schedule import SampleSchedule
+from repro.engine.stopping import HitCountRule
 from repro.errors import GraphError
 from repro.graphs import csr as _csr
 from repro.graphs.bidirectional import (
@@ -27,7 +29,6 @@ from repro.graphs.bidirectional import (
 from repro.graphs.components import is_connected
 from repro.graphs.diameter import estimate_diameter, exact_diameter
 from repro.graphs.graph import Graph
-from repro.stats.bernstein import empirical_bernstein_bound
 from repro.stats.vc import vc_sample_size
 from repro.saphyra_bc.vc_bounds import vc_from_hop_diameter
 from repro.utils.rng import SeedLike, ensure_rng
@@ -132,15 +133,13 @@ class KADABRA:
             )
             if self.max_samples_cap is not None:
                 max_samples = min(max_samples, self.max_samples_cap)
-            first_stage = max(
-                32,
-                math.ceil(
-                    self.sample_constant / self.epsilon**2 * math.log(1.0 / self.delta)
-                ),
+            schedule = SampleSchedule.from_guarantee(
+                self.epsilon,
+                self.delta,
+                max_samples,
+                sample_constant=self.sample_constant,
             )
-            first_stage = min(first_stage, max_samples)
-            num_rounds = max(1, math.ceil(math.log2(max(1.0, max_samples / first_stage))))
-            per_check_delta = self.delta / (num_rounds * n)
+            per_check_delta = self.delta / (schedule.num_stages() * n)
 
             counts: Dict[Node, float] = {node: 0.0 for node in nodes}
             choice = _csr.effective_backend(
@@ -148,35 +147,26 @@ class KADABRA:
                 auto_threshold=AUTO_CSR_BIDIRECTIONAL_THRESHOLD,
             )
             base_seed = _parallel.derive_base_seed(rng)
-            drawn = 0
-            next_chunk = 0
-            target = first_stage
-            converged_by = "cap"
-            visited_edges = 0
-            with _parallel.WorkerPool(
+            visited = {"edges": 0}
+
+            def fold(partial) -> None:
+                part, part_visited = partial
+                visited["edges"] += part_visited
+                for node, value in part.items():
+                    counts[node] += value
+
+            stopping = HitCountRule(
+                counts, epsilon=self.epsilon, per_check_delta=per_check_delta
+            )
+            with SampleDriver(
                 _kadabra_sample_chunk,
                 payload=(graph, nodes, choice, base_seed),
                 workers=self.workers,
-            ) as pool:
-                while True:
-                    pieces = _parallel.plan_chunks(
-                        target - drawn,
-                        _parallel.SAMPLE_CHUNK_SIZE,
-                        start_chunk=next_chunk,
-                    )
-                    next_chunk += len(pieces)
-                    for part, part_visited in pool.map(pieces):
-                        visited_edges += part_visited
-                        for node, value in part.items():
-                            counts[node] += value
-                    drawn = target
-                    if self._deviations_ok(counts, drawn, per_check_delta):
-                        converged_by = "adaptive"
-                        break
-                    if drawn >= max_samples:
-                        converged_by = "cap"
-                        break
-                    target = min(max_samples, 2 * target)
+            ) as driver:
+                outcome = driver.run_schedule(schedule, stopping, fold)
+            drawn = outcome.num_samples
+            converged_by = outcome.converged_by
+            visited_edges = visited["edges"]
             scores = {node: counts[node] / drawn for node in nodes}
 
         return BaselineResult(
@@ -194,18 +184,3 @@ class KADABRA:
             },
         )
 
-    def _deviations_ok(
-        self, counts: Dict[Node, float], num_samples: int, per_check_delta: float
-    ) -> bool:
-        """Per-node Bernstein check; counts are 0/1 sums so the variance is
-        ``c (N - c) / (N (N - 1))`` with ``c`` the hit count."""
-        if num_samples < 2:
-            return False
-        for count in counts.values():
-            variance = count * (num_samples - count) / (num_samples * (num_samples - 1))
-            deviation = empirical_bernstein_bound(
-                num_samples, per_check_delta, variance
-            )
-            if deviation > self.epsilon:
-                return False
-        return True

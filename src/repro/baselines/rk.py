@@ -17,12 +17,15 @@ from typing import Dict, Hashable, Optional, Tuple
 
 from repro import parallel as _parallel
 from repro.baselines.base import BaselineResult
+from repro.engine import dag_cache as _dag_cache
+from repro.engine.driver import SampleDriver
+from repro.engine.schedule import SampleSchedule
+from repro.engine.stopping import FixedSampleRule
 from repro.errors import GraphError
 from repro.graphs import csr as _csr
 from repro.graphs.components import is_connected
 from repro.graphs.diameter import estimate_diameter, exact_diameter
 from repro.graphs.graph import Graph
-from repro.graphs.traversal import shortest_path_dag
 from repro.stats.vc import vc_sample_size
 from repro.saphyra_bc.vc_bounds import vc_from_hop_diameter
 from repro.utils.rng import SeedLike, ensure_rng
@@ -42,22 +45,24 @@ def _rk_sample_chunk(payload, piece: Tuple[int, int]) -> Dict[Node, float]:
     graph, nodes, backend, base_seed = payload
     chunk_index, draws = piece
     rng = _parallel.chunk_rng(base_seed, chunk_index)
-    snapshot = _csr.as_csr(graph) if backend == _csr.CSR_BACKEND else None
     counts: Dict[Node, float] = {}
     for _ in range(draws):
         source = rng.choice(nodes)
         target = rng.choice(nodes)
         while target == source:
             target = rng.choice(nodes)
-        if snapshot is not None:
-            dag = _csr.csr_shortest_path_dag(snapshot, snapshot.index[source])
+        # The source DAG comes from the shared cross-sample cache: a source
+        # drawn twice reuses its traversal (path sampling only reads the
+        # DAG and consumes the RNG identically either way).
+        dag = _dag_cache.source_dag(graph, source, backend=backend)
+        if backend == _csr.CSR_BACKEND:
+            snapshot = dag.csr
             path = dag.sample_path_indices(snapshot.index[target], rng)
             labels = snapshot.labels
             for inner in path[1:-1]:
                 label = labels[inner]
                 counts[label] = counts.get(label, 0.0) + 1.0
         else:
-            dag = shortest_path_dag(graph, source, backend=_csr.DICT_BACKEND)
             path = dag.sample_path(target, rng)
             for inner in path[1:-1]:
                 counts[inner] = counts.get(inner, 0.0) + 1.0
@@ -133,15 +138,19 @@ class RiondatoKornaropoulos:
             counts: Dict[Node, float] = {node: 0.0 for node in nodes}
             choice = _csr.effective_backend(graph, self.backend)
             base_seed = _parallel.derive_base_seed(rng)
-            pieces = _parallel.plan_chunks(num_samples, _parallel.SAMPLE_CHUNK_SIZE)
-            with _parallel.WorkerPool(
+
+            def fold(part) -> None:
+                for node, value in part.items():
+                    counts[node] += value
+
+            with SampleDriver(
                 _rk_sample_chunk,
                 payload=(graph, nodes, choice, base_seed),
                 workers=self.workers,
-            ) as pool:
-                for part in pool.map(pieces):
-                    for node, value in part.items():
-                        counts[node] += value
+            ) as driver:
+                driver.run_schedule(
+                    SampleSchedule.fixed(num_samples), FixedSampleRule(), fold
+                )
             scores = {node: counts[node] / num_samples for node in nodes}
 
         return BaselineResult(

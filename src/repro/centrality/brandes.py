@@ -24,7 +24,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence
 
-from repro import parallel as _parallel
+from repro.engine.driver import sweep_sources
 from repro.errors import GraphError
 from repro.graphs import csr as _csr
 from repro.graphs.graph import Graph
@@ -208,35 +208,49 @@ def _sum_dependencies(
 ) -> Dict[Node, float]:
     """Sum per-source dependency vectors over ``sources``, in source order.
 
-    The fold order is the source order regardless of backend, batching or
-    worker count, so every configuration returns bit-identical floats (the
-    backend-equivalence tests assert this).
+    The chunked fold runs through the engine's
+    :func:`~repro.engine.driver.sweep_sources`: the fold order is the source
+    order regardless of backend, batching or worker count, so every
+    configuration returns bit-identical floats (the backend-equivalence
+    tests assert this).
     """
     choice = _csr.effective_backend(graph, backend)
-    chunks = _parallel.chunked(sources, _parallel.SOURCE_CHUNK_SIZE)
-    with _parallel.WorkerPool(
-        _dependency_chunk, payload=(graph, choice), workers=workers
-    ) as pool:
-        if choice == _csr.CSR_BACKEND:
-            snapshot = _csr.as_csr(graph)
-            if _csr.HAS_NUMPY:
-                import numpy as np
+    if choice == _csr.CSR_BACKEND:
+        snapshot = _csr.as_csr(graph)
+        if _csr.HAS_NUMPY:
+            import numpy as np
 
-                totals = np.zeros(snapshot.n, dtype=np.float64)
-                for rows in pool.imap(chunks):
-                    for row in rows:
-                        totals += row
-                totals = totals.tolist()
-            else:
-                totals = [0.0] * snapshot.n
-                for rows in pool.imap(chunks):
-                    for row in rows:
-                        for node in range(snapshot.n):
-                            totals[node] += row[node]
-            return {label: totals[i] for i, label in enumerate(snapshot.labels)}
+            totals = np.zeros(snapshot.n, dtype=np.float64)
+
+            def fold(chunk, rows) -> None:
+                for row in rows:
+                    np.add(totals, row, out=totals)
+
+        else:
+            totals = [0.0] * snapshot.n
+
+            def fold(chunk, rows) -> None:
+                for row in rows:
+                    for node in range(snapshot.n):
+                        totals[node] += row[node]
+
+        def finalize() -> Dict[Node, float]:
+            flat = totals.tolist() if _csr.HAS_NUMPY else totals
+            return {label: flat[i] for i, label in enumerate(snapshot.labels)}
+
+    else:
         centrality: Dict[Node, float] = {node: 0.0 for node in graph.nodes()}
-        for rows in pool.imap(chunks):
+
+        def fold(chunk, rows) -> None:
             for dependencies in rows:
                 for node, value in dependencies.items():
                     centrality[node] += value
-        return centrality
+
+        def finalize() -> Dict[Node, float]:
+            return centrality
+
+    sweep_sources(
+        _dependency_chunk, sources, fold,
+        payload=(graph, choice), workers=workers,
+    )
+    return finalize()

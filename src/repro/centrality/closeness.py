@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
-from repro import parallel as _parallel
+from repro.engine.driver import sweep_sources
 from repro.graphs import csr as _csr
 from repro.graphs.graph import Graph
 from repro.graphs.traversal import bfs_distances
@@ -67,14 +67,16 @@ def closeness_centrality(
     n = graph.number_of_nodes()
     selected = list(nodes) if nodes is not None else list(graph.nodes())
     choice = _csr.effective_backend(graph, backend)
-    chunks = _parallel.chunked(selected, _parallel.SOURCE_CHUNK_SIZE)
     result: Dict[Node, float] = {}
-    with _parallel.WorkerPool(
-        _distance_stats_chunk, payload=(graph, choice), workers=workers
-    ) as pool:
-        for chunk, stats in zip(chunks, pool.map(chunks)):
-            for node, (reachable, total) in zip(chunk, stats):
-                result[node] = _closeness_value(n, reachable, total)
+
+    def fold(chunk, stats) -> None:
+        for node, (reachable, total) in zip(chunk, stats):
+            result[node] = _closeness_value(n, reachable, total)
+
+    sweep_sources(
+        _distance_stats_chunk, selected, fold,
+        payload=(graph, choice), workers=workers,
+    )
     return result
 
 

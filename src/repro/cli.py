@@ -39,6 +39,17 @@ def _add_backend_argument(subparser) -> None:
              "REPRO_WORKERS).  Worker counts never change results, only "
              "wall-clock time",
     )
+    # default=None so an absent flag leaves the REPRO_DAG_CACHE environment
+    # variable (or the built-in on default) in charge.
+    subparser.add_argument(
+        "--dag-cache",
+        choices=("on", "off"),
+        default=None,
+        help="cross-sample shortest-path DAG cache (on by default; when "
+             "passed explicitly it overrides REPRO_DAG_CACHE).  The cache "
+             "never changes results, only wall-clock time; "
+             "REPRO_DAG_CACHE_SIZE bounds its per-graph entry count",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -76,7 +87,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument(
         "--estimators", default="saphyra,kadabra,abra",
         help="comma-separated estimator names "
-             "(saphyra, saphyra_full, kadabra, abra, rk, bader)",
+             "(saphyra, saphyra_full, kadabra, abra, rk, bader, ego)",
     )
     _add_backend_argument(compare)
 
@@ -136,6 +147,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.parallel import set_default_workers
 
         set_default_workers(workers)
+    dag_cache = getattr(args, "dag_cache", None)
+    if dag_cache is not None:
+        # `--dag-cache off` is set explicitly too, so it disables the cache
+        # even when REPRO_DAG_CACHE is exported.
+        from repro.engine import set_dag_cache_enabled
+
+        set_dag_cache_enabled(dag_cache == "on")
     if args.command == "rank":
         return _command_rank(args)
     if args.command == "datasets":

@@ -15,8 +15,10 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro import parallel as _parallel
+from repro.engine.driver import SampleDriver
+from repro.engine.schedule import SampleSchedule
+from repro.engine.stopping import AllocatedBernsteinRule
 from repro.stats.allocation import allocate_error_probabilities
-from repro.stats.bernstein import empirical_bernstein_bound
 from repro.stats.vc import vc_sample_size
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_probability_pair
@@ -243,27 +245,31 @@ class AdaptiveSampler:
         base_seed = _parallel.derive_base_seed(rng)
         initial = self.initial_sample_size()
         maximum = self.maximum_sample_size()
-        num_rounds = max(1, math.ceil(math.log2(max(1.0, maximum / initial))))
+        # The schedule *is* the historical doubling loop: first stage
+        # ``initial``, doubling to the VC cap, with the round count the
+        # delta allocation divides by.
+        schedule = SampleSchedule(initial, maximum)
 
         sampler = payload if payload is not None else sample_losses
         merge_stats = getattr(sampler, "merge_sample_stats", None)
-        next_chunk = 0
-        with _parallel.WorkerPool(
+        with SampleDriver(
             _losses_chunk,
             payload=(sampler, num_hypotheses, base_seed),
             workers=resolved_workers,
-        ) as pool:
+        ) as driver:
             # Pilot batch: independent samples used only for variance
-            # estimation and the per-hypothesis delta allocation.
+            # estimation and the per-hypothesis delta allocation.  The
+            # driver continues its chunk counter into the main stage, so
+            # the global RNG stream layout is unchanged by the port.
             pilot = _RiskAccumulator(num_hypotheses)
-            pieces = _parallel.plan_chunks(
-                initial, _parallel.SAMPLE_CHUNK_SIZE, start_chunk=next_chunk
-            )
-            next_chunk += len(pieces)
-            for draws, totals, totals_sq, stats in pool.map(pieces):
+
+            def fold_pilot(partial) -> None:
+                draws, totals, totals_sq, stats = partial
                 pilot.merge(draws, totals, totals_sq)
                 if stats is not None and merge_stats is not None:
                     merge_stats(stats)
+
+            driver.run_batch(initial, fold_pilot)
             pilot_variances = [
                 pilot.variance(index) for index in range(num_hypotheses)
             ]
@@ -271,49 +277,29 @@ class AdaptiveSampler:
                 pilot_variances,
                 target_epsilon=self.epsilon,
                 delta=self.delta,
-                num_rounds=num_rounds,
+                num_rounds=schedule.num_stages(),
                 max_samples=maximum,
             )
 
             accumulator = _RiskAccumulator(num_hypotheses)
-            target = initial
-            converged_by = "vc"
-            rounds_executed = 0
-            deviations = [math.inf] * num_hypotheses
-            while True:
-                rounds_executed += 1
-                pieces = _parallel.plan_chunks(
-                    target - accumulator.count,
-                    _parallel.SAMPLE_CHUNK_SIZE,
-                    start_chunk=next_chunk,
-                )
-                next_chunk += len(pieces)
-                for draws, totals, totals_sq, stats in pool.map(pieces):
-                    accumulator.merge(draws, totals, totals_sq)
-                    if stats is not None and merge_stats is not None:
-                        merge_stats(stats)
-                deviations = [
-                    empirical_bernstein_bound(
-                        accumulator.count,
-                        delta_allocations[index],
-                        accumulator.variance(index),
-                    )
-                    for index in range(num_hypotheses)
-                ]
-                if max(deviations) <= self.epsilon:
-                    converged_by = "bernstein"
-                    break
-                if target >= maximum:
-                    converged_by = "vc"
-                    break
-                target = min(2 * target, maximum)
+
+            def fold_main(partial) -> None:
+                draws, totals, totals_sq, stats = partial
+                accumulator.merge(draws, totals, totals_sq)
+                if stats is not None and merge_stats is not None:
+                    merge_stats(stats)
+
+            stopping = AllocatedBernsteinRule(
+                accumulator, delta_allocations, epsilon=self.epsilon
+            )
+            outcome = driver.run_schedule(schedule, stopping, fold_main)
 
         return ApproximateEstimate(
             estimates=accumulator.means(),
-            deviations=deviations,
+            deviations=stopping.deviations,
             num_samples=accumulator.count,
             num_pilot_samples=initial,
-            num_rounds=rounds_executed,
-            converged_by=converged_by,
+            num_rounds=outcome.num_stages,
+            converged_by=outcome.converged_by,
             delta_allocations=list(delta_allocations),
         )

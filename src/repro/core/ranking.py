@@ -15,10 +15,24 @@ from typing import Dict, Hashable, List, Mapping, Sequence
 def rank_scores(scores: Mapping[Hashable, float]) -> List[Hashable]:
     """Return the names ordered from highest to lowest score.
 
-    Ties are broken by ascending name (requires names to be mutually
-    comparable, which holds for the integer node ids used throughout).
+    Ties are broken by ascending name, so the ranking is a pure function of
+    the score mapping's *content*: equal-score orders never depend on dict
+    insertion history (or, for mixed-type names, on hash randomisation).
+    Names of one type compare directly; mixed-type names — which Python
+    refuses to order — fall back to a deterministic ``(type name, repr)``
+    key instead of raising.
     """
-    return sorted(scores, key=lambda name: (-scores[name], name))
+    try:
+        return sorted(scores, key=lambda name: (-scores[name], name))
+    except TypeError:
+        # Mixed-type names (e.g. ints and strings after a relabel round-trip)
+        # are not mutually comparable; a stable two-pass sort on a printable
+        # key keeps the order deterministic without inventing a cross-type
+        # ordering for the common homogeneous case above.
+        by_name = sorted(
+            scores, key=lambda name: (type(name).__name__, repr(name))
+        )
+        return sorted(by_name, key=lambda name: -scores[name])
 
 
 def ranking_to_ranks(ranking: Sequence[Hashable]) -> Dict[Hashable, int]:

@@ -1,0 +1,459 @@
+"""Cross-sample caching of shortest-path DAGs and BFS distance rows.
+
+Sampling estimators repeat traversals: ABRA rebuilds the shortest-path DAG
+of every sampled source, RK does the same before sampling one path from it,
+closeness-style problems sweep the same target set once per run, and pivot
+workloads hammer a small source set.  A traversal from a fixed source on a
+fixed graph is a pure function, so those repeats are pure waste.
+
+:class:`SourceDAGCache` memoises them, keyed on
+``(Graph._version, source, backend)``:
+
+* entries are stored per graph object (weakly — a collected graph drops its
+  entries) and invalidated wholesale when ``Graph._version`` bumps, exactly
+  like the CSR snapshot cache in :mod:`repro.graphs.csr`;
+* each graph's store is an LRU bounded *twice*: by entry count
+  (``max_entries``) and by an estimated element budget (``max_cost``, in
+  stored int64/float64-sized elements), so pivot-heavy workloads keep their
+  hot sources resident while a uniform-random workload on a huge graph —
+  where a single DAG is already hundreds of megabytes — degrades to
+  holding roughly one traversal at a time (the pre-cache peak memory)
+  instead of pinning hundreds of them;
+* hit/miss/eviction counters make the behaviour testable and benchable.
+
+Caching **never changes results**: a cached DAG is the same object the
+uncached code path would recompute, DAG construction consumes no RNG, and
+path sampling only reads the DAG.  The equivalence tests assert cached ==
+uncached == ``workers > 1`` bit for bit.
+
+Configuration: the process-wide default cache honours ``REPRO_DAG_CACHE``
+(``1``/``on`` — the default — or ``0``/``off``), ``REPRO_DAG_CACHE_SIZE``
+(max entries per graph, default 512) and ``REPRO_DAG_CACHE_BUDGET`` (max
+estimated elements per graph, default 16M ≈ 128 MB);
+:func:`set_dag_cache_enabled` overrides the environment, mirroring the
+backend/workers knobs.  The override is mirrored into the environment
+variable so worker processes started under any start method — including
+``spawn``, which re-imports this module from scratch — resolve the same
+setting as the parent.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+from weakref import WeakKeyDictionary
+
+from repro.graphs import csr as _csr
+from repro.graphs.graph import Graph
+
+Node = Hashable
+
+#: Environment variable toggling the default cache (``1``/``on`` | ``0``/``off``).
+DAG_CACHE_ENV_VAR = "REPRO_DAG_CACHE"
+
+#: Environment variable bounding the per-graph entry count of the default cache.
+DAG_CACHE_SIZE_ENV_VAR = "REPRO_DAG_CACHE_SIZE"
+
+#: Environment variable bounding the per-graph element budget of the default
+#: cache (one unit ~ one stored int64/float64, so the default is ~128 MB).
+DAG_CACHE_BUDGET_ENV_VAR = "REPRO_DAG_CACHE_BUDGET"
+
+#: Default per-graph LRU capacity (DAGs *and* distance rows count as entries).
+DEFAULT_DAG_CACHE_SIZE = 512
+
+#: Default per-graph element budget (~128 MB of 8-byte elements).
+DEFAULT_DAG_CACHE_BUDGET = 16_000_000
+
+_TRUE_VALUES = ("1", "on", "true", "yes")
+_FALSE_VALUES = ("0", "off", "false", "no")
+
+_enabled_override: Optional[bool] = None
+
+#: The ``REPRO_DAG_CACHE`` value displaced by the first override, so
+#: ``set_dag_cache_enabled(None)`` can put it back.  The sentinel marks
+#: "no override active".
+_UNSET = object()
+_displaced_env: object = _UNSET
+
+
+def dag_cache_enabled() -> bool:
+    """Whether the shared default cache is consulted by the samplers.
+
+    Resolution order: :func:`set_dag_cache_enabled` override, then the
+    ``REPRO_DAG_CACHE`` environment variable, then on.
+    """
+    if _enabled_override is not None:
+        return _enabled_override
+    env = os.environ.get(DAG_CACHE_ENV_VAR, "").strip().lower()
+    if not env:
+        return True
+    if env in _TRUE_VALUES:
+        return True
+    if env in _FALSE_VALUES:
+        return False
+    raise ValueError(
+        f"{DAG_CACHE_ENV_VAR}={env!r} is not a valid setting; use one of "
+        f"{_TRUE_VALUES} to enable or {_FALSE_VALUES} to disable"
+    )
+
+
+def set_dag_cache_enabled(enabled: Optional[bool]) -> None:
+    """Force the cache on/off process-wide (``None`` restores env resolution).
+
+    The choice is mirrored into ``REPRO_DAG_CACHE`` so worker processes
+    inherit it under every multiprocessing start method: ``fork`` children
+    copy the module global, but ``spawn``/``forkserver`` children re-import
+    this module fresh and would otherwise fall back to the parent's
+    *original* environment.  ``None`` restores the environment variable the
+    first override displaced.
+    """
+    global _enabled_override, _displaced_env
+    if enabled is None:
+        if _displaced_env is not _UNSET:
+            if _displaced_env is None:
+                os.environ.pop(DAG_CACHE_ENV_VAR, None)
+            else:
+                os.environ[DAG_CACHE_ENV_VAR] = _displaced_env  # type: ignore[assignment]
+            _displaced_env = _UNSET
+        _enabled_override = None
+        return
+    if _displaced_env is _UNSET:
+        _displaced_env = os.environ.get(DAG_CACHE_ENV_VAR)
+    os.environ[DAG_CACHE_ENV_VAR] = "1" if enabled else "0"
+    _enabled_override = enabled
+
+
+def _positive_int_env(name: str, default: int) -> int:
+    env = os.environ.get(name, "").strip()
+    if not env:
+        return default
+    try:
+        value = int(env)
+    except ValueError:
+        raise ValueError(
+            f"{name}={env!r} is not a valid cache size; "
+            "expected a positive integer"
+        ) from None
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+def _env_cache_size() -> int:
+    return _positive_int_env(DAG_CACHE_SIZE_ENV_VAR, DEFAULT_DAG_CACHE_SIZE)
+
+
+def _env_cache_budget() -> int:
+    return _positive_int_env(DAG_CACHE_BUDGET_ENV_VAR, DEFAULT_DAG_CACHE_BUDGET)
+
+
+def _entry_cost(value: object) -> int:
+    """Rough element count of one cached value (1 unit ~ 8 bytes stored).
+
+    Distance rows cost their length; DAGs cost their state arrays plus a
+    conservative bound on the recorded DAG edges.  The estimate only has to
+    be the right order of magnitude — it drives the LRU budget, nothing
+    else.
+    """
+    size = getattr(value, "size", None)  # numpy distance row
+    if isinstance(size, int):
+        return max(1, size)
+    if isinstance(value, (dict, list)):  # distance map / pure-python row
+        return max(1, len(value))
+    csr = getattr(value, "csr", None)
+    if csr is not None:  # CSRShortestPathDAG: ~4 state arrays + DAG edges
+        return max(1, 4 * csr.n + 2 * csr.m)
+    distances = getattr(value, "distances", None)
+    if distances is not None:  # label-space ShortestPathDAG
+        predecessors = sum(len(p) for p in value.predecessors.values())
+        return max(1, 4 * len(distances) + 2 * predecessors)
+    return 1
+
+
+class _GraphStore:
+    """One graph's LRU entries plus their summed element-cost estimate."""
+
+    __slots__ = ("version", "entries", "cost")
+
+    def __init__(self, version: int) -> None:
+        self.version = version
+        self.entries: "OrderedDict[Tuple, Tuple[object, int]]" = OrderedDict()
+        self.cost = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def get(self, key: Tuple) -> object:
+        value, _ = self.entries[key]
+        self.entries.move_to_end(key)
+        return value
+
+    def put(self, key: Tuple, value: object) -> None:
+        cost = _entry_cost(value)
+        self.entries[key] = (value, cost)
+        self.cost += cost
+
+    def pop_oldest(self) -> None:
+        _, (_, cost) = self.entries.popitem(last=False)
+        self.cost -= cost
+
+
+class SourceDAGCache:
+    """Bounded per-graph LRU of traversal results keyed on source and backend.
+
+    Parameters
+    ----------
+    max_entries:
+        LRU capacity per graph (``None`` reads ``REPRO_DAG_CACHE_SIZE``).
+    max_cost:
+        Element budget per graph, in stored int64/float64-sized units
+        (``None`` reads ``REPRO_DAG_CACHE_BUDGET``).  When a workload's
+        traversals are individually huge — one DAG on a paper-scale graph
+        is already hundreds of megabytes — the budget degrades the cache to
+        roughly one resident traversal (the most recent entry is always
+        kept), matching the pre-cache peak memory instead of pinning
+        ``max_entries`` of them.
+
+    Examples
+    --------
+    >>> from repro.graphs.generators import cycle_graph
+    >>> cache = SourceDAGCache(max_entries=4)
+    >>> graph = cycle_graph(6)
+    >>> first = cache.dag(graph, 0, backend="dict")
+    >>> second = cache.dag(graph, 0, backend="dict")
+    >>> first is second, cache.hits, cache.misses
+    (True, 1, 1)
+    >>> graph.add_edge(0, 3)  # version bump evicts the stale entry
+    >>> cache.dag(graph, 0, backend="dict") is first
+    False
+    """
+
+    def __init__(
+        self,
+        max_entries: Optional[int] = None,
+        *,
+        max_cost: Optional[int] = None,
+    ) -> None:
+        if max_entries is None:
+            max_entries = _env_cache_size()
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_cost is None:
+            max_cost = _env_cache_budget()
+        if max_cost < 1:
+            raise ValueError(f"max_cost must be >= 1, got {max_cost}")
+        self.max_entries = max_entries
+        self.max_cost = max_cost
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._stores: "WeakKeyDictionary[Graph, _GraphStore]" = (
+            WeakKeyDictionary()
+        )
+
+    # ------------------------------------------------------------------
+    def _store(self, graph: Graph) -> _GraphStore:
+        """The live entry store of ``graph``, evicting on a version bump."""
+        cached = self._stores.get(graph)
+        if cached is not None and cached.version == graph._version:
+            return cached
+        if cached is not None:
+            self.evictions += len(cached)
+        store = _GraphStore(graph._version)
+        self._stores[graph] = store
+        return store
+
+    def _trim(self, store: _GraphStore) -> None:
+        while len(store) > self.max_entries or (
+            store.cost > self.max_cost and len(store) > 1
+        ):
+            store.pop_oldest()
+            self.evictions += 1
+
+    def lookup(self, graph: Graph, key: Tuple, compute: Callable[[], object]):
+        """Return the cached value for ``key``, computing and storing on miss."""
+        store = self._store(graph)
+        if key in store.entries:
+            self.hits += 1
+            return store.get(key)
+        self.misses += 1
+        value = compute()
+        store.put(key, value)
+        self._trim(store)
+        return value
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def compute_dag(graph: Graph, source: Node, *, backend: str):
+        """The uncached computation a :meth:`dag` miss performs."""
+        if backend == _csr.CSR_BACKEND:
+            snapshot = _csr.as_csr(graph)
+            return _csr.csr_shortest_path_dag(snapshot, snapshot.index_of(source))
+        from repro.graphs.traversal import shortest_path_dag
+
+        return shortest_path_dag(graph, source, backend=_csr.DICT_BACKEND)
+
+    def dag(self, graph: Graph, source: Node, *, backend: str):
+        """The shortest-path DAG rooted at ``source`` (label space).
+
+        Returns a :class:`~repro.graphs.csr.CSRShortestPathDAG` for the
+        ``"csr"`` backend and a label-keyed
+        :class:`~repro.graphs.traversal.ShortestPathDAG` for ``"dict"`` —
+        the exact objects the uncached code paths build.
+        """
+        if backend not in _csr.BACKENDS:
+            raise ValueError(
+                f"backend={backend!r} must be a concrete backend, one of "
+                f"{_csr.BACKENDS} (resolve 'auto' before caching)"
+            )
+        return self.lookup(
+            graph,
+            ("dag", backend, source),
+            lambda: self.compute_dag(graph, source, backend=backend),
+        )
+
+    @staticmethod
+    def compute_distance_map(graph: Graph, source: Node, *, backend: str):
+        """The uncached computation a :meth:`distance_map` miss performs."""
+        from repro.graphs.traversal import bfs_distances
+
+        return bfs_distances(graph, source, backend=backend)
+
+    def distance_map(self, graph: Graph, source: Node, *, backend: str):
+        """The label-keyed ``{node: hop distance}`` map of ``source``.
+
+        The dict-backend analogue of :meth:`distances` (reachable nodes
+        only, insertion-ordered exactly like ``bfs_distances``).
+        """
+        if backend not in _csr.BACKENDS:
+            raise ValueError(
+                f"backend={backend!r} must be a concrete backend, one of "
+                f"{_csr.BACKENDS} (resolve 'auto' before caching)"
+            )
+        return self.lookup(
+            graph,
+            ("dist-map", backend, source),
+            lambda: self.compute_distance_map(graph, source, backend=backend),
+        )
+
+    @staticmethod
+    def compute_distances(graph: Graph, source: Node):
+        """The uncached computation a :meth:`distances` miss performs."""
+        snapshot = _csr.as_csr(graph)
+        [row] = _csr.multi_source_sweep(
+            snapshot, (snapshot.index_of(source),), kind=_csr.SWEEP_DISTANCE
+        )
+        return row
+
+    def distances(self, graph: Graph, source: Node):
+        """The CSR hop-distance row of ``source`` (``-1`` = unreachable)."""
+        return self.lookup(
+            graph,
+            ("dist", source),
+            lambda: self.compute_distances(graph, source),
+        )
+
+    def distance_rows(self, graph: Graph, sources: Sequence[Node]) -> List[object]:
+        """Distance rows for many sources; misses run as one batched sweep.
+
+        The batched sweep produces rows bit-identical to the per-source
+        kernel (the PR 2 contract), so mixing cached and freshly-computed
+        rows cannot change results.
+        """
+        source_list = list(sources)
+        store = self._store(graph)
+        rows: Dict[Node, object] = {}
+        pending: List[Node] = []
+        for source in source_list:
+            if source in rows:
+                continue
+            key = ("dist", source)
+            if key in store.entries:
+                self.hits += 1
+                rows[source] = store.get(key)
+            elif source not in pending:
+                self.misses += 1
+                pending.append(source)
+        if pending:
+            snapshot = _csr.as_csr(graph)
+            fresh = _csr.multi_source_sweep(
+                snapshot,
+                [snapshot.index_of(source) for source in pending],
+                kind=_csr.SWEEP_DISTANCE,
+            )
+            for source, row in zip(pending, fresh):
+                rows[source] = row
+                store.put(("dist", source), row)
+            self._trim(store)
+        return [rows[source] for source in source_list]
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/eviction counters plus the live entry count and cost."""
+        entries = sum(len(store) for store in self._stores.values())
+        cost = sum(store.cost for store in self._stores.values())
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": entries,
+            "cost": cost,
+        }
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept; they describe the lifetime)."""
+        self._stores = WeakKeyDictionary()
+
+
+# ----------------------------------------------------------------------
+# The process-wide default cache the samplers consult
+# ----------------------------------------------------------------------
+_default_cache: Optional[SourceDAGCache] = None
+
+
+def default_dag_cache() -> SourceDAGCache:
+    """The lazily-created process-wide cache (one per worker process too)."""
+    global _default_cache
+    if _default_cache is None:
+        _default_cache = SourceDAGCache()
+    return _default_cache
+
+
+def clear_default_dag_cache() -> None:
+    """Drop the default cache; the next use re-reads the size knob."""
+    global _default_cache
+    _default_cache = None
+
+
+def source_dag(graph: Graph, source: Node, *, backend: str):
+    """Shared-cache :meth:`SourceDAGCache.dag` (straight computation when off)."""
+    if dag_cache_enabled():
+        return default_dag_cache().dag(graph, source, backend=backend)
+    return SourceDAGCache.compute_dag(graph, source, backend=backend)
+
+
+def source_distances(graph: Graph, source: Node):
+    """Shared-cache :meth:`SourceDAGCache.distances` (straight when off)."""
+    if dag_cache_enabled():
+        return default_dag_cache().distances(graph, source)
+    return SourceDAGCache.compute_distances(graph, source)
+
+
+def source_distance_map(graph: Graph, source: Node, *, backend: str):
+    """Shared-cache :meth:`SourceDAGCache.distance_map` (straight when off)."""
+    if dag_cache_enabled():
+        return default_dag_cache().distance_map(graph, source, backend=backend)
+    return SourceDAGCache.compute_distance_map(graph, source, backend=backend)
+
+
+def source_distance_rows(graph: Graph, sources: Sequence[Node]) -> List[object]:
+    """Shared-cache :meth:`SourceDAGCache.distance_rows` (straight when off)."""
+    if dag_cache_enabled():
+        return default_dag_cache().distance_rows(graph, sources)
+    snapshot = _csr.as_csr(graph)
+    return _csr.multi_source_sweep(
+        snapshot,
+        [snapshot.index_of(source) for source in sources],
+        kind=_csr.SWEEP_DISTANCE,
+    )

@@ -46,6 +46,16 @@ class ExperimentConfig:
         Worker processes forwarded to every estimator and the ground-truth
         computation (``None`` resolves via ``REPRO_WORKERS``, 0 = serial).
         Worker counts never change results — only wall-clock time.
+    dag_cache:
+        Force the cross-sample source-DAG cache on (``True``) or off
+        (``False``) for the whole experiment run; ``None`` (default) leaves
+        the ``REPRO_DAG_CACHE`` environment variable in charge.  Like the
+        worker count, the cache never changes results.  An explicit choice
+        is applied (lazily, when the runner first does real work) via
+        :func:`repro.engine.set_dag_cache_enabled`, which is **process-wide
+        and sticky**: it mirrors into ``REPRO_DAG_CACHE`` so spawned
+        workers agree, and it stays in force after the runner finishes
+        until ``set_dag_cache_enabled(None)`` restores the environment.
     """
 
     datasets: Sequence[str] = ("flickr", "livejournal", "usa-road", "orkut")
@@ -59,6 +69,7 @@ class ExperimentConfig:
     algorithms: Sequence[str] = ("abra", "kadabra", "saphyra_full", "saphyra")
     max_samples_cap: int = 20_000
     workers: Optional[int] = None
+    dag_cache: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.scale <= 0:

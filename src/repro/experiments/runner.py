@@ -91,17 +91,37 @@ class ExperimentRunner:
 
     def __init__(self, config: Optional[ExperimentConfig] = None) -> None:
         self.config = config if config is not None else ExperimentConfig.default()
+        self._dag_cache_applied = False
         self._datasets: Dict[str, Dataset] = {}
         self._block_cut_trees: Dict[str, BlockCutTree] = {}
         self._ground_truth_cache = GroundTruthCache()
         self._whole_network_cache: Dict[Tuple[str, str, float], BaselineResult] = {}
         self._full_saphyra_cache: Dict[Tuple[str, float], "SaPHyRaAsBaseline"] = {}
 
+    def _apply_dag_cache_config(self) -> None:
+        """Apply an explicit ``config.dag_cache`` choice, once, lazily.
+
+        Mirrors the CLI's --dag-cache flag: the choice overrides
+        ``REPRO_DAG_CACHE`` for the whole run (results are identical either
+        way; only wall-clock time changes).  Applied on first actual work —
+        not in the constructor — so merely building or inspecting a runner
+        flips nothing.  The override is process-wide and outlives this
+        runner; call ``set_dag_cache_enabled(None)`` to hand control back
+        to the environment.
+        """
+        if self._dag_cache_applied or self.config.dag_cache is None:
+            return
+        from repro.engine import set_dag_cache_enabled
+
+        set_dag_cache_enabled(self.config.dag_cache)
+        self._dag_cache_applied = True
+
     # ------------------------------------------------------------------
     # Cached resources
     # ------------------------------------------------------------------
     def dataset(self, name: str) -> Dataset:
         """Load (and cache) a dataset at the configured scale."""
+        self._apply_dag_cache_config()
         if name not in self._datasets:
             self._datasets[name] = load(
                 name, scale=self.config.scale, seed=self.config.seed

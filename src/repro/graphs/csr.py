@@ -441,6 +441,33 @@ class CSRShortestPathDAG:
             self.pred_indptr[node_index] : self.pred_indptr[node_index + 1]
         ]
 
+    def path_counts_to(self, target_index: int) -> Dict[int, float]:
+        """Shortest-path counts *to* ``target_index`` inside the DAG.
+
+        The backward "beta" pass of ABRA's pair estimator: walking the DAG
+        from the target along predecessor lists yields, for every node ``w``
+        with ``d(w) <= d(target)`` lying on at least one shortest
+        source→target path, the number of shortest ``w → target`` paths.
+        The accumulation replays the dict backend's exact frontier and
+        predecessor order, so the float sums are bit-identical to the
+        label-space reference (:meth:`ShortestPathDAG.path_counts_to`).
+        """
+        beta: Dict[int, float] = {target_index: 1.0}
+        frontier = [target_index]
+        while frontier:
+            next_frontier: List[int] = []
+            for node in frontier:
+                preds = self.predecessors(node)
+                if not isinstance(preds, list):
+                    preds = preds.tolist()
+                for predecessor in preds:
+                    if predecessor not in beta:
+                        beta[predecessor] = 0.0
+                        next_frontier.append(predecessor)
+                    beta[predecessor] += beta[node]
+            frontier = next_frontier
+        return beta
+
     def sample_path_indices(self, target_index: int, rng) -> List[int]:
         """Sample a uniform shortest path as an index list (source..target).
 
@@ -523,6 +550,19 @@ def weighted_choice(items: Sequence, weights: Sequence[int], rng):
 #: Frontiers whose total degree falls below this are expanded sequentially.
 _SEQUENTIAL_EDGE_THRESHOLD = 192
 
+#: ``direction`` values accepted by order-insensitive sweeps.
+TOP_DOWN = "top-down"
+DIRECTION_AUTO = "auto"
+_DIRECTIONS = (TOP_DOWN, DIRECTION_AUTO)
+
+#: Direction-optimisation switch (Beamer-style): a level goes bottom-up when
+#: the unexplored edge cost is at most this multiple of the frontier's edge
+#: cost.  Our bottom-up step has no per-vertex early exit (it is a single
+#: vectorised gather), so the classic alpha=14 would switch far too early;
+#: the break-even is roughly "one unexplored gather costs what one frontier
+#: gather plus dedup/scatter costs".
+_BOTTOM_UP_ALPHA = 2
+
 #: ``int64`` ceiling for shortest-path counts.  A level expansion adds at
 #: most ``max_degree`` predecessor counts per node, so once the largest
 #: frontier count reaches ``2**63 / max_degree`` the kernels switch sigma to
@@ -593,16 +633,30 @@ class _BatchSweep:
     __slots__ = ("csr", "batch", "n", "size", "float_sigma", "track_edges",
                  "dist_store", "dist", "sigma", "sigma_view", "frontier",
                  "depth", "levels", "level_edges", "frontier_max_sigma",
-                 "scratch")
+                 "scratch", "direction", "bottom_up_levels",
+                 "_explored_cost", "_unvisited")
 
     def __init__(self, csr: CSRGraph, roots, *, sigma_mode: Optional[str] = None,
-                 track_edges: bool = False) -> None:
+                 track_edges: bool = False, direction: str = TOP_DOWN) -> None:
         if track_edges and sigma_mode is None:
             # Only the sigma-tracking loops record DAG edges; allowing the
             # combination would let the two expansion strategies disagree on
             # level_edges content, breaking the strategy-never-affects-
             # results invariant.
             raise ValueError("track_edges requires a sigma_mode")
+        if direction not in _DIRECTIONS:
+            raise ValueError(
+                f"direction={direction!r} is not valid; choose one of {_DIRECTIONS}"
+            )
+        if direction == DIRECTION_AUTO and (sigma_mode is not None or track_edges):
+            # Bottom-up discovery settles a level in node-index order, not in
+            # edge-scan order; only sweeps whose results are pure functions
+            # of the distance labels (no sigma, no recorded DAG edges, no
+            # consumed ``levels`` ordering) may opt in.
+            raise ValueError(
+                "direction='auto' requires an order-insensitive sweep "
+                "(no sigma_mode, no track_edges)"
+            )
         self.csr = csr
         self.batch = len(roots)
         self.n = csr.n
@@ -647,6 +701,16 @@ class _BatchSweep:
         ]
         self.level_edges: List[Tuple[object, object]] = []
         self.frontier_max_sigma = 1
+        self.direction = direction if HAS_NUMPY else TOP_DOWN
+        self.bottom_up_levels = 0
+        self._unvisited = None
+        # Cumulative degree of every already-*expanded* frontier.  Each node
+        # enters exactly one frontier, so the degree of the undiscovered
+        # nodes — what one bottom-up step would scan — is always
+        # ``batch * 2m - explored - current frontier cost``, with no extra
+        # per-level scans (the frontier cost is computed by every expansion
+        # anyway).
+        self._explored_cost = 0
 
     # ------------------------------------------------------------------
     @property
@@ -694,10 +758,20 @@ class _BatchSweep:
         ):
             self.sigma = self.sigma_view.tolist()
             self.sigma_view = None
-        if HAS_NUMPY and frontier_cost >= _SEQUENTIAL_EDGE_THRESHOLD:
+        if (
+            self.direction == DIRECTION_AUTO
+            and frontier_cost >= _SEQUENTIAL_EDGE_THRESHOLD
+            and self.batch * 2 * self.csr.m - self._explored_cost
+            <= frontier_cost * (_BOTTOM_UP_ALPHA + 1)
+        ):
+            scanned = self._expand_bottom_up()
+        elif HAS_NUMPY and frontier_cost >= _SEQUENTIAL_EDGE_THRESHOLD:
             scanned = self._expand_vectorised()
+            self._unvisited = None
         else:
             scanned = self._expand_sequential()
+            self._unvisited = None
+        self._explored_cost += frontier_cost
         self.depth += 1
         return scanned
 
@@ -826,6 +900,59 @@ class _BatchSweep:
                 self.level_edges.append((edge_u, edge_v))
         self.levels.append(fresh)
         self.frontier = fresh
+        return total
+
+
+    def _expand_bottom_up(self) -> int:
+        """Expand one level bottom-up: scan *undiscovered* nodes for frontier
+        parents instead of scattering from the frontier.
+
+        On very fat levels — social graphs collapse most of the graph into
+        two or three levels, and batched road sweeps merge dozens of thin
+        frontiers into one fat one — the set of still-undiscovered nodes is
+        smaller (in edge cost) than the frontier, so one gather over the
+        candidates beats the top-down gather + dedup + scatter.  The level's
+        distance labels are identical to top-down's; only the order in which
+        the fresh nodes are recorded differs (node-index order), which is
+        why this strategy is restricted to order-insensitive sweeps.
+        """
+        indptr, indices = self.csr.indptr, self.csr.indices
+        n = self.n
+        cand = self._unvisited
+        if cand is None:
+            cand = _np.nonzero(self.dist < 0)[0]
+            nodes = cand if self.batch == 1 else cand % n
+            # Isolated nodes can never be discovered; dropping them keeps
+            # every reduceat segment non-empty.
+            cand = cand[indptr[nodes + 1] - indptr[nodes] > 0]
+        empty = _np.empty(0, dtype=_np.int64)
+        self.bottom_up_levels += 1
+        if cand.size == 0:
+            self.levels.append(empty)
+            self.frontier = empty
+            self._unvisited = cand
+            return 0
+        nodes = cand if self.batch == 1 else cand % n
+        starts = indptr[nodes]
+        counts = indptr[nodes + 1] - starts
+        total = int(counts.sum())
+        row_offsets = _np.cumsum(counts)
+        row_offsets -= counts
+        positions = _np.arange(total, dtype=_np.int64)
+        positions += _np.repeat(starts - row_offsets, counts)
+        nbrs = indices[positions]
+        if self.batch > 1:
+            nbrs = nbrs + _np.repeat(cand - nodes, counts)
+        # A candidate joins the level iff any neighbour sits on the current
+        # frontier (distance == depth); maximum.reduceat over the boolean
+        # per-edge hits is a segmented logical OR.
+        at_frontier = self.dist[nbrs] == self.depth
+        hit = _np.maximum.reduceat(at_frontier, row_offsets)
+        fresh = cand[hit]
+        self.dist[fresh] = self.depth + 1
+        self.levels.append(fresh)
+        self.frontier = fresh
+        self._unvisited = cand[~hit]
         return total
 
 
@@ -1085,6 +1212,7 @@ def multi_source_sweep(
     *,
     kind: str = SWEEP_DISTANCE,
     batch_size: Optional[int] = None,
+    direction: Optional[str] = None,
 ) -> List[object]:
     """Run one sweep per source, ``batch_size`` sources at a time.
 
@@ -1114,6 +1242,13 @@ def multi_source_sweep(
         ``csr_brandes``).
     batch_size:
         Sources per stacked batch; defaults to :func:`default_sweep_batch`.
+    direction:
+        ``"top-down"`` or ``"auto"`` (direction-optimising: very fat levels
+        switch to a bottom-up step).  Only ``"distance"`` sweeps — whose
+        results are pure functions of the distance labels — may use
+        ``"auto"``, and they default to it; the distance rows are identical
+        either way, only wall-clock time changes.  Order-sensitive kinds
+        (``"sigma"``, ``"brandes"``) always run top-down.
 
     Without numpy the batched layout has nothing to vectorise, so the
     function falls back to the per-source pure-Python kernels (results are
@@ -1121,6 +1256,17 @@ def multi_source_sweep(
     """
     if kind not in _SWEEP_KINDS:
         raise ValueError(f"unknown sweep kind {kind!r}; choose one of {_SWEEP_KINDS}")
+    if direction is None:
+        direction = DIRECTION_AUTO if kind == SWEEP_DISTANCE else TOP_DOWN
+    elif direction not in _DIRECTIONS:
+        raise ValueError(
+            f"direction={direction!r} is not valid; choose one of {_DIRECTIONS}"
+        )
+    elif direction == DIRECTION_AUTO and kind != SWEEP_DISTANCE:
+        raise ValueError(
+            f"direction='auto' is only valid for kind='{SWEEP_DISTANCE}' "
+            "sweeps; sigma/Brandes sweeps are order-sensitive"
+        )
     source_list = [int(source) for source in sources]
     for source in source_list:
         if source < 0 or source >= csr.n:
@@ -1155,6 +1301,7 @@ def multi_source_sweep(
                 else None
             ),
             track_edges=kind == SWEEP_BRANDES,
+            direction=direction if kind == SWEEP_DISTANCE else TOP_DOWN,
         )
         while sweep.has_frontier:
             sweep.expand()

@@ -104,6 +104,30 @@ class ShortestPathDAG:
         """Return ``sigma_{source, target}`` (0 if unreachable)."""
         return self.sigma.get(target, 0)
 
+    def path_counts_to(self, target: Node) -> Dict[Node, float]:
+        """Shortest-path counts *to* ``target`` inside the DAG.
+
+        The backward "beta" pass used by pair estimators (ABRA): for every
+        node ``w`` on at least one shortest source→target path, the number
+        of shortest ``w → target`` paths, found by walking predecessor lists
+        backwards from the target.  Counts are accumulated as floats in
+        frontier/predecessor order — the reference order the CSR kernel
+        (:meth:`~repro.graphs.csr.CSRShortestPathDAG.path_counts_to`)
+        replays bit for bit.
+        """
+        beta: Dict[Node, float] = {target: 1.0}
+        frontier = [target]
+        while frontier:
+            next_frontier: List[Node] = []
+            for node in frontier:
+                for predecessor in self.predecessors[node]:
+                    if predecessor not in beta:
+                        beta[predecessor] = 0.0
+                        next_frontier.append(predecessor)
+                    beta[predecessor] += beta[node]
+            frontier = next_frontier
+        return beta
+
     def sample_path(self, target: Node, rng: SeedLike = None) -> List[Node]:
         """Sample a shortest path from ``source`` to ``target`` uniformly.
 

@@ -26,12 +26,12 @@ from __future__ import annotations
 from typing import Dict, Hashable, List, Mapping, Optional, Sequence
 
 from repro.core.estimation import ExactEvaluation
+from repro.engine import dag_cache as _dag_cache
 from repro.errors import GraphError
 from repro.graphs import csr as _csr
 from repro.graphs.components import is_connected
 from repro.graphs.diameter import estimate_diameter
 from repro.graphs.graph import Graph
-from repro.graphs.traversal import bfs_distances
 from repro.utils.rng import SeedLike, ensure_rng
 
 Node = Hashable
@@ -87,6 +87,12 @@ class ClosenessProblem:
         self.targets = targets
         self._nodes = list(graph.nodes())
         self.n = graph.number_of_nodes()
+        # Target indices, target distances and the distance bound are all
+        # frozen at construction; sample-time traversals read the live graph
+        # (through the shared DAG cache).  Record the graph version so a
+        # post-construction mutation fails loudly instead of silently mixing
+        # stale per-target state with fresh distance rows.
+        self._graph_version = graph._version
         if distance_bound is None:
             distance_bound = max(1, estimate_diameter(graph, seed))
         elif distance_bound < 1:
@@ -101,24 +107,22 @@ class ClosenessProblem:
             self._target_indices = [
                 self._snapshot.index_of(node) for node in targets
             ]
-            # One BFS distance array per target (``-1`` = unreachable),
-            # computed as batched multi-source sweeps: the per-target thin
-            # frontiers merge into fat ones on road-style graphs.
+            # One BFS distance array per target (``-1`` = unreachable).
+            # Rows come from the shared source-DAG cache (repeated target
+            # sweeps on the same graph — epsilon grids, repeated ranks —
+            # reuse them); cache misses run as batched multi-source sweeps,
+            # so the per-target thin frontiers still merge into fat ones on
+            # road-style graphs.
             self._target_distances = dict(
-                zip(
-                    targets,
-                    _csr.multi_source_sweep(
-                        self._snapshot,
-                        self._target_indices,
-                        kind=_csr.SWEEP_DISTANCE,
-                    ),
-                )
+                zip(targets, _dag_cache.source_distance_rows(graph, targets))
             )
         else:
             self._snapshot = None
             self._target_indices = None
             self._target_distances = {
-                node: bfs_distances(graph, node, backend=self._backend)
+                node: _dag_cache.source_distance_map(
+                    graph, node, backend=self._backend
+                )
                 for node in targets
             }
 
@@ -153,6 +157,12 @@ class ClosenessProblem:
         """
         from repro.errors import SamplingError
 
+        if self.graph._version != self._graph_version:
+            raise GraphError(
+                "graph was mutated after ClosenessProblem construction; "
+                "the frozen target distances and distance bound no longer "
+                "describe it — build a new problem instance"
+            )
         if len(self.targets) >= self.n:
             raise SamplingError(
                 "the approximate subspace is empty (every node is a target); "
@@ -165,14 +175,20 @@ class ClosenessProblem:
                 break
         losses: Dict[int, float] = {}
         if self._snapshot is not None:
-            dist, _ = _csr.csr_bfs(self._snapshot, self._snapshot.index[sample])
+            # Distance rows are order-insensitive, so they come from the
+            # shared cache (a re-drawn sample node reuses its BFS) and are
+            # swept direction-optimised; the values match ``csr_bfs`` bit
+            # for bit.
+            dist = _dag_cache.source_distances(self.graph, sample)
             for index, target_index in enumerate(self._target_indices):
                 distance = int(dist[target_index])
                 if distance < 0:  # pragma: no cover - connected graphs
                     distance = self.distance_bound
                 losses[index] = min(1.0, distance / self.distance_bound)
             return losses
-        distances = bfs_distances(self.graph, sample, backend=self._backend)
+        distances = _dag_cache.source_distance_map(
+            self.graph, sample, backend=self._backend
+        )
         for index, node in enumerate(self.targets):
             distance = distances.get(node)
             if distance is None:  # pragma: no cover - connected graphs

@@ -436,6 +436,107 @@ class TestWorkerPoolEquivalence:
         assert cc_runs[0].ranking == cc_runs[1].ranking
 
 
+class TestDAGCacheEquivalence:
+    """The cross-sample source-DAG cache never changes results: cached runs
+    are bit-identical to uncached runs, to dict-backend runs, and to
+    ``workers > 1`` runs (each worker process keeps its own cache)."""
+
+    @pytest.fixture(scope="class")
+    def social(self):
+        return barabasi_albert_graph(250, 3, seed=8)
+
+    @pytest.fixture()
+    def cache_toggle(self):
+        from repro.engine import set_dag_cache_enabled
+
+        yield set_dag_cache_enabled
+        set_dag_cache_enabled(None)
+
+    def _cache_matrix(self, cache_toggle, run):
+        from repro.engine import clear_default_dag_cache, default_dag_cache
+
+        results = {}
+        for enabled in (False, True):
+            cache_toggle(enabled)
+            clear_default_dag_cache()
+            results[enabled] = run()
+            if enabled:
+                stats = default_dag_cache().stats()
+                assert stats["misses"] > 0  # the cache was actually consulted
+        return results
+
+    def test_rk_cached_vs_uncached_vs_workers(self, social, cache_toggle):
+        def run(workers=0, backend="csr"):
+            return RiondatoKornaropoulos(
+                0.1, 0.1, seed=7, max_samples_cap=150,
+                backend=backend, workers=workers,
+            ).estimate(social)
+
+        results = self._cache_matrix(cache_toggle, run)
+        assert results[False].scores == results[True].scores
+        cache_toggle(True)
+        assert run(workers=2).scores == results[True].scores
+        assert run(backend="dict").scores == results[True].scores
+
+    def test_abra_cached_vs_uncached_vs_workers(self, social, cache_toggle):
+        def run(workers=0, backend="csr"):
+            return ABRA(
+                0.1, 0.1, seed=7, max_samples_cap=100,
+                backend=backend, workers=workers,
+            ).estimate(social)
+
+        results = self._cache_matrix(cache_toggle, run)
+        assert results[False].scores == results[True].scores
+        assert results[False].num_samples == results[True].num_samples
+        cache_toggle(True)
+        assert run(workers=2).scores == results[True].scores
+        assert run(backend="dict").scores == results[True].scores
+
+    def test_closeness_problem_cached_vs_uncached(self, social, cache_toggle):
+        targets = random_subset(social, 12, 3)
+
+        def run():
+            problem = ClosenessProblem(social, targets, seed=3, backend="csr")
+            exact = problem.exact_evaluation()
+            losses = [
+                problem.sample_losses(random.Random(draw)) for draw in range(5)
+            ]
+            return exact.risks, exact.lambda_exact, losses
+
+        results = self._cache_matrix(cache_toggle, run)
+        assert results[False] == results[True]
+
+    def test_saphyra_cc_cached_vs_uncached_vs_workers(self, social, cache_toggle):
+        targets = random_subset(social, 10, 5)
+
+        def run(workers=0):
+            return SaPHyRaCC(
+                0.1, 0.1, seed=7, max_samples_cap=200, workers=workers
+            ).rank(social, targets)
+
+        results = self._cache_matrix(cache_toggle, run)
+        assert results[False].closeness == results[True].closeness
+        assert results[False].ranking == results[True].ranking
+        cache_toggle(True)
+        assert run(workers=2).closeness == results[True].closeness
+
+    def test_repeated_rank_hits_the_cache(self, social, cache_toggle):
+        from repro.engine import clear_default_dag_cache, default_dag_cache
+
+        cache_toggle(True)
+        clear_default_dag_cache()
+        targets = random_subset(social, 8, 6)
+        first = SaPHyRaCC(0.1, 0.1, seed=7, max_samples_cap=100).rank(
+            social, targets
+        )
+        hits_before = default_dag_cache().hits
+        second = SaPHyRaCC(0.1, 0.1, seed=7, max_samples_cap=100).rank(
+            social, targets
+        )
+        assert default_dag_cache().hits > hits_before  # target sweep reused
+        assert first.closeness == second.closeness
+
+
 class TestSubgraphDeterminism:
     """Satellite fix: ``Graph.subgraph`` preserves the caller's node order."""
 

@@ -44,6 +44,22 @@ class TestRunnerCaching:
     def test_dataset_cached(self, smoke_runner):
         assert smoke_runner.dataset("flickr") is smoke_runner.dataset("flickr")
 
+    def test_dag_cache_config_applied_lazily(self, monkeypatch):
+        from repro.engine import dag_cache_enabled, set_dag_cache_enabled
+        from repro.engine.dag_cache import DAG_CACHE_ENV_VAR
+
+        monkeypatch.delenv(DAG_CACHE_ENV_VAR, raising=False)
+        try:
+            runner = ExperimentRunner(
+                ExperimentConfig(datasets=("flickr",), scale=0.05, dag_cache=False)
+            )
+            # Merely constructing (or inspecting) a runner flips nothing.
+            assert dag_cache_enabled()
+            runner.dataset("flickr")  # first real work applies the override
+            assert not dag_cache_enabled()
+        finally:
+            set_dag_cache_enabled(None)
+
     def test_block_cut_tree_cached(self, smoke_runner):
         assert smoke_runner.block_cut_tree("flickr") is smoke_runner.block_cut_tree(
             "flickr"

@@ -42,6 +42,15 @@ class TestClosenessProblem:
         assert set(losses) == {0, 1, 2}
         assert all(0.0 <= value <= 1.0 for value in losses.values())
 
+    def test_sample_losses_rejects_mutated_graph(self, karate):
+        # Target indices/distances and the distance bound are frozen at
+        # construction; sampling after a mutation would silently mix them
+        # with fresh traversals of the new graph, so it must fail loudly.
+        problem = ClosenessProblem(karate, [0, 1, 2], distance_bound=5)
+        karate.add_edge(0, 999)
+        with pytest.raises(GraphError, match="mutated"):
+            problem.sample_losses(rng=3)
+
     def test_sample_losses_all_targets_raises(self):
         graph = complete_graph(4)
         problem = ClosenessProblem(graph, list(graph.nodes()), distance_bound=1)
