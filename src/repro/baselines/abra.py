@@ -47,9 +47,12 @@ def _abra_sample_chunk(payload, piece: Tuple[int, int]):
 
     The chunk's RNG stream is seeded from ``(base_seed, chunk_index)`` only,
     so the partials — and the chunk-order fold of them — are identical for
-    any worker count.
+    any worker count.  The payload's graph slot may be a shared-memory
+    snapshot handle (:func:`repro.parallel.shareable_graph`); the source-DAG
+    cache keys on the attached snapshot exactly as it would on a graph.
     """
     estimator, graph, nodes, backend, base_seed = payload
+    graph = _parallel.resolve_payload_graph(graph)
     chunk_index, draws = piece
     rng = _parallel.chunk_rng(base_seed, chunk_index)
     totals: Dict[Node, float] = defaultdict(float)
@@ -163,7 +166,13 @@ class ABRA:
             )
             with SampleDriver(
                 _abra_sample_chunk,
-                payload=(self, graph, nodes, choice, base_seed),
+                payload=(
+                    self,
+                    _parallel.shareable_graph(graph, choice),
+                    nodes,
+                    choice,
+                    base_seed,
+                ),
                 workers=self.workers,
             ) as driver:
                 outcome = driver.run_schedule(schedule, stopping, fold)

@@ -44,7 +44,10 @@ class BaderPivot:
         Traversal backend forwarded to the Brandes pivot passes.
     workers:
         Worker processes for the pivot passes (``None`` resolves via
-        ``REPRO_WORKERS``); bit-identical for any worker count.
+        ``REPRO_WORKERS``); bit-identical for any worker count.  The pivot
+        sweep inherits the exact-Brandes fold contract: each chunk of pivots
+        reduces to one dependency partial in-worker, and CSR payloads reach
+        workers through the shared-memory handoff when it is active.
     """
 
     name = "bader"

@@ -46,6 +46,7 @@ def _kadabra_sample_chunk(payload, piece: Tuple[int, int]):
     chunk RNG streams make results independent of the worker count.
     """
     graph, nodes, backend, base_seed = payload
+    graph = _parallel.resolve_payload_graph(graph)
     chunk_index, draws = piece
     rng = _parallel.chunk_rng(base_seed, chunk_index)
     counts: Dict[Node, float] = {}
@@ -160,7 +161,12 @@ class KADABRA:
             )
             with SampleDriver(
                 _kadabra_sample_chunk,
-                payload=(graph, nodes, choice, base_seed),
+                payload=(
+                    _parallel.shareable_graph(graph, choice),
+                    nodes,
+                    choice,
+                    base_seed,
+                ),
                 workers=self.workers,
             ) as driver:
                 outcome = driver.run_schedule(schedule, stopping, fold)

@@ -43,6 +43,7 @@ def _rk_sample_chunk(payload, piece: Tuple[int, int]) -> Dict[Node, float]:
     any process — worker counts never change results.
     """
     graph, nodes, backend, base_seed = payload
+    graph = _parallel.resolve_payload_graph(graph)
     chunk_index, draws = piece
     rng = _parallel.chunk_rng(base_seed, chunk_index)
     counts: Dict[Node, float] = {}
@@ -145,7 +146,12 @@ class RiondatoKornaropoulos:
 
             with SampleDriver(
                 _rk_sample_chunk,
-                payload=(graph, nodes, choice, base_seed),
+                payload=(
+                    _parallel.shareable_graph(graph, choice),
+                    nodes,
+                    choice,
+                    base_seed,
+                ),
                 workers=self.workers,
             ) as driver:
                 driver.run_schedule(

@@ -24,6 +24,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence
 
+from repro import parallel as _parallel
 from repro.engine.driver import sweep_sources
 from repro.errors import GraphError
 from repro.graphs import csr as _csr
@@ -106,8 +107,11 @@ def betweenness_centrality(
         dicts, with bit-identical totals.
     workers:
         Worker processes for the all-sources loop (``None`` resolves via
-        ``REPRO_WORKERS``).  Per-source dependency vectors are folded in
-        source order, so any worker count returns bit-identical results.
+        ``REPRO_WORKERS``).  Each chunk of sources is reduced to one
+        dependency partial inside the worker and partials are folded in
+        chunk order — the serial path applies the identical chunk-partial
+        fold, so any worker count returns bit-identical results while
+        shipping O(n) floats per chunk instead of O(chunk x n).
     """
     n = graph.number_of_nodes()
     # Summing the single-source dependencies over every source already covers
@@ -178,25 +182,50 @@ def betweenness_from_pivots(
 
 
 def _dependency_chunk(payload, chunk: Sequence[Node]):
-    """Worker task: per-source Brandes dependency vectors for ``chunk``.
+    """Worker task: the chunk's *reduced* Brandes dependency partial.
 
-    CSR backend: one batched multi-source sweep per chunk, returning numpy
-    (or pure-Python list) vectors with the ``delta[source]`` residue zeroed —
-    mirroring the ``dependency.pop(source)`` of the dict implementation.
-    Dict backend: per-source label-keyed dependency dicts.
+    The fold happens in the worker: per-source vectors are summed in source
+    order into one chunk-partial — a single length-``n`` vector (CSR) or one
+    label-keyed dict (dict backend) — so a chunk ships O(n) floats back to
+    the master instead of O(chunk x n).  The addition order (sources within
+    the chunk, then chunks in chunk order at the master) is a pure function
+    of the fixed chunk layout, so serial and any worker count produce
+    bit-identical totals.
+
+    CSR backend: one batched multi-source sweep per chunk, with each row's
+    ``delta[source]`` residue zeroed before folding — mirroring the
+    ``dependency.pop(source)`` of the dict implementation.  The payload's
+    graph slot may be a shared-memory snapshot handle
+    (:func:`repro.parallel.shareable_graph`).
     """
     graph, backend = payload
+    graph = _parallel.resolve_payload_graph(graph)
     if backend == _csr.CSR_BACKEND:
         snapshot = _csr.as_csr(graph)
         indices = [snapshot.index_of(source) for source in chunk]
         rows = _csr.multi_source_sweep(snapshot, indices, kind=_csr.SWEEP_BRANDES)
-        for index, row in zip(indices, rows):
-            row[index] = 0.0
-        return rows
-    return [
-        single_source_dependencies(graph, source, backend=_csr.DICT_BACKEND)
-        for source in chunk
-    ]
+        if _csr.HAS_NUMPY:
+            import numpy as np
+
+            partial = np.zeros(snapshot.n, dtype=np.float64)
+            for index, row in zip(indices, rows):
+                row[index] = 0.0
+                np.add(partial, row, out=partial)
+        else:
+            partial = [0.0] * snapshot.n
+            for index, row in zip(indices, rows):
+                row[index] = 0.0
+                for node in range(snapshot.n):
+                    partial[node] += row[node]
+        return partial
+    partial_map: Dict[Node, float] = {}
+    for source in chunk:
+        dependencies = single_source_dependencies(
+            graph, source, backend=_csr.DICT_BACKEND
+        )
+        for node, value in dependencies.items():
+            partial_map[node] = partial_map.get(node, 0.0) + value
+    return partial_map
 
 
 def _sum_dependencies(
@@ -209,10 +238,14 @@ def _sum_dependencies(
     """Sum per-source dependency vectors over ``sources``, in source order.
 
     The chunked fold runs through the engine's
-    :func:`~repro.engine.driver.sweep_sources`: the fold order is the source
-    order regardless of backend, batching or worker count, so every
-    configuration returns bit-identical floats (the backend-equivalence
-    tests assert this).
+    :func:`~repro.engine.driver.sweep_sources` with in-worker partial
+    accumulation: each chunk reduces its sources locally (in source order)
+    and the master adds one partial per chunk, in chunk order.  The float
+    addition order is therefore a pure function of the fixed chunk layout —
+    identical for the serial path, any worker count, and both backends (the
+    backend-equivalence tests assert bit-identical totals).  CSR payloads
+    hand the frozen snapshot to workers through the shared-memory path when
+    it is enabled and available.
     """
     choice = _csr.effective_backend(graph, backend)
     if choice == _csr.CSR_BACKEND:
@@ -222,17 +255,15 @@ def _sum_dependencies(
 
             totals = np.zeros(snapshot.n, dtype=np.float64)
 
-            def fold(chunk, rows) -> None:
-                for row in rows:
-                    np.add(totals, row, out=totals)
+            def fold(chunk, partial) -> None:
+                np.add(totals, partial, out=totals)
 
         else:
             totals = [0.0] * snapshot.n
 
-            def fold(chunk, rows) -> None:
-                for row in rows:
-                    for node in range(snapshot.n):
-                        totals[node] += row[node]
+            def fold(chunk, partial) -> None:
+                for node in range(snapshot.n):
+                    totals[node] += partial[node]
 
         def finalize() -> Dict[Node, float]:
             flat = totals.tolist() if _csr.HAS_NUMPY else totals
@@ -241,16 +272,16 @@ def _sum_dependencies(
     else:
         centrality: Dict[Node, float] = {node: 0.0 for node in graph.nodes()}
 
-        def fold(chunk, rows) -> None:
-            for dependencies in rows:
-                for node, value in dependencies.items():
-                    centrality[node] += value
+        def fold(chunk, partial) -> None:
+            for node, value in partial.items():
+                centrality[node] += value
 
         def finalize() -> Dict[Node, float]:
             return centrality
 
     sweep_sources(
         _dependency_chunk, sources, fold,
-        payload=(graph, choice), workers=workers,
+        payload=(_parallel.shareable_graph(graph, choice), choice),
+        workers=workers,
     )
     return finalize()

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
+from repro import parallel as _parallel
 from repro.engine.driver import sweep_sources
 from repro.graphs import csr as _csr
 from repro.graphs.graph import Graph
@@ -20,10 +21,15 @@ Node = Hashable
 def _distance_stats_chunk(payload, chunk: Sequence[Node]) -> List[Tuple[int, int]]:
     """Worker task: ``(reachable, total distance)`` per node of ``chunk``.
 
-    CSR backend: one batched multi-source distance sweep per chunk (thin
-    road-network frontiers from the whole chunk merge into one fat one).
+    The per-node statistics are already the fully-reduced form of one BFS
+    (two integers per source), so the chunk partial is simply their list —
+    nothing bulkier ever crosses the process boundary.  CSR backend: one
+    batched multi-source distance sweep per chunk (thin road-network
+    frontiers from the whole chunk merge into one fat one), with the
+    snapshot arriving zero-copy when the shared-memory handoff is active.
     """
     graph, backend = payload
+    graph = _parallel.resolve_payload_graph(graph)
     if backend == _csr.CSR_BACKEND:
         snapshot = _csr.as_csr(graph)
         indices = [snapshot.index_of(node) for node in chunk]
@@ -75,7 +81,8 @@ def closeness_centrality(
 
     sweep_sources(
         _distance_stats_chunk, selected, fold,
-        payload=(graph, choice), workers=workers,
+        payload=(_parallel.shareable_graph(graph, choice), choice),
+        workers=workers,
     )
     return result
 

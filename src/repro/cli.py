@@ -50,6 +50,19 @@ def _add_backend_argument(subparser) -> None:
              "never changes results, only wall-clock time; "
              "REPRO_DAG_CACHE_SIZE bounds its per-graph entry count",
     )
+    # default=None so an absent flag leaves the REPRO_SHARED_MEMORY
+    # environment variable (or the built-in on default) in charge.
+    subparser.add_argument(
+        "--shared-memory",
+        choices=("on", "off"),
+        default=None,
+        help="zero-copy shared-memory handoff of the CSR graph to worker "
+             "processes (on by default when numpy and "
+             "multiprocessing.shared_memory are available; when passed "
+             "explicitly it overrides REPRO_SHARED_MEMORY).  Never changes "
+             "results, only wall-clock time; 'off' ships the classic "
+             "pickle payload",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -154,6 +167,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.engine import set_dag_cache_enabled
 
         set_dag_cache_enabled(dag_cache == "on")
+    shared_memory = getattr(args, "shared_memory", None)
+    if shared_memory is not None:
+        # `--shared-memory off` is set explicitly too, so it restores the
+        # pickle payload even when REPRO_SHARED_MEMORY is exported.
+        from repro.parallel import set_shared_memory_enabled
+
+        set_shared_memory_enabled(shared_memory == "on")
     if args.command == "rank":
         return _command_rank(args)
     if args.command == "datasets":

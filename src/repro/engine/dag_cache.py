@@ -46,6 +46,7 @@ from weakref import WeakKeyDictionary
 
 from repro.graphs import csr as _csr
 from repro.graphs.graph import Graph
+from repro.parallel import EnvMirroredOverride
 
 Node = Hashable
 
@@ -69,12 +70,7 @@ _TRUE_VALUES = ("1", "on", "true", "yes")
 _FALSE_VALUES = ("0", "off", "false", "no")
 
 _enabled_override: Optional[bool] = None
-
-#: The ``REPRO_DAG_CACHE`` value displaced by the first override, so
-#: ``set_dag_cache_enabled(None)`` can put it back.  The sentinel marks
-#: "no override active".
-_UNSET = object()
-_displaced_env: object = _UNSET
+_env_mirror = EnvMirroredOverride(DAG_CACHE_ENV_VAR)
 
 
 def dag_cache_enabled() -> bool:
@@ -106,21 +102,12 @@ def set_dag_cache_enabled(enabled: Optional[bool]) -> None:
     copy the module global, but ``spawn``/``forkserver`` children re-import
     this module fresh and would otherwise fall back to the parent's
     *original* environment.  ``None`` restores the environment variable the
-    first override displaced.
+    first override displaced.  The mirroring protocol is
+    :class:`repro.parallel.EnvMirroredOverride`, shared with the
+    workers/shared-memory knobs.
     """
-    global _enabled_override, _displaced_env
-    if enabled is None:
-        if _displaced_env is not _UNSET:
-            if _displaced_env is None:
-                os.environ.pop(DAG_CACHE_ENV_VAR, None)
-            else:
-                os.environ[DAG_CACHE_ENV_VAR] = _displaced_env  # type: ignore[assignment]
-            _displaced_env = _UNSET
-        _enabled_override = None
-        return
-    if _displaced_env is _UNSET:
-        _displaced_env = os.environ.get(DAG_CACHE_ENV_VAR)
-    os.environ[DAG_CACHE_ENV_VAR] = "1" if enabled else "0"
+    global _enabled_override
+    _env_mirror.set(None if enabled is None else ("1" if enabled else "0"))
     _enabled_override = enabled
 
 

@@ -14,6 +14,17 @@ These are the two loop bodies everything else composes:
   over a source list (exact Brandes, Bader pivots, closeness sweeps, ego
   networks), streaming chunk results through ``WorkerPool.imap`` so large
   per-source vectors never pile up.
+
+Fold contract: a chunk task returns one *chunk-partial* — the reduction of
+its chunk computed in-worker (e.g. exact Brandes returns one summed
+dependency vector per chunk, not one vector per source) — and the master
+folds partials strictly in chunk order.  The serial path (``workers=0``)
+runs the identical chunk tasks in-process, so the float accumulation order
+is a pure function of the fixed chunk layout and worker counts never change
+results, while the bytes shipped per chunk shrink from O(chunk x n) to
+O(n).  Graph payloads go through :func:`repro.parallel.shareable_graph` so
+CSR-backed sweeps hand the frozen snapshot to workers zero-copy via shared
+memory instead of pickling the adjacency per process.
 """
 
 from __future__ import annotations
@@ -129,13 +140,20 @@ class SampleDriver:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
+        """Shut the pool down cleanly (in-flight chunks finish first)."""
         self._pool.close()
 
     def __enter__(self) -> "SampleDriver":
         return self
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:
-        self.close()
+        # Mirror WorkerPool's lifecycle contract: a clean exit drains
+        # in-flight chunks (close + join), an exception hard-stops the
+        # workers.  Both paths release shared-memory payload blocks.
+        if exc_type is not None:
+            self._pool.terminate()
+        else:
+            self.close()
 
 
 def sweep_sources(

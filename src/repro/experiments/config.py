@@ -56,6 +56,15 @@ class ExperimentConfig:
         and sticky**: it mirrors into ``REPRO_DAG_CACHE`` so spawned
         workers agree, and it stays in force after the runner finishes
         until ``set_dag_cache_enabled(None)`` restores the environment.
+    shared_memory:
+        Force the zero-copy shared-memory CSR handoff to worker processes
+        on (``True``) or off (``False``, the pickle payload) for the whole
+        run; ``None`` (default) leaves the ``REPRO_SHARED_MEMORY``
+        environment variable in charge.  Like ``dag_cache`` the choice is
+        applied lazily via
+        :func:`repro.parallel.set_shared_memory_enabled` (process-wide,
+        sticky, mirrored into the environment) and never changes results —
+        workers see the same CSR arrays bit for bit.
     """
 
     datasets: Sequence[str] = ("flickr", "livejournal", "usa-road", "orkut")
@@ -70,6 +79,7 @@ class ExperimentConfig:
     max_samples_cap: int = 20_000
     workers: Optional[int] = None
     dag_cache: Optional[bool] = None
+    shared_memory: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.scale <= 0:

@@ -92,6 +92,7 @@ class ExperimentRunner:
     def __init__(self, config: Optional[ExperimentConfig] = None) -> None:
         self.config = config if config is not None else ExperimentConfig.default()
         self._dag_cache_applied = False
+        self._shared_memory_applied = False
         self._datasets: Dict[str, Dataset] = {}
         self._block_cut_trees: Dict[str, BlockCutTree] = {}
         self._ground_truth_cache = GroundTruthCache()
@@ -116,12 +117,29 @@ class ExperimentRunner:
         set_dag_cache_enabled(self.config.dag_cache)
         self._dag_cache_applied = True
 
+    def _apply_shared_memory_config(self) -> None:
+        """Apply an explicit ``config.shared_memory`` choice, once, lazily.
+
+        Same lifecycle as the DAG-cache knob above: process-wide, sticky,
+        mirrored into ``REPRO_SHARED_MEMORY`` so spawned workers agree;
+        call ``set_shared_memory_enabled(None)`` to hand control back to
+        the environment.  Results are identical either way — the handoff
+        only changes how the CSR arrays reach the workers.
+        """
+        if self._shared_memory_applied or self.config.shared_memory is None:
+            return
+        from repro.parallel import set_shared_memory_enabled
+
+        set_shared_memory_enabled(self.config.shared_memory)
+        self._shared_memory_applied = True
+
     # ------------------------------------------------------------------
     # Cached resources
     # ------------------------------------------------------------------
     def dataset(self, name: str) -> Dataset:
         """Load (and cache) a dataset at the configured scale."""
         self._apply_dag_cache_config()
+        self._apply_shared_memory_config()
         if name not in self._datasets:
             self._datasets[name] = load(
                 name, scale=self.config.scale, seed=self.config.seed

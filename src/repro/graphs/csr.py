@@ -177,6 +177,11 @@ def effective_backend(
         whose CSR variant has a higher per-call fixed cost (the bidirectional
         search allocates per-query state arrays) pass a larger cutoff.
     """
+    if isinstance(graph, CSRGraph):
+        # A frozen snapshot (e.g. a zero-copy shared-memory handoff from
+        # repro.parallel) can only run the array kernels; there is no dict
+        # adjacency to fall back to.
+        return CSR_BACKEND
     resolved = resolve_backend(backend)
     if resolved != AUTO_BACKEND:
         return resolved
@@ -247,7 +252,17 @@ class CSRGraph:
         "max_degree",
         "_indptr_list",
         "_indices_list",
+        "__weakref__",
     )
+
+    #: Snapshots are frozen, so their "version" never changes.  Exposing the
+    #: :class:`Graph` version attribute (plus the weakref slot above and the
+    #: count/lookup methods below) lets version-keyed caches — the CSR
+    #: snapshot cache, the engine's ``SourceDAGCache`` — and backend dispatch
+    #: treat a bare snapshot exactly like a graph.  Worker processes receive
+    #: bare snapshots through the shared-memory handoff in
+    #: :mod:`repro.parallel`.
+    _version = 0
 
     def __init__(self, indptr, indices, labels: List[Node]) -> None:
         self.indptr = indptr
@@ -308,6 +323,18 @@ class CSRGraph:
         return cls(indptr, indices, labels)
 
     # ------------------------------------------------------------------
+    def number_of_nodes(self) -> int:
+        """Node count (the :class:`Graph` interface name for ``n``)."""
+        return self.n
+
+    def number_of_edges(self) -> int:
+        """Undirected edge count (the :class:`Graph` interface name for ``m``)."""
+        return self.m
+
+    def has_node(self, label: Node) -> bool:
+        """Whether ``label`` is part of the snapshot."""
+        return label in self.index
+
     def degree(self, node_index: int) -> int:
         """Degree of the node at ``node_index``."""
         return int(self.indptr[node_index + 1] - self.indptr[node_index])
@@ -341,7 +368,12 @@ def as_csr(graph: Graph) -> CSRGraph:
 
     The snapshot is rebuilt automatically if the graph has mutated since the
     cached version was taken; repeated calls on an unchanged graph are O(1).
+    A :class:`CSRGraph` passes through unchanged, so code holding either a
+    graph or a bare snapshot (a shared-memory worker payload) can normalise
+    with one call.
     """
+    if isinstance(graph, CSRGraph):
+        return graph
     version = graph._version
     cached = _csr_cache.get(graph)
     if cached is not None and cached[0] == version:

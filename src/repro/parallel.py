@@ -24,6 +24,21 @@ Hence ``workers=8`` is bit-identical to ``workers=1`` and to the in-process
 serial path (``workers=0``), and the backend-equivalence property tests
 assert exactly that.
 
+Shared-memory graph handoff
+---------------------------
+Chunk payloads usually contain the graph, and the graph dominates the
+payload's pickle size.  When numpy and :mod:`multiprocessing.shared_memory`
+are available, :func:`shareable_graph` wraps the frozen CSR snapshot in a
+:class:`SharedCSRPayload`: the ``indptr``/``indices`` arrays are exported
+into shared-memory blocks **once per pool** (lazily, on the first payload
+pickle — the serial path and ``fork`` pools, which inherit memory, never
+export anything) and worker processes attach zero-copy views instead of
+unpickling the adjacency.  Blocks are unlinked when the owning
+:class:`WorkerPool` shuts down, on the clean path and on the exception path
+alike.  The handoff never changes results — workers see the same arrays bit
+for bit — and degrades gracefully to the pickle payload when numpy or
+``shared_memory`` is missing or block allocation fails.
+
 Configuration
 -------------
 The default worker count is resolved like the traversal backend: an explicit
@@ -33,13 +48,15 @@ The default worker count is resolved like the traversal backend: an explicit
 (``fork``/``spawn``/``forkserver``); everything shipped to workers is
 picklable top-level functions plus payload objects, so the pool is
 spawn-safe (CI runs the equivalence suite under ``spawn``).
+``REPRO_SHARED_MEMORY`` (``1``/``on`` — the default — or ``0``/``off``) and
+the CLI's ``--shared-memory`` flag control the zero-copy handoff.
 """
 
 from __future__ import annotations
 
 import os
 import random
-from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 T = TypeVar("T")
 
@@ -49,7 +66,51 @@ WORKERS_ENV_VAR = "REPRO_WORKERS"
 #: Environment variable selecting the multiprocessing start method.
 START_METHOD_ENV_VAR = "REPRO_START_METHOD"
 
+#: Environment variable toggling the shared-memory CSR handoff
+#: (``1``/``on`` — the default — or ``0``/``off``).
+SHARED_MEMORY_ENV_VAR = "REPRO_SHARED_MEMORY"
+
 _START_METHODS = ("fork", "spawn", "forkserver")
+
+_TRUE_VALUES = ("1", "on", "true", "yes")
+_FALSE_VALUES = ("0", "off", "false", "no")
+
+#: Sentinel marking "no override active" for the displaced-env machinery.
+_UNSET = object()
+
+
+class EnvMirroredOverride:
+    """Process-wide override mirrored into an environment variable.
+
+    Every runtime knob that spawn/forkserver workers must agree on (worker
+    count, shared-memory handoff, the engine's DAG cache) follows the same
+    protocol: setting an override writes the encoded value into the
+    variable — ``fork`` children copy the module global, but ``spawn``
+    children re-import modules fresh and resolve from the environment — and
+    the *first* override displaces the variable's prior value so clearing
+    the override (``set(None)``) can put it back.
+    """
+
+    __slots__ = ("env_var", "_displaced")
+
+    def __init__(self, env_var: str) -> None:
+        self.env_var = env_var
+        self._displaced: object = _UNSET
+
+    def set(self, encoded: Optional[str]) -> None:
+        """Mirror ``encoded`` into the variable; ``None`` restores the
+        value the first override displaced."""
+        if encoded is None:
+            if self._displaced is not _UNSET:
+                if self._displaced is None:
+                    os.environ.pop(self.env_var, None)
+                else:
+                    os.environ[self.env_var] = self._displaced  # type: ignore[assignment]
+                self._displaced = _UNSET
+            return
+        if self._displaced is _UNSET:
+            self._displaced = os.environ.get(self.env_var)
+        os.environ[self.env_var] = encoded
 
 #: Default number of BFS sources assigned to one worker task.
 SOURCE_CHUNK_SIZE = 32
@@ -60,6 +121,7 @@ SOURCE_CHUNK_SIZE = 32
 SAMPLE_CHUNK_SIZE = 64
 
 _default_workers: Optional[int] = None
+_workers_env_mirror = EnvMirroredOverride(WORKERS_ENV_VAR)
 
 
 def _check_workers(value: int, *, source: str = "workers") -> int:
@@ -77,10 +139,19 @@ def set_default_workers(workers: Optional[int]) -> None:
 
     ``0`` means serial in-process execution; it overrides any
     ``REPRO_WORKERS`` environment variable.
+
+    The choice is mirrored into ``REPRO_WORKERS`` so helper processes
+    resolve the same default under every multiprocessing start method:
+    ``fork`` children copy the module global, but ``spawn``/``forkserver``
+    children re-import this module fresh and would otherwise fall back to
+    the parent's *original* environment.  ``None`` restores the environment
+    variable the first override displaced — the same semantics as
+    :func:`repro.engine.set_dag_cache_enabled`.
     """
     global _default_workers
     if workers is not None:
         _check_workers(workers)
+    _workers_env_mirror.set(None if workers is None else str(workers))
     _default_workers = workers
 
 
@@ -110,7 +181,14 @@ def resolve_workers(workers: Optional[int] = None) -> int:
 
     ``0`` and ``1`` both execute in-process (a one-worker pool would only add
     IPC overhead); counts above 1 use a process pool.
+
+    An invalid ``REPRO_SHARED_MEMORY`` value is rejected here as well (not
+    only when a payload is actually wrapped), mirroring the eager
+    ``REPRO_BACKEND`` validation in :func:`repro.graphs.csr.resolve_backend`:
+    a typo'd variable surfaces as one clear error naming the variable at
+    executor-configuration time instead of mid-sweep.
     """
+    shared_memory_enabled()
     if workers is None:
         return default_workers()
     return _check_workers(workers)
@@ -127,6 +205,240 @@ def start_method() -> Optional[str]:
             f"choose one of {_START_METHODS}"
         )
     return env
+
+
+# ----------------------------------------------------------------------
+# Shared-memory CSR handoff
+# ----------------------------------------------------------------------
+_shared_memory_override: Optional[bool] = None
+_shared_env_mirror = EnvMirroredOverride(SHARED_MEMORY_ENV_VAR)
+
+#: Lazily-probed availability of numpy + multiprocessing.shared_memory.
+_shared_memory_probe: Optional[bool] = None
+
+#: Names of shared-memory blocks currently owned (created and not yet
+#: unlinked) by this process — accounting for the leak tests.
+_active_shared_blocks: set = set()
+
+#: Worker-side cache of attached snapshots: one zero-copy ``CSRGraph`` per
+#: exported block pair, built on first attach and reused by every chunk the
+#: worker runs.  Entries also keep the ``SharedMemory`` objects referenced so
+#: the mappings stay alive for the worker's lifetime.
+_attached_snapshots: Dict[Tuple[str, str], object] = {}
+
+
+def shared_memory_available() -> bool:
+    """Whether the zero-copy handoff can work at all (numpy + shared_memory)."""
+    global _shared_memory_probe
+    if _shared_memory_probe is None:
+        try:
+            import numpy  # noqa: F401
+            from multiprocessing import shared_memory  # noqa: F401
+
+            _shared_memory_probe = True
+        except ImportError:  # pragma: no cover - numpy-less installs
+            _shared_memory_probe = False
+    return _shared_memory_probe
+
+
+def shared_memory_enabled() -> bool:
+    """Whether payloads should use the shared-memory handoff when possible.
+
+    Resolution order: :func:`set_shared_memory_enabled` override, then the
+    ``REPRO_SHARED_MEMORY`` environment variable, then on.  Availability is
+    checked separately (:func:`shared_memory_available`); an enabled-but-
+    unavailable configuration falls back to the pickle payload silently.
+    """
+    if _shared_memory_override is not None:
+        return _shared_memory_override
+    env = os.environ.get(SHARED_MEMORY_ENV_VAR, "").strip().lower()
+    if not env:
+        return True
+    if env in _TRUE_VALUES:
+        return True
+    if env in _FALSE_VALUES:
+        return False
+    raise ValueError(
+        f"{SHARED_MEMORY_ENV_VAR}={env!r} is not a valid setting; use one of "
+        f"{_TRUE_VALUES} to enable or {_FALSE_VALUES} to disable"
+    )
+
+
+def set_shared_memory_enabled(enabled: Optional[bool]) -> None:
+    """Force the shared-memory handoff on/off process-wide.
+
+    Mirrored into ``REPRO_SHARED_MEMORY`` so worker processes inherit the
+    choice under every start method; ``None`` restores the environment
+    variable the first override displaced (the backend/workers/dag-cache
+    semantics).  The handoff never changes results, only wall-clock time.
+    """
+    global _shared_memory_override
+    _shared_env_mirror.set(
+        None if enabled is None else ("1" if enabled else "0")
+    )
+    _shared_memory_override = enabled
+
+
+def _export_array(data) -> Tuple[str, object]:
+    """Copy one int64 numpy array into a fresh shared-memory block."""
+    from multiprocessing import shared_memory
+
+    import numpy as np
+
+    block = shared_memory.SharedMemory(create=True, size=max(1, data.nbytes))
+    if data.size:
+        view = np.ndarray(data.shape, dtype=data.dtype, buffer=block.buf)
+        view[:] = data
+    _active_shared_blocks.add(block.name)
+    return block.name, block
+
+
+def _attach_shared_csr(
+    indptr_name: str, indices_name: str, n: int, num_indices: int, labels
+):
+    """Worker-side reconstruction: attach blocks, build a zero-copy snapshot.
+
+    The snapshot is cached per block pair, so the O(n) label-index setup of
+    the ``CSRGraph`` constructor runs once per worker process, not per chunk.
+    ``labels is None`` encodes the common identity labelling ``0..n-1``.
+    """
+    key = (indptr_name, indices_name)
+    cached = _attached_snapshots.get(key)
+    if cached is not None:
+        return cached[0]
+    from multiprocessing import shared_memory
+
+    import numpy as np
+
+    from repro.graphs.csr import CSRGraph
+
+    indptr_block = shared_memory.SharedMemory(name=indptr_name)
+    indices_block = shared_memory.SharedMemory(name=indices_name)
+    indptr = np.ndarray((n + 1,), dtype=np.int64, buffer=indptr_block.buf)
+    indices = np.ndarray((num_indices,), dtype=np.int64, buffer=indices_block.buf)
+    if labels is None:
+        labels = list(range(n))
+    snapshot = CSRGraph(indptr, indices, labels)
+    # Keep the SharedMemory objects referenced: the numpy views only pin the
+    # underlying buffer, and the blocks must stay mapped for every future
+    # chunk this worker runs.
+    _attached_snapshots[key] = (snapshot, indptr_block, indices_block)
+    return snapshot
+
+
+def _rebuild_csr(indptr, indices, labels):
+    """Pickle-payload fallback: rebuild the snapshot from shipped arrays."""
+    from repro.graphs.csr import CSRGraph
+
+    if labels is None:
+        labels = list(range(len(indptr) - 1))
+    return CSRGraph(indptr, indices, labels)
+
+
+class SharedCSRPayload:
+    """A CSR snapshot inside a worker payload: zero-copy or pickle handoff.
+
+    Master side this wraps the frozen :class:`~repro.graphs.csr.CSRGraph`.
+    Pickling it (which only happens when a pool actually ships the payload
+    to processes — ``spawn``/``forkserver`` initargs; ``fork`` pools inherit
+    the object as-is and the serial path never pickles) exports the
+    ``indptr``/``indices`` arrays into shared-memory blocks *once* and ships
+    a handle; unpickling in a worker attaches zero-copy views.  If block
+    allocation fails (e.g. ``/dev/shm`` exhausted) the payload degrades to
+    shipping the arrays by value — the classic pickle payload.
+
+    The blocks live until :meth:`release`, which the owning
+    :class:`WorkerPool` calls from both its clean and its exception
+    shutdown paths.
+    """
+
+    __slots__ = ("csr", "_blocks", "_handle", "_failed")
+
+    def __init__(self, csr) -> None:
+        self.csr = csr
+        self._blocks: List[object] = []
+        self._handle: Optional[Tuple] = None
+        self._failed = False
+
+    # ------------------------------------------------------------------
+    def _labels_arg(self):
+        return None if self.csr.identity_labels else self.csr.labels
+
+    def block_names(self) -> List[str]:
+        """Names of the live shared-memory blocks (empty before export)."""
+        return [block.name for block in self._blocks]
+
+    def __reduce__(self):
+        if not self._failed and self._handle is None:
+            try:
+                indptr_name, indptr_block = _export_array(self.csr.indptr)
+                self._blocks.append(indptr_block)
+                indices_name, indices_block = _export_array(self.csr.indices)
+                self._blocks.append(indices_block)
+                self._handle = (
+                    indptr_name,
+                    indices_name,
+                    self.csr.n,
+                    len(self.csr.indices),
+                    self._labels_arg(),
+                )
+            except OSError:
+                # Block allocation failed: release anything half-created and
+                # fall back to the pickle payload for this and later dumps.
+                self.release()
+                self._failed = True
+        if self._handle is not None:
+            return (_attach_shared_csr, self._handle)
+        return (
+            _rebuild_csr,
+            (self.csr.indptr, self.csr.indices, self._labels_arg()),
+        )
+
+    def release(self) -> None:
+        """Close and unlink the exported blocks (idempotent, exception-safe)."""
+        blocks, self._blocks = self._blocks, []
+        self._handle = None
+        for block in blocks:
+            try:
+                block.close()
+                block.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+            finally:
+                _active_shared_blocks.discard(block.name)
+
+
+def shareable_graph(graph, backend: Optional[str] = None):
+    """Wrap ``graph`` for zero-copy payload handoff when the path applies.
+
+    Returns a :class:`SharedCSRPayload` around the (cached) CSR snapshot
+    when the resolved ``backend`` is CSR and the shared-memory handoff is
+    enabled and available; otherwise returns ``graph`` unchanged — the
+    pickle payload.  Chunk tasks recover the graph (or snapshot) with
+    :func:`resolve_payload_graph`, so the same task code serves both paths.
+    """
+    from repro.graphs import csr as _csr
+
+    if (
+        backend == _csr.CSR_BACKEND
+        and shared_memory_enabled()
+        and shared_memory_available()
+    ):
+        return SharedCSRPayload(_csr.as_csr(graph))
+    return graph
+
+
+def resolve_payload_graph(obj):
+    """Unwrap a payload graph slot to the object traversals run on.
+
+    In-process (serial path, or a ``fork`` worker that inherited the
+    payload) a :class:`SharedCSRPayload` resolves to its snapshot; in a
+    ``spawn`` worker the slot already holds the attached snapshot (or the
+    pickled graph), which passes through unchanged.
+    """
+    if isinstance(obj, SharedCSRPayload):
+        return obj.csr
+    return obj
 
 
 # ----------------------------------------------------------------------
@@ -206,7 +518,10 @@ class WorkerPool:
     payload:
         Shared immutable-by-convention context (a graph, an estimator, ...),
         shipped to each worker process exactly once.  Must be picklable when
-        ``workers > 1``.
+        ``workers > 1``.  A :class:`SharedCSRPayload` (or a tuple/list
+        containing one — see :func:`shareable_graph`) rides along zero-copy
+        and has its shared-memory blocks released when the pool shuts down,
+        on the clean and the exception path alike.
     workers:
         Worker count (``None`` resolves via :func:`resolve_workers`).
         ``<= 1`` executes every chunk in-process — same code path, no
@@ -266,14 +581,52 @@ class WorkerPool:
         return self._pool
 
     def close(self) -> None:
-        """Shut the pool down (no-op if no process was ever started)."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
+        """Shut the pool down cleanly, letting in-flight chunks finish.
+
+        Uses ``Pool.close()`` + ``join()``: a hard ``terminate()`` here
+        could kill workers mid-``imap`` and silently drop chunk results a
+        caller is still iterating over.  Idempotent; releases any
+        shared-memory payload blocks.
+        """
+        self._shutdown(force=False)
+
+    def terminate(self) -> None:
+        """Hard-stop the pool without draining in-flight chunks.
+
+        Reserved for the exception path (``__exit__`` routes here when the
+        ``with`` body raised): results are being abandoned anyway, so
+        waiting for outstanding chunks would only delay the unwind.
+        Shared-memory payload blocks are still released.
+        """
+        self._shutdown(force=True)
+
+    def _shutdown(self, *, force: bool) -> None:
+        try:
+            if self._pool is not None:
+                if force:
+                    self._pool.terminate()
+                else:
+                    self._pool.close()
+                self._pool.join()
+        finally:
             self._pool = None
+            self._release_payload()
+
+    def _release_payload(self) -> None:
+        items = (
+            self.payload
+            if isinstance(self.payload, (tuple, list))
+            else (self.payload,)
+        )
+        for item in items:
+            if isinstance(item, SharedCSRPayload):
+                item.release()
 
     def __enter__(self) -> "WorkerPool":
         return self
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:
-        self.close()
+        if exc_type is not None:
+            self.terminate()
+        else:
+            self.close()

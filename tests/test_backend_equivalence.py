@@ -537,6 +537,105 @@ class TestDAGCacheEquivalence:
         assert first.closeness == second.closeness
 
 
+class TestSharedMemoryEquivalence:
+    """The zero-copy shared-memory CSR handoff never changes results: with
+    the handoff on, `workers > 1` runs (under `spawn`, which actually ships
+    payloads through pickling and therefore exports blocks) are bit-identical
+    to pickle-payload runs, to the serial path, and to the dict reference —
+    and every exported block is unlinked when the pools shut down."""
+
+    pytestmark = pytest.mark.skipif(
+        not __import__("repro.parallel", fromlist=["x"]).shared_memory_available(),
+        reason="numpy/shared_memory unavailable",
+    )
+
+    @pytest.fixture(scope="class")
+    def social(self):
+        return barabasi_albert_graph(300, 3, seed=6)
+
+    @pytest.fixture()
+    def shm_toggle(self, monkeypatch):
+        from repro.parallel import set_shared_memory_enabled
+
+        # spawn so payloads are actually pickled (fork inherits memory and
+        # would exercise the in-process resolution only).
+        monkeypatch.setenv("REPRO_START_METHOD", "spawn")
+        yield set_shared_memory_enabled
+        set_shared_memory_enabled(None)
+
+    def _no_leaked_blocks(self):
+        from repro import parallel
+
+        assert parallel._active_shared_blocks == set()
+
+    def test_exact_brandes_shared_vs_pickle_vs_serial(self, social, shm_toggle):
+        reference = betweenness_centrality(social, backend="dict")
+        serial = betweenness_centrality(social, backend="csr", workers=0)
+        shm_toggle(True)
+        shared = betweenness_centrality(social, backend="csr", workers=2)
+        shm_toggle(False)
+        pickled = betweenness_centrality(social, backend="csr", workers=2)
+        assert shared == pickled == serial == reference
+        self._no_leaked_blocks()
+
+    def test_closeness_shared_vs_pickle_vs_serial(self, social, shm_toggle):
+        reference = closeness_centrality(social, backend="dict")
+        serial = closeness_centrality(social, backend="csr", workers=0)
+        shm_toggle(True)
+        shared = closeness_centrality(social, backend="csr", workers=2)
+        shm_toggle(False)
+        pickled = closeness_centrality(social, backend="csr", workers=2)
+        assert shared == pickled == serial == reference
+        self._no_leaked_blocks()
+
+    def test_samplers_shared_vs_pickle_vs_serial(self, social, shm_toggle):
+        for cls, cap in (
+            (RiondatoKornaropoulos, 120),
+            (KADABRA, 120),
+            (ABRA, 80),
+        ):
+            def run(workers):
+                return cls(
+                    0.1, 0.1, seed=7, max_samples_cap=cap,
+                    backend="csr", workers=workers,
+                ).estimate(social)
+
+            serial = run(0)
+            shm_toggle(True)
+            shared = run(2)
+            shm_toggle(False)
+            pickled = run(2)
+            assert shared.scores == pickled.scores == serial.scores
+            assert shared.num_samples == pickled.num_samples == serial.num_samples
+        self._no_leaked_blocks()
+
+    def test_blocks_unlinked_after_exception_mid_sweep(self, social, shm_toggle):
+        from repro import parallel
+        from repro.engine.driver import sweep_sources
+        from repro.centrality.closeness import _distance_stats_chunk
+
+        shm_toggle(True)
+        payload = parallel.shareable_graph(social, "csr")
+        assert isinstance(payload, parallel.SharedCSRPayload)
+        seen = {"chunks": 0}
+
+        def fold(chunk, stats):
+            seen["chunks"] += 1
+            raise RuntimeError("mid-sweep failure")
+
+        with pytest.raises(RuntimeError, match="mid-sweep failure"):
+            sweep_sources(
+                _distance_stats_chunk,
+                list(social.nodes()),
+                fold,
+                payload=(payload, "csr"),
+                workers=2,
+            )
+        assert seen["chunks"] == 1
+        assert payload.block_names() == []
+        self._no_leaked_blocks()
+
+
 class TestSubgraphDeterminism:
     """Satellite fix: ``Graph.subgraph`` preserves the caller's node order."""
 

@@ -3,17 +3,20 @@
 The determinism contract — worker counts never change results — is asserted
 end-to-end in ``test_backend_equivalence.py``; this module covers the
 executor primitives themselves: worker-count resolution, chunk planning,
-per-chunk RNG streams, and ordered (i)map over in-process and process-pool
-execution.
+per-chunk RNG streams, ordered (i)map over in-process and process-pool
+execution, pool-lifecycle semantics (clean close vs exception terminate),
+and the shared-memory CSR handoff.
 """
 
 from __future__ import annotations
 
 import os
+import pickle
 
 import pytest
 
 from repro import parallel
+from repro.graphs.graph import Graph
 
 
 def _square_chunk(payload, chunk):
@@ -25,6 +28,15 @@ def _piece_echo(payload, piece):
     chunk_index, draws = piece
     rng = parallel.chunk_rng(payload, chunk_index)
     return [rng.randrange(1000) for _ in range(draws)]
+
+
+def _snapshot_degree_chunk(payload, chunk):
+    """Chunk task resolving a (possibly shared-memory) graph payload."""
+    from repro.graphs import csr as csr_module
+
+    graph = parallel.resolve_payload_graph(payload[0])
+    snapshot = csr_module.as_csr(graph)
+    return [snapshot.degree(snapshot.index_of(node)) for node in chunk]
 
 
 class TestResolveWorkers:
@@ -156,3 +168,262 @@ class TestWorkerPool:
         pool.map([[1]])
         pool.close()
         pool.close()
+
+
+class TestSetDefaultWorkersMirroring:
+    """`set_default_workers` mirrors into REPRO_WORKERS (spawn workers must
+    resolve the same default as the parent) with displaced-value restore."""
+
+    @pytest.fixture(autouse=True)
+    def _reset(self):
+        yield
+        parallel.set_default_workers(None)
+
+    def test_override_mirrors_into_environment(self, monkeypatch):
+        monkeypatch.delenv(parallel.WORKERS_ENV_VAR, raising=False)
+        parallel.set_default_workers(3)
+        assert os.environ[parallel.WORKERS_ENV_VAR] == "3"
+        parallel.set_default_workers(None)
+        assert parallel.WORKERS_ENV_VAR not in os.environ
+
+    def test_clearing_restores_displaced_value(self, monkeypatch):
+        monkeypatch.setenv(parallel.WORKERS_ENV_VAR, "7")
+        parallel.set_default_workers(0)
+        assert os.environ[parallel.WORKERS_ENV_VAR] == "0"
+        parallel.set_default_workers(2)  # only the FIRST override displaces
+        assert os.environ[parallel.WORKERS_ENV_VAR] == "2"
+        parallel.set_default_workers(None)
+        assert os.environ[parallel.WORKERS_ENV_VAR] == "7"
+        assert parallel.default_workers() == 7
+
+    def test_zero_override_mirrors_serial(self, monkeypatch):
+        monkeypatch.setenv(parallel.WORKERS_ENV_VAR, "5")
+        parallel.set_default_workers(0)
+        # A helper process re-reading the environment agrees with the parent.
+        assert os.environ[parallel.WORKERS_ENV_VAR] == "0"
+        assert parallel.resolve_workers() == 0
+
+
+class _RecordingPool:
+    """Proxy around a real multiprocessing pool that records shutdown calls."""
+
+    def __init__(self, real):
+        self._real = real
+        self.calls = []
+
+    def close(self):
+        self.calls.append("close")
+        self._real.close()
+
+    def terminate(self):
+        self.calls.append("terminate")
+        self._real.terminate()
+
+    def join(self):
+        self.calls.append("join")
+        self._real.join()
+
+    def __getattr__(self, name):
+        return getattr(self._real, name)
+
+
+class TestPoolLifecycle:
+    """Clean shutdown drains in-flight chunks (close + join); terminate is
+    reserved for the exception path — a hard terminate on the clean path
+    could kill workers mid-``imap`` and drop chunk results."""
+
+    def test_clean_close_uses_close_then_join(self):
+        pool = parallel.WorkerPool(_square_chunk, payload=0, workers=2)
+        assert pool.map([[1], [2]]) == [[1], [4]]
+        recorder = _RecordingPool(pool._pool)
+        pool._pool = recorder
+        pool.close()
+        assert recorder.calls == ["close", "join"]
+        assert pool._pool is None
+
+    def test_exception_path_terminates(self):
+        recorder = None
+        with pytest.raises(RuntimeError, match="boom"):
+            with parallel.WorkerPool(_square_chunk, payload=0, workers=2) as pool:
+                pool.map([[1], [2]])
+                recorder = _RecordingPool(pool._pool)
+                pool._pool = recorder
+                raise RuntimeError("boom")
+        assert recorder.calls == ["terminate", "join"]
+
+    def test_imap_results_survive_clean_exit(self):
+        # Results pulled from imap must all arrive before the pool dies.
+        chunks = [[value] for value in range(12)]
+        with parallel.WorkerPool(_square_chunk, payload=0, workers=2) as pool:
+            results = list(pool.imap(chunks))
+        assert results == [[value * value] for value in range(12)]
+
+
+_SHM_AVAILABLE = parallel.shared_memory_available()
+
+shm = pytest.mark.skipif(
+    not _SHM_AVAILABLE, reason="numpy/shared_memory unavailable"
+)
+
+
+def _ladder_graph(n: int = 12) -> Graph:
+    edges = [(i, i + 1) for i in range(n - 1)]
+    edges += [(i, i + 2) for i in range(n - 2)]
+    return Graph.from_edges(edges)
+
+
+def _attach_raises(name: str) -> bool:
+    from multiprocessing import shared_memory
+
+    try:
+        block = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return True
+    block.close()
+    return False
+
+
+class TestSharedMemoryKnob:
+    @pytest.fixture(autouse=True)
+    def _reset(self):
+        yield
+        parallel.set_shared_memory_enabled(None)
+
+    def test_default_is_enabled(self, monkeypatch):
+        monkeypatch.delenv(parallel.SHARED_MEMORY_ENV_VAR, raising=False)
+        assert parallel.shared_memory_enabled() is True
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv(parallel.SHARED_MEMORY_ENV_VAR, "off")
+        assert parallel.shared_memory_enabled() is False
+        monkeypatch.setenv(parallel.SHARED_MEMORY_ENV_VAR, "on")
+        assert parallel.shared_memory_enabled() is True
+
+    def test_env_variable_invalid(self, monkeypatch):
+        monkeypatch.setenv(parallel.SHARED_MEMORY_ENV_VAR, "maybe")
+        with pytest.raises(ValueError, match=parallel.SHARED_MEMORY_ENV_VAR):
+            parallel.shared_memory_enabled()
+
+    def test_env_variable_invalid_rejected_eagerly(self, monkeypatch):
+        # Mirrors the eager REPRO_BACKEND validation: a typo'd variable
+        # fails at executor-configuration time, naming the variable, not
+        # mid-sweep from deep inside a centrality call.
+        monkeypatch.setenv(parallel.SHARED_MEMORY_ENV_VAR, "maybe")
+        with pytest.raises(ValueError, match=parallel.SHARED_MEMORY_ENV_VAR):
+            parallel.resolve_workers(2)
+
+    def test_override_mirrors_and_restores(self, monkeypatch):
+        monkeypatch.setenv(parallel.SHARED_MEMORY_ENV_VAR, "on")
+        parallel.set_shared_memory_enabled(False)
+        assert os.environ[parallel.SHARED_MEMORY_ENV_VAR] == "0"
+        assert parallel.shared_memory_enabled() is False
+        parallel.set_shared_memory_enabled(None)
+        assert os.environ[parallel.SHARED_MEMORY_ENV_VAR] == "on"
+        assert parallel.shared_memory_enabled() is True
+
+
+@shm
+class TestSharedCSRPayload:
+    @pytest.fixture(autouse=True)
+    def _reset(self):
+        yield
+        parallel.set_shared_memory_enabled(None)
+
+    def test_shareable_graph_wraps_only_csr(self):
+        graph = _ladder_graph()
+        parallel.set_shared_memory_enabled(True)
+        wrapped = parallel.shareable_graph(graph, "csr")
+        assert isinstance(wrapped, parallel.SharedCSRPayload)
+        assert parallel.shareable_graph(graph, "dict") is graph
+        parallel.set_shared_memory_enabled(False)
+        assert parallel.shareable_graph(graph, "csr") is graph
+
+    def test_resolve_payload_graph(self):
+        from repro.graphs import csr as csr_module
+
+        graph = _ladder_graph()
+        payload = parallel.SharedCSRPayload(csr_module.as_csr(graph))
+        assert parallel.resolve_payload_graph(payload) is csr_module.as_csr(graph)
+        assert parallel.resolve_payload_graph(graph) is graph
+
+    def test_pickle_roundtrip_attaches_zero_copy(self):
+        from repro.graphs import csr as csr_module
+
+        graph = _ladder_graph()
+        snapshot = csr_module.as_csr(graph)
+        payload = parallel.SharedCSRPayload(snapshot)
+        try:
+            attached = pickle.loads(pickle.dumps(payload))
+            names = payload.block_names()
+            assert len(names) == 2
+            assert set(names) <= parallel._active_shared_blocks
+            assert attached.n == snapshot.n
+            assert attached.m == snapshot.m
+            assert attached.labels == snapshot.labels
+            assert list(attached.indptr) == list(snapshot.indptr)
+            assert list(attached.indices) == list(snapshot.indices)
+            # Pickling again reuses the existing export (one export per pool).
+            pickle.dumps(payload)
+            assert payload.block_names() == names
+        finally:
+            payload.release()
+        assert payload.block_names() == []
+        assert all(_attach_raises(name) for name in names)
+        assert not parallel._active_shared_blocks & set(names)
+
+    def test_release_is_idempotent(self):
+        from repro.graphs import csr as csr_module
+
+        payload = parallel.SharedCSRPayload(csr_module.as_csr(_ladder_graph()))
+        pickle.dumps(payload)
+        payload.release()
+        payload.release()
+
+    def test_export_failure_falls_back_to_pickle(self, monkeypatch):
+        from repro.graphs import csr as csr_module
+
+        def boom(data):
+            raise OSError("no space left on /dev/shm")
+
+        monkeypatch.setattr(parallel, "_export_array", boom)
+        snapshot = csr_module.as_csr(_ladder_graph())
+        payload = parallel.SharedCSRPayload(snapshot)
+        attached = pickle.loads(pickle.dumps(payload))
+        assert payload.block_names() == []
+        assert attached.labels == snapshot.labels
+        assert list(attached.indices) == list(snapshot.indices)
+
+    def test_pool_releases_blocks_on_clean_close(self, monkeypatch):
+        monkeypatch.setenv(parallel.START_METHOD_ENV_VAR, "spawn")
+        graph = _ladder_graph(40)
+        parallel.set_shared_memory_enabled(True)
+        payload = parallel.shareable_graph(graph, "csr")
+        nodes = list(graph.nodes())
+        serial = _snapshot_degree_chunk((payload,), nodes)
+        with parallel.WorkerPool(
+            _snapshot_degree_chunk, payload=(payload,), workers=2
+        ) as pool:
+            results = pool.map([nodes[:20], nodes[20:]])
+            names = payload.block_names()
+            assert names  # the spawn pool actually exported blocks
+        assert results[0] + results[1] == serial
+        assert payload.block_names() == []
+        assert all(_attach_raises(name) for name in names)
+
+    def test_pool_releases_blocks_on_exception(self, monkeypatch):
+        monkeypatch.setenv(parallel.START_METHOD_ENV_VAR, "spawn")
+        graph = _ladder_graph(40)
+        parallel.set_shared_memory_enabled(True)
+        payload = parallel.shareable_graph(graph, "csr")
+        nodes = list(graph.nodes())
+        names = []
+        with pytest.raises(RuntimeError, match="boom"):
+            with parallel.WorkerPool(
+                _snapshot_degree_chunk, payload=(payload,), workers=2
+            ) as pool:
+                pool.map([nodes[:20], nodes[20:]])
+                names.extend(payload.block_names())
+                assert names
+                raise RuntimeError("boom")
+        assert payload.block_names() == []
+        assert all(_attach_raises(name) for name in names)
