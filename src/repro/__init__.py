@@ -5,7 +5,9 @@ This package is a from-scratch reproduction of the ICDE 2022 paper
 by Thai, Thai, Vu and Dinh.  It provides:
 
 * a graph substrate (:mod:`repro.graphs`) with biconnected-component
-  decomposition, block-cut trees and balanced bidirectional BFS;
+  decomposition, block-cut trees, balanced bidirectional BFS and optional
+  positive edge weights behind one SSSP abstraction (BFS for unit weights,
+  deterministic Dijkstra for weighted graphs — :mod:`repro.graphs.sssp`);
 * the unified sampling engine (:mod:`repro.engine`): shared sample
   schedules, stopping rules, the deterministic chunked driver, and the
   cross-sample source-DAG cache every estimator draws through;

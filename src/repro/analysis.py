@@ -19,6 +19,7 @@ from repro.baselines import (
     RiondatoKornaropoulos,
 )
 from repro.centrality.brandes import betweenness_centrality
+from repro.graphs import sssp as _sssp
 from repro.graphs.graph import Graph
 from repro.metrics.rank_correlation import kendall_tau, spearman_rank_correlation
 from repro.metrics.topk import precision_at_k
@@ -38,6 +39,12 @@ AVAILABLE_ESTIMATORS = (
     "bader",
     "ego",
 )
+
+#: Estimators defined on hop-shortest paths only: SaPHyRa's bidirectional
+#: sample generator and the ego heuristic ignore edge weights, so on a
+#: weighted run they are scored against the *hop* ground truth (their own
+#: estimand) rather than the weighted one.
+HOP_ONLY_ESTIMATORS = frozenset({"saphyra", "saphyra_full", "ego"})
 
 
 @dataclass
@@ -81,6 +88,7 @@ def compare_estimators(
     max_samples_cap: Optional[int] = None,
     backend: Optional[str] = None,
     workers: Optional[int] = None,
+    weighted: Optional[str] = None,
 ) -> List[EstimatorComparison]:
     """Run the named estimators on one subset-ranking task.
 
@@ -109,6 +117,14 @@ def compare_estimators(
         Worker processes forwarded to every estimator and the ground-truth
         computation (``None`` resolves via ``REPRO_WORKERS``); worker counts
         never change results.
+    weighted:
+        SSSP engine selection (see :mod:`repro.graphs.sssp`).  On a
+        weighted run, each estimator is scored against the ground truth of
+        *its own estimand*: the weighted-aware estimators (KADABRA, ABRA,
+        RK, Bader) against weighted Brandes, the hop-only estimators
+        (:data:`HOP_ONLY_ESTIMATORS` — SaPHyRa and ego sample hop-shortest
+        paths regardless of weights) against hop Brandes.  An explicit
+        ``ground_truth`` argument is used for every estimator as-is.
 
     Returns
     -------
@@ -121,15 +137,25 @@ def compare_estimators(
             f"available: {', '.join(AVAILABLE_ESTIMATORS)}"
         )
     target_list = list(targets)
-    if ground_truth is None and compute_ground_truth:
-        ground_truth = betweenness_centrality(
-            graph, backend=backend, workers=workers
-        )
-    truth_subset = (
-        {node: ground_truth[node] for node in target_list}
-        if ground_truth is not None
-        else None
-    )
+    use_weights = _sssp.effective_weighted(graph, weighted)
+    truth_by_engine: Dict[bool, Optional[Dict[Node, float]]] = {}
+
+    def truth_subset_for(name: str) -> Optional[Dict[Node, float]]:
+        """The ground-truth subset matching this estimator's estimand."""
+        if ground_truth is not None:
+            return {node: ground_truth[node] for node in target_list}
+        if not compute_ground_truth:
+            return None
+        estimator_weighted = use_weights and name not in HOP_ONLY_ESTIMATORS
+        if estimator_weighted not in truth_by_engine:
+            full = betweenness_centrality(
+                graph, backend=backend, workers=workers,
+                weighted="on" if estimator_weighted else "off",
+            )
+            truth_by_engine[estimator_weighted] = {
+                node: full[node] for node in target_list
+            }
+        return truth_by_engine[estimator_weighted]
 
     rows: List[EstimatorComparison] = []
     for name in estimators:
@@ -143,6 +169,7 @@ def compare_estimators(
             max_samples_cap=max_samples_cap,
             backend=backend,
             workers=workers,
+            weighted=weighted,
         )
         row = EstimatorComparison(
             name=name,
@@ -150,6 +177,7 @@ def compare_estimators(
             num_samples=samples,
             scores=scores,
         )
+        truth_subset = truth_subset_for(name)
         if truth_subset is not None:
             row.max_abs_error = max(
                 abs(truth_subset[node] - scores.get(node, 0.0))
@@ -203,8 +231,13 @@ def _run_estimator(
     max_samples_cap: Optional[int],
     backend: Optional[str] = None,
     workers: Optional[int] = None,
+    weighted: Optional[str] = None,
 ):
-    """Run one estimator, returning ``(target scores, seconds, samples)``."""
+    """Run one estimator, returning ``(target scores, seconds, samples)``.
+
+    ``weighted`` reaches the weighted-aware estimators only; SaPHyRa and
+    ego are hop-based by construction (see :data:`HOP_ONLY_ESTIMATORS`).
+    """
     if name in ("saphyra", "saphyra_full"):
         algorithm = SaPHyRaBC(
             epsilon, delta, seed=seed, max_samples_cap=max_samples_cap,
@@ -217,18 +250,19 @@ def _run_estimator(
     factories = {
         "kadabra": lambda: KADABRA(
             epsilon, delta, seed=seed, max_samples_cap=max_samples_cap,
-            backend=backend, workers=workers,
+            backend=backend, workers=workers, weighted=weighted,
         ),
         "abra": lambda: ABRA(
             epsilon, delta, seed=seed, max_samples_cap=max_samples_cap,
-            backend=backend, workers=workers,
+            backend=backend, workers=workers, weighted=weighted,
         ),
         "rk": lambda: RiondatoKornaropoulos(
             epsilon, delta, seed=seed, max_samples_cap=max_samples_cap,
-            backend=backend, workers=workers,
+            backend=backend, workers=workers, weighted=weighted,
         ),
         "bader": lambda: BaderPivot(
-            epsilon, delta, seed=seed, backend=backend, workers=workers
+            epsilon, delta, seed=seed, backend=backend, workers=workers,
+            weighted=weighted,
         ),
         # The no-guarantee heuristic reference point; it can focus on the
         # target subset directly (the scores of other nodes are never read).

@@ -29,6 +29,7 @@ from repro.engine.schedule import SampleSchedule
 from repro.engine.stopping import BernsteinSumsRule
 from repro.errors import GraphError
 from repro.graphs import csr as _csr
+from repro.graphs import sssp as _sssp
 from repro.graphs.components import is_connected
 from repro.graphs.diameter import estimate_diameter, exact_diameter
 from repro.graphs.graph import Graph
@@ -51,7 +52,7 @@ def _abra_sample_chunk(payload, piece: Tuple[int, int]):
     snapshot handle (:func:`repro.parallel.shareable_graph`); the source-DAG
     cache keys on the attached snapshot exactly as it would on a graph.
     """
-    estimator, graph, nodes, backend, base_seed = payload
+    estimator, graph, nodes, backend, use_weights, base_seed = payload
     graph = _parallel.resolve_payload_graph(graph)
     chunk_index, draws = piece
     rng = _parallel.chunk_rng(base_seed, chunk_index)
@@ -59,9 +60,13 @@ def _abra_sample_chunk(payload, piece: Tuple[int, int]):
     totals_sq: Dict[Node, float] = defaultdict(float)
     for _ in range(draws):
         if backend == _csr.CSR_BACKEND:
-            estimator._add_pair_sample_csr(graph, nodes, totals, totals_sq, rng)
+            estimator._add_pair_sample_csr(
+                graph, nodes, totals, totals_sq, rng, use_weights
+            )
         else:
-            estimator._add_pair_sample(graph, nodes, totals, totals_sq, rng)
+            estimator._add_pair_sample(
+                graph, nodes, totals, totals_sq, rng, use_weights
+            )
     return dict(totals), dict(totals_sq)
 
 
@@ -83,6 +88,12 @@ class ABRA:
     backend:
         Traversal backend (``"dict"``, ``"csr"`` or ``None`` for the
         default); both draw identical samples from identical seeds.
+    weighted:
+        SSSP engine selection (``None``/``"auto"``/``"on"``/``"off"``; see
+        :mod:`repro.graphs.sssp`).  With weights on, each sample's
+        fractional path counts are taken over *weight-minimal* shortest
+        paths (Dijkstra-built DAGs); the hop-diameter-based sample sizes
+        are kept as a documented heuristic surrogate.
     workers:
         Worker processes for the sampling stages (``None`` resolves via
         ``REPRO_WORKERS``).  Samples are drawn from per-chunk seeded RNG
@@ -102,6 +113,7 @@ class ABRA:
         sample_constant: float = 0.5,
         max_samples_cap: Optional[int] = None,
         backend: Optional[str] = None,
+        weighted: Optional[str] = None,
         workers: Optional[int] = None,
     ) -> None:
         check_probability_pair(epsilon, delta)
@@ -114,6 +126,7 @@ class ABRA:
         self.sample_constant = sample_constant
         self.max_samples_cap = max_samples_cap
         self.backend = backend
+        self.weighted = weighted
         self.workers = workers
 
     # ------------------------------------------------------------------
@@ -151,6 +164,7 @@ class ABRA:
             totals: Dict[Node, float] = {node: 0.0 for node in nodes}
             totals_sq: Dict[Node, float] = {node: 0.0 for node in nodes}
             choice = _csr.effective_backend(graph, self.backend)
+            use_weights = _sssp.effective_weighted(graph, self.weighted)
             base_seed = _parallel.derive_base_seed(rng)
 
             def fold(partial) -> None:
@@ -171,6 +185,7 @@ class ABRA:
                     _parallel.shareable_graph(graph, choice),
                     nodes,
                     choice,
+                    use_weights,
                     base_seed,
                 ),
                 workers=self.workers,
@@ -188,7 +203,11 @@ class ABRA:
             delta=self.delta,
             converged_by=converged_by,
             wall_time_seconds=timer.elapsed,
-            extra={"vc_dimension": float(vc_bound), "max_samples": float(max_samples)},
+            extra={
+                "vc_dimension": float(vc_bound),
+                "max_samples": float(max_samples),
+                "weighted": float(use_weights),
+            },
         )
 
     # ------------------------------------------------------------------
@@ -199,19 +218,24 @@ class ABRA:
         totals: Dict[Node, float],
         totals_sq: Dict[Node, float],
         rng,
+        use_weights: bool = False,
     ) -> None:
         """Sample one node pair and add the fractional path counts.
 
         The source DAG comes from the shared :mod:`repro.engine.dag_cache`
         (a repeated source reuses the traversal) and the backward ``beta``
         pass is the shared :meth:`ShortestPathDAG.path_counts_to` kernel —
-        ABRA no longer carries private traversal loops.
+        ABRA no longer carries private traversal loops.  With weights on
+        the DAG is Dijkstra-built; the distance comparisons below work
+        unchanged on its float distances.
         """
         source = rng.choice(nodes)
         target = rng.choice(nodes)
         while target == source:
             target = rng.choice(nodes)
-        dag = _dag_cache.source_dag(graph, source, backend=_csr.DICT_BACKEND)
+        dag = _dag_cache.source_dag(
+            graph, source, backend=_csr.DICT_BACKEND, weighted=use_weights
+        )
         if target not in dag.distances:  # pragma: no cover - connected graphs
             return
         # beta[w] = number of shortest paths from w to target inside the
@@ -235,6 +259,7 @@ class ABRA:
         totals: Dict[Node, float],
         totals_sq: Dict[Node, float],
         rng,
+        use_weights: bool = False,
     ) -> None:
         """Index-space twin of :meth:`_add_pair_sample`.
 
@@ -247,7 +272,9 @@ class ABRA:
         target = rng.choice(nodes)
         while target == source:
             target = rng.choice(nodes)
-        dag = _dag_cache.source_dag(graph, source, backend=_csr.CSR_BACKEND)
+        dag = _dag_cache.source_dag(
+            graph, source, backend=_csr.CSR_BACKEND, weighted=use_weights
+        )
         snapshot = dag.csr
         target_index = snapshot.index[target]
         dist = dag.dist

@@ -42,6 +42,11 @@ class BaderPivot:
         RNG seed.
     backend:
         Traversal backend forwarded to the Brandes pivot passes.
+    weighted:
+        SSSP engine selection (``None``/``"auto"``/``"on"``/``"off"``; see
+        :mod:`repro.graphs.sssp`) forwarded to the Brandes pivot passes —
+        with weights on, each pivot runs a Dijkstra dependency pass, so the
+        extrapolated scores estimate *weighted* betweenness.
     workers:
         Worker processes for the pivot passes (``None`` resolves via
         ``REPRO_WORKERS``); bit-identical for any worker count.  The pivot
@@ -60,6 +65,7 @@ class BaderPivot:
         num_pivots: Optional[int] = None,
         seed: SeedLike = None,
         backend: Optional[str] = None,
+        weighted: Optional[str] = None,
         workers: Optional[int] = None,
     ) -> None:
         check_probability_pair(epsilon, delta)
@@ -70,6 +76,7 @@ class BaderPivot:
         self.num_pivots = num_pivots
         self.seed = seed
         self.backend = backend
+        self.weighted = weighted
         self.workers = workers
 
     def estimate(self, graph: Graph) -> BaselineResult:
@@ -93,7 +100,7 @@ class BaderPivot:
             pivots = rng.sample(nodes, pivots_needed)
             scores = betweenness_from_pivots(
                 graph, pivots, normalized=True, backend=self.backend,
-                workers=self.workers,
+                workers=self.workers, weighted=self.weighted,
             )
 
         return BaselineResult(

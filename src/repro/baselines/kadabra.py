@@ -17,6 +17,7 @@ from typing import Dict, Hashable, Optional, Tuple
 
 from repro import parallel as _parallel
 from repro.baselines.base import BaselineResult
+from repro.engine import dag_cache as _dag_cache
 from repro.engine.driver import SampleDriver
 from repro.engine.schedule import SampleSchedule
 from repro.engine.stopping import HitCountRule
@@ -26,6 +27,7 @@ from repro.graphs.bidirectional import (
     AUTO_CSR_BIDIRECTIONAL_THRESHOLD,
     bidirectional_shortest_paths,
 )
+from repro.graphs import sssp as _sssp
 from repro.graphs.components import is_connected
 from repro.graphs.diameter import estimate_diameter, exact_diameter
 from repro.graphs.graph import Graph
@@ -39,13 +41,20 @@ Node = Hashable
 
 
 def _kadabra_sample_chunk(payload, piece: Tuple[int, int]):
-    """Worker task: one chunk of bidirectional path samples.
+    """Worker task: one chunk of path samples.
+
+    Unit-weight graphs sample through the balanced bidirectional BFS — the
+    KADABRA workhorse, whose level balancing is specific to hop distances.
+    With weights on, samples route through the unified SSSP engine instead:
+    one Dijkstra source DAG per drawn source (reused across samples via the
+    cross-sample cache) and a uniform weight-minimal path sampled from it;
+    the accounted cost is the full adjacency scan of that traversal.
 
     Returns ``(sparse hit counts, visited adjacency entries)``; hit counts
     are integer-valued floats, so folding them is exact in any order, and the
     chunk RNG streams make results independent of the worker count.
     """
-    graph, nodes, backend, base_seed = payload
+    graph, nodes, backend, use_weights, base_seed = payload
     graph = _parallel.resolve_payload_graph(graph)
     chunk_index, draws = piece
     rng = _parallel.chunk_rng(base_seed, chunk_index)
@@ -56,13 +65,28 @@ def _kadabra_sample_chunk(payload, piece: Tuple[int, int]):
         endpoint = rng.choice(nodes)
         while endpoint == source:
             endpoint = rng.choice(nodes)
-        result = bidirectional_shortest_paths(
-            graph, source, endpoint, backend=backend
-        )
-        visited_edges += result.visited_edges
-        if not result.connected:  # pragma: no cover - connected graphs
-            continue
-        path = result.sample_path(rng)
+        if use_weights:
+            dag = _dag_cache.source_dag(
+                graph, source, backend=backend, weighted=True
+            )
+            visited_edges += 2 * graph.number_of_edges()
+            if backend == _csr.CSR_BACKEND:
+                snapshot = dag.csr
+                path_indices = dag.sample_path_indices(
+                    snapshot.index[endpoint], rng
+                )
+                labels = snapshot.labels
+                path = [labels[index] for index in path_indices]
+            else:
+                path = dag.sample_path(endpoint, rng)
+        else:
+            result = bidirectional_shortest_paths(
+                graph, source, endpoint, backend=backend
+            )
+            visited_edges += result.visited_edges
+            if not result.connected:  # pragma: no cover - connected graphs
+                continue
+            path = result.sample_path(rng)
         for inner in path[1:-1]:
             counts[inner] = counts.get(inner, 0.0) + 1.0
     return counts, visited_edges
@@ -84,6 +108,13 @@ class KADABRA:
     backend:
         Traversal backend (``"dict"``, ``"csr"`` or ``None`` for the
         default); both draw identical samples from identical seeds.
+    weighted:
+        SSSP engine selection (``None``/``"auto"``/``"on"``/``"off"``; see
+        :mod:`repro.graphs.sssp`).  With weights on, samples are uniform
+        weight-minimal shortest paths drawn from cached Dijkstra source
+        DAGs (the bidirectional balancing is a hop-distance optimisation);
+        the hop-diameter-based sample sizes are kept as a documented
+        heuristic surrogate.
     workers:
         Worker processes for the sampling rounds (``None`` resolves via
         ``REPRO_WORKERS``).  Samples are drawn from per-chunk seeded RNG
@@ -102,6 +133,7 @@ class KADABRA:
         sample_constant: float = 0.5,
         max_samples_cap: Optional[int] = None,
         backend: Optional[str] = None,
+        weighted: Optional[str] = None,
         workers: Optional[int] = None,
     ) -> None:
         check_probability_pair(epsilon, delta)
@@ -111,6 +143,7 @@ class KADABRA:
         self.sample_constant = sample_constant
         self.max_samples_cap = max_samples_cap
         self.backend = backend
+        self.weighted = weighted
         self.workers = workers
 
     def estimate(self, graph: Graph) -> BaselineResult:
@@ -143,9 +176,14 @@ class KADABRA:
             per_check_delta = self.delta / (schedule.num_stages() * n)
 
             counts: Dict[Node, float] = {node: 0.0 for node in nodes}
+            use_weights = _sssp.effective_weighted(graph, self.weighted)
+            # Weighted sampling runs full source traversals (no per-query
+            # state arrays), so the plain auto threshold applies.
             choice = _csr.effective_backend(
                 graph, self.backend,
-                auto_threshold=AUTO_CSR_BIDIRECTIONAL_THRESHOLD,
+                auto_threshold=(
+                    None if use_weights else AUTO_CSR_BIDIRECTIONAL_THRESHOLD
+                ),
             )
             base_seed = _parallel.derive_base_seed(rng)
             visited = {"edges": 0}
@@ -165,6 +203,7 @@ class KADABRA:
                     _parallel.shareable_graph(graph, choice),
                     nodes,
                     choice,
+                    use_weights,
                     base_seed,
                 ),
                 workers=self.workers,
@@ -187,6 +226,7 @@ class KADABRA:
                 "vc_dimension": float(vc_bound),
                 "max_samples": float(max_samples),
                 "visited_edges": float(visited_edges),
+                "weighted": float(use_weights),
             },
         )
 

@@ -23,6 +23,7 @@ from repro.engine.schedule import SampleSchedule
 from repro.engine.stopping import FixedSampleRule
 from repro.errors import GraphError
 from repro.graphs import csr as _csr
+from repro.graphs import sssp as _sssp
 from repro.graphs.components import is_connected
 from repro.graphs.diameter import estimate_diameter, exact_diameter
 from repro.graphs.graph import Graph
@@ -42,7 +43,7 @@ def _rk_sample_chunk(payload, piece: Tuple[int, int]) -> Dict[Node, float]:
     :mod:`repro.parallel`), so the same chunk produces the same samples in
     any process — worker counts never change results.
     """
-    graph, nodes, backend, base_seed = payload
+    graph, nodes, backend, use_weights, base_seed = payload
     graph = _parallel.resolve_payload_graph(graph)
     chunk_index, draws = piece
     rng = _parallel.chunk_rng(base_seed, chunk_index)
@@ -54,8 +55,12 @@ def _rk_sample_chunk(payload, piece: Tuple[int, int]) -> Dict[Node, float]:
             target = rng.choice(nodes)
         # The source DAG comes from the shared cross-sample cache: a source
         # drawn twice reuses its traversal (path sampling only reads the
-        # DAG and consumes the RNG identically either way).
-        dag = _dag_cache.source_dag(graph, source, backend=backend)
+        # DAG and consumes the RNG identically either way).  With weights
+        # on, the DAG is Dijkstra-built and the sampled paths are uniform
+        # over *weight-minimal* shortest paths.
+        dag = _dag_cache.source_dag(
+            graph, source, backend=backend, weighted=use_weights
+        )
         if backend == _csr.CSR_BACKEND:
             snapshot = dag.csr
             path = dag.sample_path_indices(snapshot.index[target], rng)
@@ -86,6 +91,12 @@ class RiondatoKornaropoulos:
     backend:
         Traversal backend (``"dict"``, ``"csr"`` or ``None`` for the
         default); both draw identical samples from identical seeds.
+    weighted:
+        SSSP engine selection (``None``/``"auto"``/``"on"``/``"off"``; see
+        :mod:`repro.graphs.sssp`).  With weights on, samples are uniform
+        weight-minimal shortest paths; the hop-diameter-based sample size
+        is kept as a documented heuristic surrogate (the VC machinery is
+        defined on hop distances).
     workers:
         Worker processes for the sampling loop (``None`` resolves via
         ``REPRO_WORKERS``).  Samples are drawn from per-chunk seeded RNG
@@ -104,6 +115,7 @@ class RiondatoKornaropoulos:
         sample_constant: float = 0.5,
         max_samples_cap: Optional[int] = None,
         backend: Optional[str] = None,
+        weighted: Optional[str] = None,
         workers: Optional[int] = None,
     ) -> None:
         check_probability_pair(epsilon, delta)
@@ -113,6 +125,7 @@ class RiondatoKornaropoulos:
         self.sample_constant = sample_constant
         self.max_samples_cap = max_samples_cap
         self.backend = backend
+        self.weighted = weighted
         self.workers = workers
 
     def estimate(self, graph: Graph) -> BaselineResult:
@@ -138,6 +151,7 @@ class RiondatoKornaropoulos:
             nodes = list(graph.nodes())
             counts: Dict[Node, float] = {node: 0.0 for node in nodes}
             choice = _csr.effective_backend(graph, self.backend)
+            use_weights = _sssp.effective_weighted(graph, self.weighted)
             base_seed = _parallel.derive_base_seed(rng)
 
             def fold(part) -> None:
@@ -150,6 +164,7 @@ class RiondatoKornaropoulos:
                     _parallel.shareable_graph(graph, choice),
                     nodes,
                     choice,
+                    use_weights,
                     base_seed,
                 ),
                 workers=self.workers,
@@ -167,5 +182,9 @@ class RiondatoKornaropoulos:
             delta=self.delta,
             converged_by="fixed",
             wall_time_seconds=timer.elapsed,
-            extra={"vc_dimension": float(vc_bound), "diameter_bound": float(diameter)},
+            extra={
+                "vc_dimension": float(vc_bound),
+                "diameter_bound": float(diameter),
+                "weighted": float(use_weights),
+            },
         )

@@ -28,22 +28,32 @@ from repro import parallel as _parallel
 from repro.engine.driver import sweep_sources
 from repro.errors import GraphError
 from repro.graphs import csr as _csr
+from repro.graphs import sssp as _sssp
 from repro.graphs.graph import Graph
 
 Node = Hashable
 
 
 def single_source_dependencies(
-    graph: Graph, source: Node, *, backend: Optional[str] = None
+    graph: Graph,
+    source: Node,
+    *,
+    backend: Optional[str] = None,
+    weighted: Optional[str] = None,
 ) -> Dict[Node, float]:
     """Brandes' single-source dependency accumulation ``delta_s(v)``.
 
     ``delta_s(v) = sum_{t != s} sigma_st(v) / sigma_st`` — the total
     contribution of source ``s`` to the (unordered-pair, unnormalised)
-    betweenness of every node ``v``.
+    betweenness of every node ``v``.  ``weighted`` (see
+    :mod:`repro.graphs.sssp`) routes the forward pass through the Dijkstra
+    engine: shortest paths are then weight-minimal instead of hop-minimal,
+    which is the weighted-betweenness definition.
     """
     if not graph.has_node(source):
         raise GraphError(f"source node {source!r} does not exist")
+    if _sssp.effective_weighted(graph, weighted):
+        return _weighted_dependencies(graph, source, backend=backend)
     if _csr.effective_backend(graph, backend) == _csr.CSR_BACKEND:
         snapshot = _csr.as_csr(graph)
         source_index = snapshot.index[source]
@@ -87,12 +97,53 @@ def single_source_dependencies(
     return dependency
 
 
+def _weighted_dependencies(
+    graph: Graph, source: Node, *, backend: Optional[str]
+) -> Dict[Node, float]:
+    """Weighted single-source dependencies (Dijkstra forward pass).
+
+    The backward accumulation is Brandes' unchanged: it only consumes the
+    DAG (settle order, predecessor lists, float sigma), which the weighted
+    engine produces with the same ordering contracts as the BFS — so the
+    dict and CSR paths stay bit-identical.
+    """
+    if _csr.effective_backend(graph, backend) == _csr.CSR_BACKEND:
+        snapshot = _csr.as_csr(graph)
+        source_index = snapshot.index[source]
+        delta, order, _ = _csr.csr_dijkstra_brandes(snapshot, source_index)
+        if _csr.HAS_NUMPY:
+            order_list = order.tolist()
+            values = delta[order].tolist()
+        else:
+            order_list = list(order)
+            values = [delta[node] for node in order_list]
+        labels = snapshot.labels
+        return {
+            labels[node]: value
+            for node, value in zip(order_list, values)
+            if node != source_index
+        }
+    from repro.graphs.traversal import dict_dijkstra_dag
+
+    dag = dict_dijkstra_dag(graph, source, float_sigma=True)
+    sigma = dag.sigma
+    dependency: Dict[Node, float] = {node: 0.0 for node in dag.order}
+    for node in reversed(dag.order):
+        for predecessor in dag.predecessors[node]:
+            dependency[predecessor] += (
+                sigma[predecessor] / sigma[node] * (1.0 + dependency[node])
+            )
+    dependency.pop(source, None)
+    return dependency
+
+
 def betweenness_centrality(
     graph: Graph,
     *,
     normalized: bool = True,
     backend: Optional[str] = None,
     workers: Optional[int] = None,
+    weighted: Optional[str] = None,
 ) -> Dict[Node, float]:
     """Exact betweenness centrality of every node.
 
@@ -105,6 +156,11 @@ def betweenness_centrality(
         Traversal backend; the CSR path runs batched multi-source sweeps
         (:func:`repro.graphs.csr.multi_source_sweep`) instead of per-source
         dicts, with bit-identical totals.
+    weighted:
+        SSSP engine selection (``None``/``"auto"``/``"on"``/``"off"``; see
+        :mod:`repro.graphs.sssp`).  Weighted betweenness counts
+        weight-minimal shortest paths; unit-weight graphs under ``"auto"``
+        take the exact historical BFS paths.
     workers:
         Worker processes for the all-sources loop (``None`` resolves via
         ``REPRO_WORKERS``).  Each chunk of sources is reduced to one
@@ -117,7 +173,8 @@ def betweenness_centrality(
     # Summing the single-source dependencies over every source already covers
     # each *ordered* pair (s, t) exactly once, which is what Eq. 3 sums over.
     centrality = _sum_dependencies(
-        graph, list(graph.nodes()), backend=backend, workers=workers
+        graph, list(graph.nodes()), backend=backend, workers=workers,
+        weighted=weighted,
     )
     if normalized and n > 1:
         scale = 1.0 / (n * (n - 1))
@@ -133,6 +190,7 @@ def betweenness_subset(
     normalized: bool = True,
     backend: Optional[str] = None,
     workers: Optional[int] = None,
+    weighted: Optional[str] = None,
 ) -> Dict[Node, float]:
     """Exact betweenness centrality restricted to the nodes in ``targets``.
 
@@ -146,7 +204,8 @@ def betweenness_subset(
     if missing:
         raise GraphError(f"target nodes not in graph: {missing[:5]!r}")
     full = betweenness_centrality(
-        graph, normalized=normalized, backend=backend, workers=workers
+        graph, normalized=normalized, backend=backend, workers=workers,
+        weighted=weighted,
     )
     return {node: full[node] for node in wanted}
 
@@ -158,6 +217,7 @@ def betweenness_from_pivots(
     normalized: bool = True,
     backend: Optional[str] = None,
     workers: Optional[int] = None,
+    weighted: Optional[str] = None,
 ) -> Dict[Node, float]:
     """Estimate betweenness from a subset of source pivots (Bader-style).
 
@@ -170,7 +230,8 @@ def betweenness_from_pivots(
         raise ValueError("at least one pivot is required")
     n = graph.number_of_nodes()
     centrality = _sum_dependencies(
-        graph, pivot_list, backend=backend, workers=workers
+        graph, pivot_list, backend=backend, workers=workers,
+        weighted=weighted,
     )
     # Extrapolate the sum over all n sources (which covers all ordered pairs).
     scale = n / len(pivot_list)
@@ -198,12 +259,14 @@ def _dependency_chunk(payload, chunk: Sequence[Node]):
     graph slot may be a shared-memory snapshot handle
     (:func:`repro.parallel.shareable_graph`).
     """
-    graph, backend = payload
+    graph, backend, use_weights = payload
     graph = _parallel.resolve_payload_graph(graph)
     if backend == _csr.CSR_BACKEND:
         snapshot = _csr.as_csr(graph)
         indices = [snapshot.index_of(source) for source in chunk]
-        rows = _csr.multi_source_sweep(snapshot, indices, kind=_csr.SWEEP_BRANDES)
+        rows = _csr.multi_source_sweep(
+            snapshot, indices, kind=_csr.SWEEP_BRANDES, weighted=use_weights
+        )
         if _csr.HAS_NUMPY:
             import numpy as np
 
@@ -221,7 +284,8 @@ def _dependency_chunk(payload, chunk: Sequence[Node]):
     partial_map: Dict[Node, float] = {}
     for source in chunk:
         dependencies = single_source_dependencies(
-            graph, source, backend=_csr.DICT_BACKEND
+            graph, source, backend=_csr.DICT_BACKEND,
+            weighted=_sssp.WEIGHTED_ON if use_weights else _sssp.WEIGHTED_OFF,
         )
         for node, value in dependencies.items():
             partial_map[node] = partial_map.get(node, 0.0) + value
@@ -234,6 +298,7 @@ def _sum_dependencies(
     *,
     backend: Optional[str],
     workers: Optional[int],
+    weighted: Optional[str] = None,
 ) -> Dict[Node, float]:
     """Sum per-source dependency vectors over ``sources``, in source order.
 
@@ -248,6 +313,7 @@ def _sum_dependencies(
     it is enabled and available.
     """
     choice = _csr.effective_backend(graph, backend)
+    use_weights = _sssp.effective_weighted(graph, weighted)
     if choice == _csr.CSR_BACKEND:
         snapshot = _csr.as_csr(graph)
         if _csr.HAS_NUMPY:
@@ -281,7 +347,7 @@ def _sum_dependencies(
 
     sweep_sources(
         _dependency_chunk, sources, fold,
-        payload=(_parallel.shareable_graph(graph, choice), choice),
+        payload=(_parallel.shareable_graph(graph, choice), choice, use_weights),
         workers=workers,
     )
     return finalize()

@@ -28,6 +28,17 @@ def _add_backend_argument(subparser) -> None:
              "implementation), or auto (pick per graph size; the default, "
              "and when passed explicitly it overrides REPRO_BACKEND)",
     )
+    # default=None so an absent flag leaves the REPRO_WEIGHTED environment
+    # variable (or the built-in auto routing) in charge.
+    subparser.add_argument(
+        "--weighted",
+        choices=("auto", "on", "off"),
+        default=None,
+        help="weighted SSSP routing: auto (use edge weights iff the graph "
+             "has them; the default), on (force the Dijkstra engine, absent "
+             "weights count as 1), or off (ignore weights, hop distances).  "
+             "When passed explicitly it overrides REPRO_WEIGHTED",
+    )
     # default=None so an absent flag leaves the REPRO_WORKERS environment
     # variable (or serial execution) in charge.
     subparser.add_argument(
@@ -153,6 +164,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.graphs.csr import set_default_backend
 
         set_default_backend(backend)
+    weighted = getattr(args, "weighted", None)
+    if weighted is not None:
+        # `--weighted auto` is set explicitly too, so it restores per-graph
+        # routing even when REPRO_WEIGHTED is exported.
+        from repro.graphs.sssp import set_default_weighted
+
+        set_default_weighted(weighted)
     workers = getattr(args, "workers", None)
     if workers is not None:
         # `--workers 0` is set explicitly too, so it restores serial
@@ -214,6 +232,14 @@ def _command_rank(args) -> int:
     algorithm = SaPHyRaBC(args.epsilon, args.delta, seed=args.seed)
     result = algorithm.rank(graph, targets)
     print(f"# dataset={name} nodes={graph.number_of_nodes()} edges={graph.number_of_edges()}")
+    if graph.is_weighted:
+        # SaPHyRa's bidirectional sample generator is defined on hop
+        # distances; weighted rankings come from the weighted-aware
+        # estimators (`repro compare --estimators kadabra,abra,rk,bader`).
+        print(
+            "# note: SaPHyRa ranks hop-shortest-path betweenness; edge "
+            "weights are ignored by this command"
+        )
     print(
         f"# epsilon={args.epsilon} delta={args.delta} samples={result.num_samples} "
         f"converged_by={result.converged_by} time={result.wall_time_seconds:.3f}s"

@@ -11,8 +11,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
 
-from repro.datasets.synthetic import karate_club_graph, road_surrogate, social_surrogate
+from repro.datasets.synthetic import (
+    karate_club_graph,
+    road_surrogate,
+    social_surrogate,
+    weighted_road_surrogate,
+)
 from repro.errors import DatasetError
+from repro.graphs.generators import weighted_barabasi_albert_graph
 from repro.graphs.graph import Graph
 from repro.utils.rng import SeedLike
 
@@ -127,12 +133,45 @@ def _build_usa_road(scale: float, seed: SeedLike) -> Dataset:
     )
 
 
+def _build_usa_road_weighted(scale: float, seed: SeedLike) -> Dataset:
+    rows = max(12, int(40 * scale))
+    cols = max(15, int(50 * scale))
+    graph, coordinates = weighted_road_surrogate(rows, cols, seed=seed)
+    return Dataset(
+        name="usa-road-weighted",
+        graph=graph,
+        coordinates=coordinates,
+        description=(
+            "Weighted USA-road surrogate: the usa-road grid with Euclidean "
+            "road-length edge weights, exercising the Dijkstra SSSP engine "
+            "(weighted betweenness/closeness, real-length rankings)"
+        ),
+        paper_reference={"nodes": 23.9e6, "edges": 58.3e6, "diameter": 1524},
+    )
+
+
+def _build_ba_weighted(scale: float, seed: SeedLike) -> Dataset:
+    num_nodes = max(200, int(1500 * scale))
+    graph = weighted_barabasi_albert_graph(num_nodes, 4, seed=seed)
+    return Dataset(
+        name="ba-weighted",
+        graph=graph,
+        description=(
+            "Weighted Barabási–Albert graph: heavy-tailed social topology "
+            "with uniform random edge weights in [1, 10] — the social-side "
+            "workload for the weighted SSSP engine"
+        ),
+    )
+
+
 _BUILDERS: Dict[str, Callable[[float, SeedLike], Dataset]] = {
     "karate": _build_karate,
     "flickr": _build_flickr,
     "livejournal": _build_livejournal,
     "orkut": _build_orkut,
     "usa-road": _build_usa_road,
+    "usa-road-weighted": _build_usa_road_weighted,
+    "ba-weighted": _build_ba_weighted,
 }
 
 #: The four evaluation networks of the paper (Table II order).

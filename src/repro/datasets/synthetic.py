@@ -19,7 +19,11 @@ from typing import Dict, Tuple
 
 from repro.errors import GraphError
 from repro.graphs.components import largest_connected_component
-from repro.graphs.generators import grid_road_graph, powerlaw_cluster_graph
+from repro.graphs.generators import (
+    grid_road_graph,
+    powerlaw_cluster_graph,
+    weighted_grid_road_graph,
+)
 from repro.graphs.graph import Graph
 from repro.utils.rng import SeedLike, ensure_rng
 
@@ -124,6 +128,31 @@ def road_surrogate(
         seed=seed,
     )
     return graph, coordinates
+
+
+def weighted_road_surrogate(
+    rows: int,
+    cols: int,
+    *,
+    seed: SeedLike = None,
+    removal_probability: float = 0.12,
+    diagonal_probability: float = 0.04,
+) -> Tuple[Graph, Dict[int, Tuple[float, float]]]:
+    """A :func:`road_surrogate` whose edges carry road-length weights.
+
+    Same structural parameters as the unweighted surrogate; each edge's
+    weight is the Euclidean distance between its jittered endpoints times a
+    deterministic per-edge jitter (see
+    :func:`repro.graphs.generators.weighted_grid_road_graph`), modelling the
+    edge lengths the DIMACS USA-road files carry in the wild.
+    """
+    return weighted_grid_road_graph(
+        rows,
+        cols,
+        diagonal_probability=diagonal_probability,
+        removal_probability=removal_probability,
+        seed=seed,
+    )
 
 
 def connected_social_surrogate(

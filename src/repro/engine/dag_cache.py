@@ -7,7 +7,10 @@ workloads hammer a small source set.  A traversal from a fixed source on a
 fixed graph is a pure function, so those repeats are pure waste.
 
 :class:`SourceDAGCache` memoises them, keyed on
-``(Graph._version, source, backend)``:
+``(Graph._version, source, backend, weighted)`` — the ``weighted`` flag
+distinguishes hop-distance (BFS) traversals from weighted (Dijkstra)
+traversals of the same source, so estimators running both engines on one
+graph never cross-contaminate:
 
 * entries are stored per graph object (weakly — a collected graph drops its
   entries) and invalidated wholesale when ``Graph._version`` bumps, exactly
@@ -272,22 +275,29 @@ class SourceDAGCache:
 
     # ------------------------------------------------------------------
     @staticmethod
-    def compute_dag(graph: Graph, source: Node, *, backend: str):
+    def compute_dag(graph: Graph, source: Node, *, backend: str,
+                    weighted: bool = False):
         """The uncached computation a :meth:`dag` miss performs."""
         if backend == _csr.CSR_BACKEND:
             snapshot = _csr.as_csr(graph)
-            return _csr.csr_shortest_path_dag(snapshot, snapshot.index_of(source))
-        from repro.graphs.traversal import shortest_path_dag
+            return _csr.csr_sssp_dag(
+                snapshot, snapshot.index_of(source), weighted=weighted
+            )
+        from repro.graphs.traversal import dict_dijkstra_dag, shortest_path_dag
 
+        if weighted:
+            return dict_dijkstra_dag(graph, source)
         return shortest_path_dag(graph, source, backend=_csr.DICT_BACKEND)
 
-    def dag(self, graph: Graph, source: Node, *, backend: str):
+    def dag(self, graph: Graph, source: Node, *, backend: str,
+            weighted: bool = False):
         """The shortest-path DAG rooted at ``source`` (label space).
 
         Returns a :class:`~repro.graphs.csr.CSRShortestPathDAG` for the
         ``"csr"`` backend and a label-keyed
         :class:`~repro.graphs.traversal.ShortestPathDAG` for ``"dict"`` —
-        the exact objects the uncached code paths build.
+        the exact objects the uncached code paths build.  ``weighted``
+        selects the Dijkstra engine and is part of the cache key.
         """
         if backend not in _csr.BACKENDS:
             raise ValueError(
@@ -296,8 +306,10 @@ class SourceDAGCache:
             )
         return self.lookup(
             graph,
-            ("dag", backend, source),
-            lambda: self.compute_dag(graph, source, backend=backend),
+            ("dag", backend, weighted, source),
+            lambda: self.compute_dag(
+                graph, source, backend=backend, weighted=weighted
+            ),
         )
 
     @staticmethod
@@ -325,20 +337,25 @@ class SourceDAGCache:
         )
 
     @staticmethod
-    def compute_distances(graph: Graph, source: Node):
+    def compute_distances(graph: Graph, source: Node, *, weighted: bool = False):
         """The uncached computation a :meth:`distances` miss performs."""
         snapshot = _csr.as_csr(graph)
         [row] = _csr.multi_source_sweep(
-            snapshot, (snapshot.index_of(source),), kind=_csr.SWEEP_DISTANCE
+            snapshot, (snapshot.index_of(source),), kind=_csr.SWEEP_DISTANCE,
+            weighted=weighted,
         )
         return row
 
-    def distances(self, graph: Graph, source: Node):
-        """The CSR hop-distance row of ``source`` (``-1`` = unreachable)."""
+    def distances(self, graph: Graph, source: Node, *, weighted: bool = False):
+        """The CSR distance row of ``source`` (``-1`` = unreachable).
+
+        Hop counts by default; with ``weighted=True`` (a separate cache
+        key) float path lengths from the Dijkstra engine.
+        """
         return self.lookup(
             graph,
-            ("dist", source),
-            lambda: self.compute_distances(graph, source),
+            ("dist", weighted, source) if weighted else ("dist", source),
+            lambda: self.compute_distances(graph, source, weighted=weighted),
         )
 
     def distance_rows(self, graph: Graph, sources: Sequence[Node]) -> List[object]:
@@ -413,18 +430,23 @@ def clear_default_dag_cache() -> None:
     _default_cache = None
 
 
-def source_dag(graph: Graph, source: Node, *, backend: str):
+def source_dag(graph: Graph, source: Node, *, backend: str,
+               weighted: bool = False):
     """Shared-cache :meth:`SourceDAGCache.dag` (straight computation when off)."""
     if dag_cache_enabled():
-        return default_dag_cache().dag(graph, source, backend=backend)
-    return SourceDAGCache.compute_dag(graph, source, backend=backend)
+        return default_dag_cache().dag(
+            graph, source, backend=backend, weighted=weighted
+        )
+    return SourceDAGCache.compute_dag(
+        graph, source, backend=backend, weighted=weighted
+    )
 
 
-def source_distances(graph: Graph, source: Node):
+def source_distances(graph: Graph, source: Node, *, weighted: bool = False):
     """Shared-cache :meth:`SourceDAGCache.distances` (straight when off)."""
     if dag_cache_enabled():
-        return default_dag_cache().distances(graph, source)
-    return SourceDAGCache.compute_distances(graph, source)
+        return default_dag_cache().distances(graph, source, weighted=weighted)
+    return SourceDAGCache.compute_distances(graph, source, weighted=weighted)
 
 
 def source_distance_map(graph: Graph, source: Node, *, backend: str):

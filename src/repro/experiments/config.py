@@ -65,6 +65,15 @@ class ExperimentConfig:
         :func:`repro.parallel.set_shared_memory_enabled` (process-wide,
         sticky, mirrored into the environment) and never changes results —
         workers see the same CSR arrays bit for bit.
+    weighted:
+        Weighted SSSP routing for the whole run: ``"auto"`` (use edge
+        weights iff the graph has them), ``"on"`` (force the Dijkstra
+        engine) or ``"off"`` (hop distances); ``None`` (default) leaves
+        the ``REPRO_WEIGHTED`` environment variable in charge.  Applied
+        lazily via :func:`repro.graphs.sssp.set_default_weighted`
+        (process-wide, sticky, mirrored into the environment).  Unlike the
+        knobs above this one *selects the workload* — weighted and
+        unweighted runs rank different shortest paths.
     """
 
     datasets: Sequence[str] = ("flickr", "livejournal", "usa-road", "orkut")
@@ -80,6 +89,7 @@ class ExperimentConfig:
     workers: Optional[int] = None
     dag_cache: Optional[bool] = None
     shared_memory: Optional[bool] = None
+    weighted: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.scale <= 0:
@@ -95,6 +105,10 @@ class ExperimentConfig:
             raise ValueError(f"unknown algorithms: {sorted(unknown)}")
         if self.workers is not None and self.workers < 0:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.weighted is not None and self.weighted not in ("auto", "on", "off"):
+            raise ValueError(
+                f"weighted must be None, 'auto', 'on' or 'off', got {self.weighted!r}"
+            )
 
     # ------------------------------------------------------------------
     # Presets

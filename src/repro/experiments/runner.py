@@ -93,6 +93,7 @@ class ExperimentRunner:
         self.config = config if config is not None else ExperimentConfig.default()
         self._dag_cache_applied = False
         self._shared_memory_applied = False
+        self._weighted_applied = False
         self._datasets: Dict[str, Dataset] = {}
         self._block_cut_trees: Dict[str, BlockCutTree] = {}
         self._ground_truth_cache = GroundTruthCache()
@@ -133,6 +134,22 @@ class ExperimentRunner:
         set_shared_memory_enabled(self.config.shared_memory)
         self._shared_memory_applied = True
 
+    def _apply_weighted_config(self) -> None:
+        """Apply an explicit ``config.weighted`` choice, once, lazily.
+
+        Same lifecycle as the knobs above (process-wide, sticky, mirrored
+        into ``REPRO_WEIGHTED``; ``set_default_weighted(None)`` hands
+        control back to the environment) — but unlike them this knob
+        selects the *workload*: weighted runs rank weight-minimal shortest
+        paths, so their results legitimately differ from hop-based runs.
+        """
+        if self._weighted_applied or self.config.weighted is None:
+            return
+        from repro.graphs.sssp import set_default_weighted
+
+        set_default_weighted(self.config.weighted)
+        self._weighted_applied = True
+
     # ------------------------------------------------------------------
     # Cached resources
     # ------------------------------------------------------------------
@@ -140,6 +157,7 @@ class ExperimentRunner:
         """Load (and cache) a dataset at the configured scale."""
         self._apply_dag_cache_config()
         self._apply_shared_memory_config()
+        self._apply_weighted_config()
         if name not in self._datasets:
             self._datasets[name] = load(
                 name, scale=self.config.scale, seed=self.config.seed

@@ -1,8 +1,11 @@
 """Graph substrate: storage, IO, generators, traversal and decompositions.
 
-The paper's algorithms only need undirected, unweighted simple graphs, so the
-substrate is specialised for that case and optimised for the access patterns
-the samplers use (neighbour iteration, membership tests, BFS frontiers).
+The paper's algorithms need undirected simple graphs, so the substrate is
+specialised for that case and optimised for the access patterns the samplers
+use (neighbour iteration, membership tests, BFS frontiers).  Edges may
+optionally carry positive weights: the unified SSSP layer (see
+:mod:`repro.graphs.sssp`) routes weighted graphs through deterministic
+Dijkstra kernels while unit-weight graphs keep the exact BFS hot paths.
 """
 
 from __future__ import annotations
@@ -30,6 +33,8 @@ from repro.graphs.generators import (
     grid_road_graph,
     powerlaw_cluster_graph,
     watts_strogatz_graph,
+    weighted_barabasi_albert_graph,
+    weighted_grid_road_graph,
 )
 from repro.graphs.graph import Graph
 from repro.graphs.io import (
@@ -38,11 +43,18 @@ from repro.graphs.io import (
     write_edge_list,
 )
 from repro.graphs.properties import GraphSummary, summarize
+from repro.graphs.sssp import (
+    default_weighted,
+    effective_weighted,
+    resolve_weighted,
+    set_default_weighted,
+)
 from repro.graphs.traversal import (
     ShortestPathDAG,
     bfs_distances,
     sample_shortest_path,
     shortest_path_dag,
+    sssp_distances,
 )
 
 __all__ = [
@@ -62,6 +74,13 @@ __all__ = [
     "powerlaw_cluster_graph",
     "grid_road_graph",
     "bfs_distances",
+    "sssp_distances",
+    "default_weighted",
+    "set_default_weighted",
+    "resolve_weighted",
+    "effective_weighted",
+    "weighted_barabasi_albert_graph",
+    "weighted_grid_road_graph",
     "shortest_path_dag",
     "sample_shortest_path",
     "ShortestPathDAG",

@@ -21,6 +21,12 @@ Two interchangeable backends implement the search (see
 and a CSR variant expanding whole levels over integer index arrays.  Both
 produce identical results — including identical sampled paths from identical
 seeds.
+
+The search is defined on *hop* distances: its balanced level expansion is a
+unit-weight optimisation.  Weighted workloads sample shortest paths from
+the Dijkstra source DAGs of the unified SSSP engine instead (see
+:mod:`repro.graphs.sssp` and the weighted path in
+:mod:`repro.baselines.kadabra`).
 """
 
 from __future__ import annotations
@@ -30,7 +36,7 @@ from typing import Dict, Hashable, List, Optional
 
 from repro.errors import GraphError, SamplingError
 from repro.graphs import csr as _csr
-from repro.graphs.csr import weighted_choice as _weighted_choice
+from repro.graphs.csr import sigma_choice as _weighted_choice
 from repro.graphs.graph import Graph
 from repro.utils.rng import SeedLike, ensure_rng
 

@@ -24,6 +24,12 @@ alternative:
   stacked ``(K, n)`` state arrays, merging the thin per-source frontiers of
   high-diameter (road-style) graphs into fat vectorised ones, with results
   bit-identical to the per-source kernels.
+* Weighted SSSP — snapshots of weighted graphs carry a float64 ``weights``
+  array aligned with ``indices``; :func:`csr_sssp_dag` is the one SSSP
+  entry point routing between the BFS kernels (unit weights) and the
+  deterministic Dijkstra kernels (``csr_dijkstra_dag`` /
+  ``csr_dijkstra_distances`` / ``csr_dijkstra_brandes``).  Routing policy
+  lives in :mod:`repro.graphs.sssp`.
 * Backend selection — :func:`resolve_backend` maps a user-facing
   ``backend=`` argument (``None``/``"auto"``/``"dict"``/``"csr"``) to a
   concrete backend, honouring the ``REPRO_BACKEND`` environment variable.
@@ -50,6 +56,7 @@ from __future__ import annotations
 import os
 from array import array
 from collections import deque
+from heapq import heappop, heappush
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 from weakref import WeakKeyDictionary
 
@@ -246,12 +253,14 @@ class CSRGraph:
         "m",
         "indptr",
         "indices",
+        "weights",
         "labels",
         "index",
         "identity_labels",
         "max_degree",
         "_indptr_list",
         "_indices_list",
+        "_weights_list",
         "__weakref__",
     )
 
@@ -264,9 +273,10 @@ class CSRGraph:
     #: :mod:`repro.parallel`.
     _version = 0
 
-    def __init__(self, indptr, indices, labels: List[Node]) -> None:
+    def __init__(self, indptr, indices, labels: List[Node], weights=None) -> None:
         self.indptr = indptr
         self.indices = indices
+        self.weights = weights
         self.labels = labels
         self.index: Dict[Node, int] = {label: i for i, label in enumerate(labels)}
         self.n = len(labels)
@@ -286,6 +296,28 @@ class CSRGraph:
             )
         self._indptr_list: Optional[List[int]] = None
         self._indices_list: Optional[List[int]] = None
+        self._weights_list: Optional[List[float]] = None
+
+    @property
+    def is_weighted(self) -> bool:
+        """Whether the snapshot carries an edge-weight array (O(1))."""
+        return self.weights is not None
+
+    def weight_list(self) -> Optional[List[float]]:
+        """``weights`` as a cached Python list (``None`` when unweighted).
+
+        The sequential Dijkstra kernel indexes this alongside
+        :meth:`adjacency_lists` — plain-list subscription avoids boxing one
+        numpy scalar per relaxed edge.
+        """
+        if self.weights is None:
+            return None
+        if self._weights_list is None:
+            if HAS_NUMPY and not isinstance(self.weights, array):
+                self._weights_list = self.weights.tolist()
+            else:
+                self._weights_list = list(self.weights)
+        return self._weights_list
 
     def adjacency_lists(self) -> Tuple[List[int], List[int]]:
         """Return ``(indptr, indices)`` as cached Python lists.
@@ -305,22 +337,38 @@ class CSRGraph:
 
     @classmethod
     def from_graph(cls, graph: Graph) -> "CSRGraph":
-        """Snapshot ``graph`` preserving its insertion-ordered adjacency."""
+        """Snapshot ``graph`` preserving its insertion-ordered adjacency.
+
+        Weighted graphs additionally get a float64 ``weights`` array aligned
+        with ``indices`` (one entry per directed adjacency slot); unit-weight
+        graphs keep ``weights is None`` and the exact historical snapshot.
+        """
         labels = list(graph.nodes())
         index = {label: i for i, label in enumerate(labels)}
         flat: List[int] = []
         indptr_list = [0]
+        weighted = graph.is_weighted
+        flat_weights: List[float] = [] if weighted else None
         for label in labels:
-            for neighbor in graph.neighbors(label):
-                flat.append(index[neighbor])
+            if weighted:
+                for neighbor, weight in graph.neighbor_weights(label):
+                    flat.append(index[neighbor])
+                    flat_weights.append(float(weight))
+            else:
+                for neighbor in graph.neighbors(label):
+                    flat.append(index[neighbor])
             indptr_list.append(len(flat))
         if HAS_NUMPY:
             indptr = _np.asarray(indptr_list, dtype=_np.int64)
             indices = _np.asarray(flat, dtype=_np.int64)
+            weights = (
+                _np.asarray(flat_weights, dtype=_np.float64) if weighted else None
+            )
         else:
             indptr = array("q", indptr_list)
             indices = array("q", flat)
-        return cls(indptr, indices, labels)
+            weights = array("d", flat_weights) if weighted else None
+        return cls(indptr, indices, labels, weights)
 
     # ------------------------------------------------------------------
     def number_of_nodes(self) -> int:
@@ -396,7 +444,9 @@ class CSRShortestPathDAG:
     source:
         Source node *index*.
     dist:
-        Length-``n`` distance array, ``-1`` for unreachable nodes.
+        Length-``n`` distance array, ``-1`` for unreachable nodes.  Hop
+        counts (int64) for BFS-built DAGs; float64 path lengths for
+        weighted (Dijkstra-built) DAGs, see :attr:`weighted`.
     sigma:
         Length-``n`` shortest-path counts: an ``int64``-backed buffer (or
         float64 for the Brandes variant), or a list of Python ints if the
@@ -420,12 +470,13 @@ class CSRShortestPathDAG:
         "order",
         "levels",
         "level_edges",
+        "weighted",
         "_pred_indptr",
         "_pred_indices",
     )
 
     def __init__(self, csr, source, dist, sigma, order, levels, level_edges,
-                 pred_indptr=None, pred_indices=None) -> None:
+                 pred_indptr=None, pred_indices=None, weighted=False) -> None:
         self.csr = csr
         self.source = source
         self.dist = dist
@@ -433,6 +484,7 @@ class CSRShortestPathDAG:
         self.order = order
         self.levels = levels
         self.level_edges = level_edges
+        self.weighted = weighted
         self._pred_indptr = pred_indptr
         self._pred_indices = pred_indices
 
@@ -480,11 +532,38 @@ class CSRShortestPathDAG:
         from the target along predecessor lists yields, for every node ``w``
         with ``d(w) <= d(target)`` lying on at least one shortest
         source→target path, the number of shortest ``w → target`` paths.
-        The accumulation replays the dict backend's exact frontier and
-        predecessor order, so the float sums are bit-identical to the
-        label-space reference (:meth:`ShortestPathDAG.path_counts_to`).
+        The accumulation replays the dict backend's exact order, so the
+        float sums are bit-identical to the label-space reference
+        (:meth:`ShortestPathDAG.path_counts_to`).  BFS-built DAGs walk
+        level by level; weighted (Dijkstra-built) DAGs propagate in
+        reverse settle order instead — there are no levels, and a node can
+        be a predecessor of targets at several hop depths, so the level
+        walk would propagate counts before they are complete.
         """
-        beta: Dict[int, float] = {target_index: 1.0}
+        if self.weighted:
+            members = {target_index}
+            stack = [target_index]
+            while stack:
+                preds = self.predecessors(stack.pop())
+                if not isinstance(preds, list):
+                    preds = preds.tolist()
+                for predecessor in preds:
+                    if predecessor not in members:
+                        members.add(predecessor)
+                        stack.append(predecessor)
+            beta: Dict[int, float] = {target_index: 1.0}
+            order = self.order.tolist() if HAS_NUMPY else self.order
+            for node in reversed(order):
+                if node not in members:
+                    continue
+                value = beta[node]
+                preds = self.predecessors(node)
+                if not isinstance(preds, list):
+                    preds = preds.tolist()
+                for predecessor in preds:
+                    beta[predecessor] = beta.get(predecessor, 0.0) + value
+            return beta
+        beta = {target_index: 1.0}
         frontier = [target_index]
         while frontier:
             next_frontier: List[int] = []
@@ -520,18 +599,20 @@ class CSRShortestPathDAG:
             preds = self.predecessors(current)
             preds = preds.tolist() if HAS_NUMPY else list(preds)
             weights = [int(sigma[p]) for p in preds]
-            current = weighted_choice(preds, weights, rng)
+            current = sigma_choice(preds, weights, rng)
             path.append(current)
         path.reverse()
         return path
 
 
-def weighted_choice(items: Sequence, weights: Sequence[int], rng):
-    """Pick one of ``items`` with probability proportional to ``weights``.
+def sigma_choice(items: Sequence, weights: Sequence[int], rng):
+    """Pick one of ``items`` with probability proportional to sigma counts.
 
     The threshold is drawn with ``rng.randrange(total)`` over the *integer*
     total, so the choice is exact — no float accumulation bias even when the
-    weights (shortest-path counts) exceed ``2**53``.
+    sigma counts (shortest-path counts) exceed ``2**53``.  Named
+    ``sigma_choice`` so "weighted" unambiguously refers to *edge weights*
+    across the codebase; the probability weights here are path counts.
 
     Raises
     ------
@@ -543,7 +624,7 @@ def weighted_choice(items: Sequence, weights: Sequence[int], rng):
 
     if len(items) != len(weights):
         raise SamplingError(
-            f"weighted_choice needs one weight per item, got {len(items)} "
+            f"sigma_choice needs one weight per item, got {len(items)} "
             f"items but {len(weights)} weights"
         )
     total = 0
@@ -558,6 +639,11 @@ def weighted_choice(items: Sequence, weights: Sequence[int], rng):
         if threshold < cumulative:
             return item
     return items[-1]
+
+
+#: Deprecated alias — use :func:`sigma_choice`.  "weighted" now refers to
+#: edge weights throughout the codebase, not to sampling weights.
+weighted_choice = sigma_choice
 
 
 # ---------------------- the level-expansion kernel --------------------
@@ -1214,6 +1300,185 @@ def csr_brandes(csr: CSRGraph, source: int):
     return _py_brandes(csr, source)
 
 
+# ----------------------- the weighted SSSP engine ---------------------
+#
+# The second engine behind the one SSSP abstraction (see
+# :mod:`repro.graphs.sssp`): a deterministic binary-heap Dijkstra over the
+# same flat CSR arrays.  Heap entries are ``(distance, push counter, node)``
+# — the counter breaks distance ties by *push order*, which is a pure
+# function of the edge scan order (== dict insertion order), so the dict
+# reference in :mod:`repro.graphs.traversal` and this kernel settle nodes
+# in the same order, accumulate sigma in the same order and return
+# bit-identical float distances.  Shortest-path counts are plain Python
+# ints throughout (exact past ``2**63`` by construction — no overflow
+# guard needed, unlike the int64 buffers of the BFS engine).
+
+def csr_dijkstra_dag(
+    csr: CSRGraph, source: int, *, float_sigma: bool = False
+) -> CSRShortestPathDAG:
+    """Weighted shortest-path DAG rooted at index ``source``.
+
+    Runs Dijkstra over the snapshot's ``weights`` array (implicit ``1.0``
+    per edge when the snapshot is unweighted — the forced-weighted A/B
+    path).  Returns a :class:`CSRShortestPathDAG` with ``weighted=True``:
+    ``dist`` is a float row (``-1.0`` = unreachable), ``sigma`` holds exact
+    counts (Python ints, or floats in Brandes mode), ``order`` is the
+    settle order, and the predecessor CSR is materialised eagerly (there
+    are no BFS levels to rebuild it from lazily).
+    """
+    indptr, indices = csr.adjacency_lists()
+    weight_list = csr.weight_list()
+    n = csr.n
+    dist: List[Optional[float]] = [None] * n
+    sigma: List = [0.0 if float_sigma else 0] * n
+    preds: List[List[int]] = [[] for _ in range(n)]
+    order: List[int] = []
+    dist[source] = 0.0
+    sigma[source] = 1.0 if float_sigma else 1
+    settled = bytearray(n)
+    heap: List[Tuple[float, int, int]] = [(0.0, 0, source)]
+    counter = 1
+    while heap:
+        d, _, node = heappop(heap)
+        if settled[node]:
+            continue
+        settled[node] = 1
+        order.append(node)
+        sigma_node = sigma[node]
+        for position in range(indptr[node], indptr[node + 1]):
+            neighbor = indices[position]
+            weight = weight_list[position] if weight_list is not None else 1.0
+            candidate = d + weight
+            known = dist[neighbor]
+            if known is None or candidate < known:
+                dist[neighbor] = candidate
+                sigma[neighbor] = sigma_node
+                preds[neighbor] = [node]
+                heappush(heap, (candidate, counter, neighbor))
+                counter += 1
+            elif candidate == known:
+                # Positive weights guarantee ``neighbor`` is unsettled here,
+                # so its count is still accumulating.
+                sigma[neighbor] += sigma_node
+                preds[neighbor].append(node)
+    pred_indptr = [0] * (n + 1)
+    pred_indices: List[int] = []
+    for node in range(n):
+        pred_indices.extend(preds[node])
+        pred_indptr[node + 1] = len(pred_indices)
+    dist_out: object
+    order_out: object
+    if HAS_NUMPY:
+        dist_out = _np.asarray(
+            [-1.0 if value is None else value for value in dist],
+            dtype=_np.float64,
+        )
+        order_out = _np.asarray(order, dtype=_np.int64)
+        pred_indptr = _np.asarray(pred_indptr, dtype=_np.int64)
+        pred_indices = _np.asarray(pred_indices, dtype=_np.int64)
+    else:
+        dist_out = [-1.0 if value is None else value for value in dist]
+        order_out = order
+    return CSRShortestPathDAG(
+        csr, source, dist_out, sigma, order_out, None, None,
+        pred_indptr=pred_indptr, pred_indices=pred_indices, weighted=True,
+    )
+
+
+def csr_dijkstra_distances(csr: CSRGraph, source: int, *, with_order: bool = False):
+    """Weighted distance row from index ``source`` (``-1.0`` = unreachable).
+
+    The lean (no sigma, no predecessors) form of :func:`csr_dijkstra_dag`,
+    used by distance sweeps; the float distances are identical.  With
+    ``with_order=True`` returns ``(row, order)`` where ``order`` lists the
+    settled indices — the same settle order the full DAG records.
+    """
+    indptr, indices = csr.adjacency_lists()
+    weight_list = csr.weight_list()
+    n = csr.n
+    dist: List[Optional[float]] = [None] * n
+    dist[source] = 0.0
+    settled = bytearray(n)
+    order: List[int] = []
+    heap: List[Tuple[float, int, int]] = [(0.0, 0, source)]
+    counter = 1
+    while heap:
+        d, _, node = heappop(heap)
+        if settled[node]:
+            continue
+        settled[node] = 1
+        order.append(node)
+        for position in range(indptr[node], indptr[node + 1]):
+            neighbor = indices[position]
+            weight = weight_list[position] if weight_list is not None else 1.0
+            candidate = d + weight
+            known = dist[neighbor]
+            if known is None or candidate < known:
+                dist[neighbor] = candidate
+                heappush(heap, (candidate, counter, neighbor))
+                counter += 1
+    row = [-1.0 if value is None else value for value in dist]
+    if HAS_NUMPY:
+        row = _np.asarray(row, dtype=_np.float64)
+    if with_order:
+        return row, order
+    return row
+
+
+def csr_dijkstra_brandes(csr: CSRGraph, source: int):
+    """Weighted Brandes single-source dependencies from index ``source``.
+
+    The Dijkstra analogue of :func:`csr_brandes`: forward pass via
+    :func:`csr_dijkstra_dag` (float sigma), backward accumulation over the
+    settle order — node by node in reverse, predecessors in append order,
+    exactly the dict reference's float addition sequence.  Returns
+    ``(delta, order, dist)`` with the same ``delta[source]`` residue
+    contract as the unweighted kernel.
+    """
+    dag = csr_dijkstra_dag(csr, source, float_sigma=True)
+    sigma = dag.sigma
+    delta = [0.0] * csr.n
+    pred_indptr, pred_indices = dag.pred_indptr, dag.pred_indices
+    order = dag.order.tolist() if HAS_NUMPY else dag.order
+    for node in reversed(order):
+        coefficient = 1.0 + delta[node]
+        sigma_node = sigma[node]
+        for position in range(pred_indptr[node], pred_indptr[node + 1]):
+            predecessor = pred_indices[position]
+            delta[predecessor] += sigma[predecessor] / sigma_node * coefficient
+    if HAS_NUMPY:
+        delta = _np.asarray(delta, dtype=_np.float64)
+    return delta, dag.order, dag.dist
+
+
+def csr_sssp_dag(
+    csr: CSRGraph,
+    source: int,
+    *,
+    weighted: bool = False,
+    max_depth: Optional[int] = None,
+    float_sigma: bool = False,
+) -> CSRShortestPathDAG:
+    """The one SSSP entry point: route to the BFS or the Dijkstra engine.
+
+    ``weighted=False`` is the exact historical
+    :func:`csr_shortest_path_dag` BFS path; ``weighted=True`` runs
+    :func:`csr_dijkstra_dag` (edge weights, or implicit ``1.0`` on an
+    unweighted snapshot).  ``max_depth`` is a hop-count cap and therefore
+    only meaningful for the BFS engine.
+    """
+    if weighted:
+        if max_depth is not None:
+            raise ValueError(
+                "max_depth is a hop-count cap; it is not supported by the "
+                "weighted (Dijkstra) SSSP engine"
+            )
+        return csr_dijkstra_dag(csr, source, float_sigma=float_sigma)
+    return csr_shortest_path_dag(
+        csr, source, max_depth=max_depth, float_sigma=float_sigma
+    )
+
+
 #: ``kind`` values accepted by :func:`multi_source_sweep`.
 SWEEP_DISTANCE = "distance"
 SWEEP_SIGMA = "sigma"
@@ -1245,6 +1510,7 @@ def multi_source_sweep(
     kind: str = SWEEP_DISTANCE,
     batch_size: Optional[int] = None,
     direction: Optional[str] = None,
+    weighted: bool = False,
 ) -> List[object]:
     """Run one sweep per source, ``batch_size`` sources at a time.
 
@@ -1281,6 +1547,12 @@ def multi_source_sweep(
         ``"auto"``, and they default to it; the distance rows are identical
         either way, only wall-clock time changes.  Order-sensitive kinds
         (``"sigma"``, ``"brandes"``) always run top-down.
+    weighted:
+        Run the weighted (Dijkstra) SSSP engine instead of BFS.  Weighted
+        sweeps run one priority-queue search per source — level batching is
+        a BFS-engine optimisation (there are no synchronous levels to
+        merge) — and return float distance rows (``-1.0`` = unreachable).
+        ``direction`` is ignored (there is no bottom-up step to take).
 
     Without numpy the batched layout has nothing to vectorise, so the
     function falls back to the per-source pure-Python kernels (results are
@@ -1306,6 +1578,17 @@ def multi_source_sweep(
                 f"source index {source} out of range for a {csr.n}-node snapshot"
             )
     results: List[object] = []
+    if weighted:
+        for source in source_list:
+            if kind == SWEEP_DISTANCE:
+                results.append(csr_dijkstra_distances(csr, source))
+            elif kind == SWEEP_SIGMA:
+                dag = csr_dijkstra_dag(csr, source)
+                results.append((dag.dist, dag.sigma))
+            else:
+                delta, _, _ = csr_dijkstra_brandes(csr, source)
+                results.append(delta)
+        return results
     if not HAS_NUMPY:
         for source in source_list:
             if kind == SWEEP_DISTANCE:
@@ -1361,14 +1644,20 @@ def multi_source_sweep(
     return results
 
 
-def distance_stats_from_row(dist) -> Tuple[int, int]:
-    """``(reachable node count, total hop distance)`` of one distance row.
+def distance_stats_from_row(dist):
+    """``(reachable node count, total distance)`` of one distance row.
 
     Accepts either a numpy row from :func:`multi_source_sweep` or the list
-    the pure-Python fallback produces (``-1`` = unreachable).
+    the pure-Python fallback produces (``-1`` = unreachable).  Hop-distance
+    rows yield an integer total; weighted (float) rows yield a float total.
     """
     if HAS_NUMPY and not isinstance(dist, list):
         reached = dist >= 0
+        if dist.dtype.kind == "f":
+            # Sequential left-to-right sum in node-index order: numpy's
+            # pairwise .sum() re-associates float additions, which would
+            # break bit-identity with the dict backend's sequential total.
+            return int(reached.sum()), sum(dist[reached].tolist())
         return int(reached.sum()), int(dist[reached].sum())
     reachable = 0
     total = 0

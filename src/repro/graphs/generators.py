@@ -273,6 +273,68 @@ def grid_road_graph(
     return graph, coordinates
 
 
+def weighted_grid_road_graph(
+    rows: int,
+    cols: int,
+    *,
+    diagonal_probability: float = 0.05,
+    removal_probability: float = 0.1,
+    weight_jitter: float = 0.25,
+    seed: SeedLike = None,
+) -> Tuple[Graph, Dict[int, Tuple[float, float]]]:
+    """A :func:`grid_road_graph` whose edges carry road-length weights.
+
+    Each edge's weight is the Euclidean distance between its (jittered)
+    endpoint coordinates times a per-edge factor ``1 + U(0, weight_jitter)``
+    drawn from the seeded RNG — deterministic given ``seed``, strictly
+    positive by construction (adjacent grid points are at least 0.4 apart),
+    and road-like: long detours cost more than straight hops.
+
+    Returns ``(graph, coordinates)`` exactly like :func:`grid_road_graph`.
+    """
+    if weight_jitter < 0:
+        raise GraphError(f"weight_jitter must be >= 0, got {weight_jitter}")
+    rng = ensure_rng(seed)
+    graph, coordinates = grid_road_graph(
+        rows,
+        cols,
+        diagonal_probability=diagonal_probability,
+        removal_probability=removal_probability,
+        seed=rng,
+    )
+    for u, v in list(graph.edges()):
+        (x1, y1), (x2, y2) = coordinates[u], coordinates[v]
+        length = math.hypot(x2 - x1, y2 - y1)
+        graph.set_edge_weight(u, v, length * (1.0 + rng.uniform(0.0, weight_jitter)))
+    return graph, coordinates
+
+
+def weighted_barabasi_albert_graph(
+    num_nodes: int,
+    edges_per_node: int,
+    seed: SeedLike = None,
+    *,
+    weight_range: Tuple[float, float] = (1.0, 10.0),
+) -> Graph:
+    """A :func:`barabasi_albert_graph` with uniform random edge weights.
+
+    After the preferential-attachment construction, every edge gets an
+    independent weight drawn uniformly from ``weight_range`` by the *same*
+    seeded RNG (continuing its stream), so the whole graph — topology and
+    weights — is deterministic given ``seed``.
+    """
+    low, high = weight_range
+    if not (0 < low <= high) or not math.isfinite(high):
+        raise GraphError(
+            f"weight_range must satisfy 0 < low <= high, got {weight_range!r}"
+        )
+    rng = ensure_rng(seed)
+    graph = barabasi_albert_graph(num_nodes, edges_per_node, seed=rng)
+    for u, v in list(graph.edges()):
+        graph.set_edge_weight(u, v, rng.uniform(low, high))
+    return graph
+
+
 def path_graph(num_nodes: int) -> Graph:
     """Return a simple path ``0 - 1 - ... - (n-1)`` (handy for tests)."""
     graph = Graph()

@@ -1,29 +1,60 @@
-"""An undirected, unweighted simple graph tuned for sampling algorithms.
+"""An undirected simple graph tuned for sampling algorithms.
 
 Design notes
 ------------
 * Nodes may be any hashable objects; the synthetic generators use ``int``
   node ids ``0..n-1``.
-* Adjacency is stored as ``dict[node, dict[node, None]]``: insertion ordered
-  (deterministic iteration, which matters for reproducible sampling), with
-  O(1) membership tests and O(deg) neighbour iteration.
+* Adjacency is stored as ``dict[node, dict[node, weight]]``: insertion
+  ordered (deterministic iteration, which matters for reproducible
+  sampling), with O(1) membership tests and O(deg) neighbour iteration.
+  A *unit-weight* edge stores ``None`` in the value slot, so graphs that
+  never pass ``weight=`` keep exactly the historical layout and cost.
+* Edges may optionally carry a positive length (``add_edge(u, v, weight=w)``).
+  Weights must be strictly positive: a zero-weight undirected edge would
+  put both endpoints at the same distance and turn the shortest-path
+  "DAG" cyclic, breaking exact path counting.  :attr:`Graph.is_weighted`
+  is an O(1) check the traversal layer uses to route between the BFS and
+  Dijkstra engines (see :mod:`repro.graphs.sssp`).
 * The graph is *simple*: self loops and parallel edges are rejected /
-  collapsed.  The paper treats all evaluation networks as undirected and
-  unweighted, so direction and weights are intentionally unsupported.
+  collapsed.  Direction is intentionally unsupported (the paper treats all
+  evaluation networks as undirected).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+import math
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import GraphError
 
 Node = Hashable
 Edge = Tuple[Node, Node]
+Weight = Union[int, float]
+
+
+def _check_weight(weight: Weight) -> Optional[float]:
+    """Validate an edge weight; return the stored form (``None`` = unit).
+
+    Unit weights are stored as ``None`` so unit-weight graphs keep the exact
+    pre-weights adjacency layout (and ``is_weighted`` stays ``False``).
+    """
+    if weight == 1:
+        return None
+    if isinstance(weight, bool) or not isinstance(weight, (int, float)):
+        raise GraphError(
+            f"edge weight must be a positive real number, got {weight!r}"
+        )
+    if not math.isfinite(weight) or weight <= 0:
+        raise GraphError(
+            f"edge weight must be positive and finite, got {weight!r} "
+            "(zero-weight undirected edges would make the shortest-path "
+            "DAG cyclic)"
+        )
+    return float(weight)
 
 
 class Graph:
-    """An undirected, unweighted simple graph.
+    """An undirected simple graph with optional positive edge weights.
 
     Examples
     --------
@@ -34,13 +65,21 @@ class Graph:
     [0, 1, 3]
     >>> g.degree(2)
     3
+    >>> g.is_weighted
+    False
+    >>> w = Graph.from_edges([(0, 1, 2.5), (1, 2)])
+    >>> w.is_weighted, w.edge_weight(0, 1), w.edge_weight(1, 2)
+    (True, 2.5, 1)
     """
 
-    __slots__ = ("_adj", "_num_edges", "_version", "__weakref__")
+    __slots__ = ("_adj", "_num_edges", "_num_weighted", "_version", "__weakref__")
 
     def __init__(self) -> None:
-        self._adj: Dict[Node, Dict[Node, None]] = {}
+        self._adj: Dict[Node, Dict[Node, Optional[float]]] = {}
         self._num_edges: int = 0
+        # Count of edges carrying a non-unit weight; ``is_weighted`` is the
+        # O(1) fast path the SSSP dispatch layer checks per traversal.
+        self._num_weighted: int = 0
         # Monotonic mutation counter; lets derived representations (the CSR
         # backend cache in :mod:`repro.graphs.csr`) detect staleness cheaply.
         self._version: int = 0
@@ -50,15 +89,16 @@ class Graph:
     # ------------------------------------------------------------------
     @classmethod
     def from_edges(
-        cls, edges: Iterable[Edge], nodes: Optional[Iterable[Node]] = None
+        cls, edges: Iterable[Tuple], nodes: Optional[Iterable[Node]] = None
     ) -> "Graph":
-        """Build a graph from an iterable of ``(u, v)`` pairs.
+        """Build a graph from an iterable of ``(u, v)`` or ``(u, v, weight)``.
 
         Parameters
         ----------
         edges:
-            Edge pairs.  Duplicate edges are collapsed; self loops raise
-            :class:`~repro.errors.GraphError`.
+            Edge pairs, optionally with a positive weight as third element.
+            Duplicate edges are collapsed (first occurrence wins, weight
+            included); self loops raise :class:`~repro.errors.GraphError`.
         nodes:
             Optional extra nodes to add (possibly isolated).
         """
@@ -66,8 +106,17 @@ class Graph:
         if nodes is not None:
             for node in nodes:
                 graph.add_node(node)
-        for u, v in edges:
-            graph.add_edge(u, v)
+        for edge in edges:
+            if len(edge) == 2:
+                u, v = edge
+                graph.add_edge(u, v)
+            elif len(edge) == 3:
+                u, v, weight = edge
+                graph.add_edge(u, v, weight=weight)
+            else:
+                raise GraphError(
+                    f"edges must be (u, v) or (u, v, weight) tuples, got {edge!r}"
+                )
         return graph
 
     def add_node(self, node: Node) -> None:
@@ -76,23 +125,56 @@ class Graph:
             self._adj[node] = {}
             self._version += 1
 
-    def add_edge(self, u: Node, v: Node) -> None:
+    def add_edge(self, u: Node, v: Node, weight: Weight = 1) -> None:
         """Add the undirected edge ``{u, v}``, creating endpoints as needed.
+
+        Parameters
+        ----------
+        weight:
+            Optional positive edge length (default 1).  Adding an edge that
+            already exists is a no-op — the stored weight is kept; use
+            :meth:`set_edge_weight` to change it.
 
         Raises
         ------
         GraphError
-            If ``u == v`` (self loops are not allowed in a simple graph).
+            If ``u == v`` (self loops are not allowed in a simple graph) or
+            the weight is not a positive finite number.
         """
         if u == v:
             raise GraphError(f"self loops are not allowed (node {u!r})")
+        stored = _check_weight(weight)
         self.add_node(u)
         self.add_node(v)
         if v not in self._adj[u]:
-            self._adj[u][v] = None
-            self._adj[v][u] = None
+            self._adj[u][v] = stored
+            self._adj[v][u] = stored
             self._num_edges += 1
+            if stored is not None:
+                self._num_weighted += 1
             self._version += 1
+
+    def set_edge_weight(self, u: Node, v: Node, weight: Weight) -> None:
+        """Set the weight of the existing edge ``{u, v}``.
+
+        Raises
+        ------
+        GraphError
+            If the edge does not exist or the weight is invalid.
+        """
+        if not self.has_edge(u, v):
+            raise GraphError(f"edge ({u!r}, {v!r}) does not exist")
+        stored = _check_weight(weight)
+        previous = self._adj[u][v]
+        if previous is stored or previous == (1 if stored is None else stored):
+            return
+        if previous is not None:
+            self._num_weighted -= 1
+        if stored is not None:
+            self._num_weighted += 1
+        self._adj[u][v] = stored
+        self._adj[v][u] = stored
+        self._version += 1
 
     def remove_edge(self, u: Node, v: Node) -> None:
         """Remove the edge ``{u, v}``.
@@ -104,6 +186,8 @@ class Graph:
         """
         if not self.has_edge(u, v):
             raise GraphError(f"edge ({u!r}, {v!r}) does not exist")
+        if self._adj[u][v] is not None:
+            self._num_weighted -= 1
         del self._adj[u][v]
         del self._adj[v][u]
         self._num_edges -= 1
@@ -119,7 +203,9 @@ class Graph:
         """
         if node not in self._adj:
             raise GraphError(f"node {node!r} does not exist")
-        for neighbor in list(self._adj[node]):
+        for neighbor, stored in list(self._adj[node].items()):
+            if stored is not None:
+                self._num_weighted -= 1
             del self._adj[neighbor][node]
             self._num_edges -= 1
         del self._adj[node]
@@ -128,6 +214,15 @@ class Graph:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    @property
+    def is_weighted(self) -> bool:
+        """``True`` when at least one edge carries a non-unit weight.
+
+        O(1): the traversal layer checks this per call to route unit-weight
+        graphs through the exact historical BFS paths.
+        """
+        return self._num_weighted > 0
+
     def has_node(self, node: Node) -> bool:
         """Return ``True`` if ``node`` is in the graph."""
         return node in self._adj
@@ -148,6 +243,36 @@ class Graph:
             return self._adj[node].keys()
         except KeyError:
             raise GraphError(f"node {node!r} does not exist") from None
+
+    def neighbor_weights(self, node: Node) -> Iterator[Tuple[Node, Weight]]:
+        """Iterate ``(neighbour, weight)`` pairs in insertion order.
+
+        Unit-weight edges yield ``1``; this is the edge scan the Dijkstra
+        reference kernel drives (same order as :meth:`neighbors`).
+
+        Raises
+        ------
+        GraphError
+            If the node does not exist.
+        """
+        try:
+            items = self._adj[node].items()
+        except KeyError:
+            raise GraphError(f"node {node!r} does not exist") from None
+        return ((nbr, 1 if w is None else w) for nbr, w in items)
+
+    def edge_weight(self, u: Node, v: Node) -> Weight:
+        """Return the weight of edge ``{u, v}`` (``1`` for unit edges).
+
+        Raises
+        ------
+        GraphError
+            If the edge does not exist.
+        """
+        if not self.has_edge(u, v):
+            raise GraphError(f"edge ({u!r}, {v!r}) does not exist")
+        stored = self._adj[u][v]
+        return 1 if stored is None else stored
 
     def degree(self, node: Node) -> int:
         """Return the degree of ``node``."""
@@ -177,6 +302,18 @@ class Graph:
                 if v not in seen:
                     yield (u, v)
 
+    def weighted_edges(self) -> Iterator[Tuple[Node, Node, Weight]]:
+        """Iterate each undirected edge once as ``(u, v, weight)``.
+
+        Same edge order as :meth:`edges`; unit edges yield weight ``1``.
+        """
+        seen = set()
+        for u, nbrs in self._adj.items():
+            seen.add(u)
+            for v, stored in nbrs.items():
+                if v not in seen:
+                    yield (u, v, 1 if stored is None else stored)
+
     def adjacency(self) -> Dict[Node, List[Node]]:
         """Return a plain ``dict`` mapping each node to a neighbour list."""
         return {node: list(nbrs) for node, nbrs in self._adj.items()}
@@ -185,15 +322,16 @@ class Graph:
     # Derived graphs
     # ------------------------------------------------------------------
     def copy(self) -> "Graph":
-        """Return a deep copy of the graph structure."""
+        """Return a deep copy of the graph structure (weights included)."""
         clone = Graph()
         for node, nbrs in self._adj.items():
             clone._adj[node] = dict(nbrs)
         clone._num_edges = self._num_edges
+        clone._num_weighted = self._num_weighted
         return clone
 
     def subgraph(self, nodes: Iterable[Node]) -> "Graph":
-        """Return the induced subgraph on ``nodes``.
+        """Return the induced subgraph on ``nodes`` (weights preserved).
 
         Nodes not present in the graph are ignored.  The subgraph's nodes are
         created in the iteration order of ``nodes`` (first occurrence wins),
@@ -205,23 +343,25 @@ class Graph:
         for node in keep:
             sub.add_node(node)
         for node in keep:
-            for neighbor in self._adj[node]:
+            for neighbor, stored in self._adj[node].items():
                 if neighbor in keep and not sub.has_edge(node, neighbor):
-                    sub.add_edge(node, neighbor)
+                    sub.add_edge(
+                        node, neighbor, 1 if stored is None else stored
+                    )
         return sub
 
     def relabeled(self) -> Tuple["Graph", Dict[Node, int]]:
         """Return a copy with nodes relabeled to ``0..n-1`` and the mapping.
 
         Useful for exporting to array-based tooling; the mapping preserves
-        the original insertion order.
+        the original insertion order (weights are preserved too).
         """
         mapping = {node: index for index, node in enumerate(self._adj)}
         relabeled = Graph()
         for node in self._adj:
             relabeled.add_node(mapping[node])
-        for u, v in self.edges():
-            relabeled.add_edge(mapping[u], mapping[v])
+        for u, v, weight in self.weighted_edges():
+            relabeled.add_edge(mapping[u], mapping[v], weight)
         return relabeled, mapping
 
     # ------------------------------------------------------------------

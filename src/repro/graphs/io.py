@@ -2,12 +2,16 @@
 
 Supported formats:
 
-* **edge list** — one ``u v`` pair per line; ``#`` and ``%`` comment lines are
-  skipped.  This is the format the SNAP datasets used in the paper (Flickr,
-  LiveJournal, Orkut) ship in, so real data can be dropped in directly.
+* **edge list** — one ``u v`` pair (optionally ``u v weight``) per line;
+  ``#`` and ``%`` comment lines are skipped.  This is the format the SNAP
+  datasets used in the paper (Flickr, LiveJournal, Orkut) ship in, so real
+  data can be dropped in directly; weighted edge lists round-trip through
+  :func:`write_edge_list`.
 * **DIMACS** — the ``c`` / ``p sp n m`` / ``a u v w`` format of the 9th DIMACS
-  shortest-path challenge used for the USA-road networks.  Edge weights are
-  discarded because the paper treats all networks as unweighted.
+  shortest-path challenge used for the USA-road networks.  Arc weights (road
+  lengths) are kept when ``weighted=True`` and dropped otherwise, matching
+  the paper's hop-distance evaluation while letting the weighted SSSP engine
+  run real road lengths.
 """
 
 from __future__ import annotations
@@ -21,6 +25,17 @@ from repro.graphs.graph import Graph
 PathLike = Union[str, Path]
 
 
+def _parse_weight(token: str, path: PathLike, line_number: int) -> float:
+    """Parse one weight token, attributing malformed values to their line."""
+    try:
+        weight = float(token)
+    except ValueError:
+        raise GraphError(
+            f"{path}:{line_number}: malformed edge weight {token!r}"
+        ) from None
+    return weight
+
+
 def read_edge_list(
     path: PathLike,
     *,
@@ -29,6 +44,10 @@ def read_edge_list(
     directed_as_undirected: bool = True,
 ) -> Graph:
     """Read a whitespace-separated edge list into a :class:`Graph`.
+
+    Each non-comment line is ``u v`` or ``u v weight``; the optional third
+    column is a positive edge length (lines without it default to unit
+    weight, so mixed files work).
 
     Parameters
     ----------
@@ -40,13 +59,14 @@ def read_edge_list(
         Line prefixes to skip.
     directed_as_undirected:
         The SNAP social graphs list each arc once per direction; duplicates
-        are collapsed by the simple-graph invariant, so this flag only
-        documents intent.
+        are collapsed by the simple-graph invariant (first occurrence wins,
+        weight included), so this flag only documents intent.
 
     Raises
     ------
     GraphError
-        If a non-comment line does not contain at least two tokens or a
+        If a non-comment line does not contain at least two tokens, a weight
+        token is malformed or non-positive (with the line number), or a
         self-loop is encountered.
     """
     del directed_as_undirected  # duplicates/reverse arcs collapse naturally
@@ -60,28 +80,45 @@ def read_edge_list(
             parts = line.split()
             if len(parts) < 2:
                 raise GraphError(
-                    f"{path}:{line_number}: expected 'u v', got {line!r}"
+                    f"{path}:{line_number}: expected 'u v' or 'u v weight', "
+                    f"got {line!r}"
                 )
             u, v = node_type(parts[0]), node_type(parts[1])
             if u == v:
                 continue  # SNAP files occasionally contain self loops; drop them
-            graph.add_edge(u, v)
+            if len(parts) >= 3:
+                weight = _parse_weight(parts[2], path, line_number)
+                try:
+                    graph.add_edge(u, v, weight=weight)
+                except GraphError as error:
+                    raise GraphError(f"{path}:{line_number}: {error}") from None
+            else:
+                graph.add_edge(u, v)
     return graph
 
 
 def write_edge_list(graph: Graph, path: PathLike, *, header: Optional[str] = None) -> None:
-    """Write ``graph`` as a ``u v`` edge list (one undirected edge per line)."""
+    """Write ``graph`` as an edge list (one undirected edge per line).
+
+    Weighted graphs are written as ``u v weight`` (``repr`` of the float, so
+    weights round-trip through :func:`read_edge_list` exactly); unit-weight
+    graphs keep the historical two-column ``u v`` format.
+    """
     with open(path, "w", encoding="utf-8") as handle:
         if header:
             for line in header.splitlines():
                 handle.write(f"# {line}\n")
         handle.write(f"# nodes: {graph.number_of_nodes()} edges: {graph.number_of_edges()}\n")
-        for u, v in graph.edges():
-            handle.write(f"{u} {v}\n")
+        if graph.is_weighted:
+            for u, v, weight in graph.weighted_edges():
+                handle.write(f"{u} {v} {weight!r}\n")
+        else:
+            for u, v in graph.edges():
+                handle.write(f"{u} {v}\n")
 
 
-def read_dimacs_graph(path: PathLike) -> Graph:
-    """Read a DIMACS shortest-path challenge ``.gr`` file as an unweighted graph.
+def read_dimacs_graph(path: PathLike, *, weighted: bool = False) -> Graph:
+    """Read a DIMACS shortest-path challenge ``.gr`` file.
 
     The format is::
 
@@ -89,8 +126,11 @@ def read_dimacs_graph(path: PathLike) -> Graph:
         p sp <num_nodes> <num_arcs>
         a <u> <v> <weight>
 
-    Arc weights are ignored; both arc directions collapse into one undirected
-    edge.  Node ids in DIMACS are 1-based and are kept as-is.
+    Both arc directions collapse into one undirected edge (first occurrence
+    wins).  With ``weighted=False`` (the default, the paper's hop-distance
+    setting) arc weights are dropped; with ``weighted=True`` they are kept
+    as edge lengths for the weighted SSSP engine.  Node ids in DIMACS are
+    1-based and are kept as-is.
     """
     graph = Graph()
     declared_nodes: Optional[int] = None
@@ -108,7 +148,19 @@ def read_dimacs_graph(path: PathLike) -> Graph:
                 if len(parts) < 3:
                     raise GraphError(f"{path}:{line_number}: malformed arc line {line!r}")
                 u, v = int(parts[1]), int(parts[2])
-                if u != v:
+                if u == v:
+                    continue
+                if weighted:
+                    if len(parts) < 4:
+                        raise GraphError(
+                            f"{path}:{line_number}: arc line has no weight: {line!r}"
+                        )
+                    weight = _parse_weight(parts[3], path, line_number)
+                    try:
+                        graph.add_edge(u, v, weight=weight)
+                    except GraphError as error:
+                        raise GraphError(f"{path}:{line_number}: {error}") from None
+                else:
                     graph.add_edge(u, v)
             else:
                 raise GraphError(f"{path}:{line_number}: unrecognised line {line!r}")

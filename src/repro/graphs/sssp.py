@@ -1,0 +1,129 @@
+"""The weighted/unweighted SSSP dispatch knob.
+
+The traversal stack has ONE single-source shortest-path abstraction with two
+engines behind it:
+
+* **BFS** (`repro.graphs.csr._BatchSweep` and the dict reference loops) —
+  the unit-weight case: integer hop distances, level-synchronous expansion,
+  batched multi-source sweeps, direction optimisation.
+* **Dijkstra** (`repro.graphs.csr.csr_dijkstra_dag` and the dict reference
+  in :mod:`repro.graphs.traversal`) — the weighted case: float distances
+  over the ``weights`` array of the CSR snapshot, exact shortest-path
+  counts, deterministic heap tie-breaking so both backends settle nodes in
+  the same order and return bit-identical results.
+
+This module owns the *routing decision*: a user-facing ``weighted``
+argument (``None``/``"auto"``/``"on"``/``"off"``), the ``REPRO_WEIGHTED``
+environment variable and :func:`set_default_weighted` resolve — mirroring
+the backend/workers knob machinery — to a concrete boolean per graph:
+
+* ``"auto"`` (the default): use the weighted engine iff the graph carries
+  non-unit edge weights (:attr:`Graph.is_weighted`, an O(1) check).
+  Unit-weight graphs therefore take **exactly** the historical BFS code
+  paths, bit for bit.
+* ``"on"``: force the Dijkstra engine, treating absent weights as ``1.0``
+  (the unit-weight A/B used by the equivalence tests and benchmarks).
+* ``"off"``: ignore weights and run hop-distance BFS even on weighted
+  graphs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.parallel import EnvMirroredOverride
+
+#: Environment variable overriding the default weighted-routing mode.
+WEIGHTED_ENV_VAR = "REPRO_WEIGHTED"
+
+WEIGHTED_AUTO = "auto"
+WEIGHTED_ON = "on"
+WEIGHTED_OFF = "off"
+
+_WEIGHTED_CHOICES = (WEIGHTED_AUTO, WEIGHTED_ON, WEIGHTED_OFF)
+
+_default_weighted: Optional[str] = None
+_env_mirror = EnvMirroredOverride(WEIGHTED_ENV_VAR)
+
+
+def _check_weighted_name(value: str, *, source: str = "weighted") -> None:
+    """Raise a uniform error for an invalid weighted-mode name."""
+    if value not in _WEIGHTED_CHOICES:
+        raise ValueError(
+            f"{source}={value!r} is not a valid weighted mode; choose one of "
+            f"{_WEIGHTED_CHOICES} (the default can also be set via the "
+            f"{WEIGHTED_ENV_VAR} environment variable)"
+        )
+
+
+def _env_weighted() -> Optional[str]:
+    """Return the validated ``REPRO_WEIGHTED`` value, or ``None`` if unset."""
+    env = os.environ.get(WEIGHTED_ENV_VAR, "").strip().lower()
+    if not env:
+        return None
+    _check_weighted_name(env, source=WEIGHTED_ENV_VAR)
+    return env
+
+
+def default_weighted() -> str:
+    """Return the mode used when callers pass ``weighted=None``.
+
+    Resolution order: :func:`set_default_weighted` override, then the
+    ``REPRO_WEIGHTED`` environment variable, then ``"auto"`` (route per
+    graph on :attr:`Graph.is_weighted`).
+    """
+    if _default_weighted is not None:
+        return _default_weighted
+    env = _env_weighted()
+    if env is not None:
+        return env
+    return WEIGHTED_AUTO
+
+
+def set_default_weighted(weighted: Optional[str]) -> None:
+    """Set (or with ``None`` clear) the process-wide default weighted mode.
+
+    The choice is mirrored into ``REPRO_WEIGHTED`` so worker processes
+    resolve the same default under every multiprocessing start method
+    (the :class:`repro.parallel.EnvMirroredOverride` protocol shared with
+    the workers/shared-memory/DAG-cache knobs); ``None`` restores the
+    environment variable the first override displaced.
+    """
+    global _default_weighted
+    if weighted is not None:
+        _check_weighted_name(weighted)
+    _env_mirror.set(weighted)
+    _default_weighted = weighted
+
+
+def resolve_weighted(weighted: Optional[str] = None) -> str:
+    """Map a user-facing ``weighted`` argument to a concrete mode name.
+
+    An invalid ``REPRO_WEIGHTED`` value is rejected here as well (not only
+    when it is actually consulted), matching the eager ``REPRO_BACKEND``
+    validation in :func:`repro.graphs.csr.resolve_backend`.
+    """
+    env = _env_weighted()
+    if weighted is None:
+        if _default_weighted is not None:
+            return _default_weighted
+        return env if env is not None else WEIGHTED_AUTO
+    _check_weighted_name(weighted)
+    return weighted
+
+
+def effective_weighted(graph, weighted: Optional[str] = None) -> bool:
+    """Whether one operation on ``graph`` should run the weighted engine.
+
+    ``graph`` may be a :class:`~repro.graphs.graph.Graph` or a bare
+    :class:`~repro.graphs.csr.CSRGraph` snapshot (the shared-memory worker
+    handoff); both expose the O(1) ``is_weighted`` check the ``"auto"``
+    mode routes on.
+    """
+    mode = resolve_weighted(weighted)
+    if mode == WEIGHTED_ON:
+        return True
+    if mode == WEIGHTED_OFF:
+        return False
+    return bool(getattr(graph, "is_weighted", False))

@@ -29,8 +29,9 @@ Shared-memory graph handoff
 Chunk payloads usually contain the graph, and the graph dominates the
 payload's pickle size.  When numpy and :mod:`multiprocessing.shared_memory`
 are available, :func:`shareable_graph` wraps the frozen CSR snapshot in a
-:class:`SharedCSRPayload`: the ``indptr``/``indices`` arrays are exported
-into shared-memory blocks **once per pool** (lazily, on the first payload
+:class:`SharedCSRPayload`: the ``indptr``/``indices`` (and, on weighted
+snapshots, ``weights``) arrays are exported into shared-memory blocks
+**once per pool** (lazily, on the first payload
 pickle — the serial path and ``fork`` pools, which inherit memory, never
 export anything) and worker processes attach zero-copy views instead of
 unpickling the adjacency.  Blocks are unlinked when the owning
@@ -280,7 +281,8 @@ def set_shared_memory_enabled(enabled: Optional[bool]) -> None:
 
 
 def _export_array(data) -> Tuple[str, object]:
-    """Copy one int64 numpy array into a fresh shared-memory block."""
+    """Copy one numpy array (int64 indices or float64 weights) into a fresh
+    shared-memory block."""
     from multiprocessing import shared_memory
 
     import numpy as np
@@ -294,15 +296,22 @@ def _export_array(data) -> Tuple[str, object]:
 
 
 def _attach_shared_csr(
-    indptr_name: str, indices_name: str, n: int, num_indices: int, labels
+    indptr_name: str,
+    indices_name: str,
+    weights_name: Optional[str],
+    n: int,
+    num_indices: int,
+    labels,
 ):
     """Worker-side reconstruction: attach blocks, build a zero-copy snapshot.
 
-    The snapshot is cached per block pair, so the O(n) label-index setup of
+    The snapshot is cached per block tuple, so the O(n) label-index setup of
     the ``CSRGraph`` constructor runs once per worker process, not per chunk.
-    ``labels is None`` encodes the common identity labelling ``0..n-1``.
+    ``labels is None`` encodes the common identity labelling ``0..n-1``;
+    ``weights_name is None`` encodes a unit-weight snapshot (no third
+    block), keeping the historical handoff byte-for-byte.
     """
-    key = (indptr_name, indices_name)
+    key = (indptr_name, indices_name, weights_name)
     cached = _attached_snapshots.get(key)
     if cached is not None:
         return cached[0]
@@ -316,23 +325,31 @@ def _attach_shared_csr(
     indices_block = shared_memory.SharedMemory(name=indices_name)
     indptr = np.ndarray((n + 1,), dtype=np.int64, buffer=indptr_block.buf)
     indices = np.ndarray((num_indices,), dtype=np.int64, buffer=indices_block.buf)
+    blocks = [indptr_block, indices_block]
+    weights = None
+    if weights_name is not None:
+        weights_block = shared_memory.SharedMemory(name=weights_name)
+        weights = np.ndarray(
+            (num_indices,), dtype=np.float64, buffer=weights_block.buf
+        )
+        blocks.append(weights_block)
     if labels is None:
         labels = list(range(n))
-    snapshot = CSRGraph(indptr, indices, labels)
+    snapshot = CSRGraph(indptr, indices, labels, weights)
     # Keep the SharedMemory objects referenced: the numpy views only pin the
     # underlying buffer, and the blocks must stay mapped for every future
     # chunk this worker runs.
-    _attached_snapshots[key] = (snapshot, indptr_block, indices_block)
+    _attached_snapshots[key] = (snapshot, *blocks)
     return snapshot
 
 
-def _rebuild_csr(indptr, indices, labels):
+def _rebuild_csr(indptr, indices, labels, weights=None):
     """Pickle-payload fallback: rebuild the snapshot from shipped arrays."""
     from repro.graphs.csr import CSRGraph
 
     if labels is None:
         labels = list(range(len(indptr) - 1))
-    return CSRGraph(indptr, indices, labels)
+    return CSRGraph(indptr, indices, labels, weights)
 
 
 class SharedCSRPayload:
@@ -342,8 +359,8 @@ class SharedCSRPayload:
     Pickling it (which only happens when a pool actually ships the payload
     to processes — ``spawn``/``forkserver`` initargs; ``fork`` pools inherit
     the object as-is and the serial path never pickles) exports the
-    ``indptr``/``indices`` arrays into shared-memory blocks *once* and ships
-    a handle; unpickling in a worker attaches zero-copy views.  If block
+    ``indptr``/``indices`` (plus ``weights`` when present) arrays into
+    shared-memory blocks *once* and ships a handle; unpickling in a worker attaches zero-copy views.  If block
     allocation fails (e.g. ``/dev/shm`` exhausted) the payload degrades to
     shipping the arrays by value — the classic pickle payload.
 
@@ -375,9 +392,14 @@ class SharedCSRPayload:
                 self._blocks.append(indptr_block)
                 indices_name, indices_block = _export_array(self.csr.indices)
                 self._blocks.append(indices_block)
+                weights_name = None
+                if self.csr.weights is not None:
+                    weights_name, weights_block = _export_array(self.csr.weights)
+                    self._blocks.append(weights_block)
                 self._handle = (
                     indptr_name,
                     indices_name,
+                    weights_name,
                     self.csr.n,
                     len(self.csr.indices),
                     self._labels_arg(),
@@ -391,7 +413,8 @@ class SharedCSRPayload:
             return (_attach_shared_csr, self._handle)
         return (
             _rebuild_csr,
-            (self.csr.indptr, self.csr.indices, self._labels_arg()),
+            (self.csr.indptr, self.csr.indices, self._labels_arg(),
+             self.csr.weights),
         )
 
     def release(self) -> None:

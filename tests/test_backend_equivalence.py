@@ -28,6 +28,8 @@ from repro.graphs.generators import (
     erdos_renyi_graph,
     grid_road_graph,
     watts_strogatz_graph,
+    weighted_barabasi_albert_graph,
+    weighted_grid_road_graph,
 )
 from repro.graphs.graph import Graph
 from repro.graphs.traversal import bfs_distances, shortest_path_dag
@@ -628,7 +630,7 @@ class TestSharedMemoryEquivalence:
                 _distance_stats_chunk,
                 list(social.nodes()),
                 fold,
-                payload=(payload, "csr"),
+                payload=(payload, "csr", False),
                 workers=2,
             )
         assert seen["chunks"] == 1
@@ -656,3 +658,506 @@ class TestSubgraphDeterminism:
         graph = Graph.from_edges([("x", "y"), ("y", "z"), ("z", "x")])
         orders = {tuple(graph.subgraph(["z", "x"]).nodes()) for _ in range(10)}
         assert orders == {("z", "x")}
+
+
+# ----------------------------------------------------------------------
+# Weighted SSSP engine (PR 5)
+# ----------------------------------------------------------------------
+WEIGHTED_GRAPH_CASES = [
+    pytest.param(
+        lambda seed: weighted_barabasi_albert_graph(120, 3, seed=seed),
+        id="weighted-ba",
+    ),
+    pytest.param(
+        lambda seed: weighted_grid_road_graph(8, 9, seed=seed)[0],
+        id="weighted-grid",
+    ),
+]
+
+
+def _oracle_weighted_betweenness(graph):
+    """Brute-force weighted betweenness oracle (unnormalised, ordered pairs).
+
+    Independent of the Brandes backward pass: run one dict Dijkstra per
+    source, then sum ``sigma_s(v) * sigma_v(t) / sigma_st`` over every pair
+    with ``d_s(v) + d_v(t) = d_s(t)`` — the combinatorial definition.  The
+    on-path test uses a relative tolerance: the two sides sum the same edge
+    weights in different association orders, so exact float equality would
+    spuriously reject true decompositions.  With continuous random weights
+    real ties at the tolerance boundary have probability zero.
+    """
+    from repro.graphs.traversal import dict_dijkstra_dag
+
+    nodes = list(graph.nodes())
+    dags = {node: dict_dijkstra_dag(graph, node) for node in nodes}
+    scores = {node: 0.0 for node in nodes}
+    for s in nodes:
+        ds = dags[s]
+        for t in nodes:
+            if t == s or t not in ds.distances:
+                continue
+            sigma_st = ds.sigma[t]
+            d_st = ds.distances[t]
+            for v in nodes:
+                if v == s or v == t or v not in ds.distances:
+                    continue
+                dv = dags[v]
+                if t not in dv.distances:
+                    continue
+                through = ds.distances[v] + dv.distances[t]
+                if abs(through - d_st) <= 1e-9 * max(1.0, abs(d_st)):
+                    scores[v] += ds.sigma[v] * dv.sigma[t] / sigma_st
+    return scores
+
+
+@pytest.mark.parametrize("make_graph", WEIGHTED_GRAPH_CASES)
+@pytest.mark.parametrize("seed", (0, 1))
+class TestWeightedTraversalEquivalence:
+    """dict Dijkstra vs CSR Dijkstra: bit-identical DAGs and distances."""
+
+    def test_weighted_dag_identical(self, make_graph, seed):
+        graph = make_graph(seed)
+        assert graph.is_weighted
+        for source in list(graph.nodes())[:3]:
+            reference = shortest_path_dag(graph, source, backend="dict")
+            candidate = shortest_path_dag(graph, source, backend="csr")
+            assert reference.weighted and candidate.weighted
+            assert reference.distances == candidate.distances
+            assert reference.sigma == candidate.sigma
+            assert reference.order == candidate.order
+            assert reference.predecessors == candidate.predecessors
+
+    def test_weighted_distances_identical(self, make_graph, seed):
+        from repro.graphs.traversal import sssp_distances
+
+        graph = make_graph(seed)
+        for source in list(graph.nodes())[:4]:
+            reference = sssp_distances(graph, source, backend="dict")
+            candidate = sssp_distances(graph, source, backend="csr")
+            assert reference == candidate
+            assert list(reference) == list(candidate)
+
+    def test_weighted_sigma_sweep_matches_dags(self, make_graph, seed):
+        from repro.graphs import csr as csr_module
+
+        graph = make_graph(seed)
+        snapshot = csr_module.as_csr(graph)
+        sources = list(range(min(4, snapshot.n)))
+        rows = csr_module.multi_source_sweep(
+            snapshot, sources, kind=csr_module.SWEEP_SIGMA, weighted=True
+        )
+        for source, (dist_row, sigma_row) in zip(sources, rows):
+            dag = csr_module.csr_dijkstra_dag(snapshot, source)
+            assert list(dist_row) == list(dag.dist)
+            assert list(sigma_row) == list(dag.sigma)
+
+    def test_weighted_sampled_paths_identical(self, make_graph, seed):
+        graph = make_graph(seed)
+        nodes = list(graph.nodes())
+        source = nodes[0]
+        reference = shortest_path_dag(graph, source, backend="dict")
+        candidate = shortest_path_dag(graph, source, backend="csr")
+        for target in nodes[-4:]:
+            if target == source or target not in reference.distances:
+                continue
+            for draw in range(3):
+                assert reference.sample_path(
+                    target, random.Random(draw)
+                ) == candidate.sample_path(target, random.Random(draw))
+
+
+@pytest.mark.parametrize("make_graph", WEIGHTED_GRAPH_CASES)
+class TestWeightedCentralityEquivalence:
+    """Weighted Brandes/closeness: dict == csr == workers>0, and both agree
+    with an independent brute-force Dijkstra oracle."""
+
+    def test_weighted_dependencies_identical(self, make_graph):
+        graph = make_graph(3)
+        for source in list(graph.nodes())[:3]:
+            reference = single_source_dependencies(graph, source, backend="dict")
+            candidate = single_source_dependencies(graph, source, backend="csr")
+            assert reference == candidate
+
+    def test_weighted_betweenness_backends_and_workers(self, make_graph):
+        graph = make_graph(4)
+        reference = betweenness_centrality(graph, backend="dict")
+        assert betweenness_centrality(graph, backend="csr") == reference
+        assert (
+            betweenness_centrality(graph, backend="csr", workers=2) == reference
+        )
+        assert (
+            betweenness_centrality(graph, backend="dict", workers=2) == reference
+        )
+
+    def test_weighted_closeness_backends_and_workers(self, make_graph):
+        graph = make_graph(5)
+        reference = closeness_centrality(graph, backend="dict")
+        assert closeness_centrality(graph, backend="csr") == reference
+        assert closeness_centrality(graph, backend="csr", workers=2) == reference
+
+    def test_weighted_betweenness_matches_oracle(self, make_graph):
+        graph = make_graph(6)
+        if graph.number_of_nodes() > 60:
+            graph = graph.subgraph(list(graph.nodes())[:60])
+        oracle = _oracle_weighted_betweenness(graph)
+        computed = betweenness_centrality(
+            graph, backend="csr", normalized=False
+        )
+        assert set(oracle) == set(computed)
+        for node, value in oracle.items():
+            assert computed[node] == pytest.approx(value, abs=1e-9)
+
+    def test_weighted_closeness_matches_oracle(self, make_graph):
+        from repro.graphs.traversal import dict_dijkstra_dag
+
+        graph = make_graph(7)
+        n = graph.number_of_nodes()
+        computed = closeness_centrality(graph, backend="csr")
+        for node in list(graph.nodes())[:5]:
+            distances = dict_dijkstra_dag(graph, node).distances
+            reachable = len(distances)
+            total = sum(distances[v] for v in distances if v != node)
+            expected = 0.0
+            if total > 0 and n > 1 and reachable > 1:
+                expected = (reachable - 1) / total * (reachable - 1) / (n - 1)
+            assert computed[node] == pytest.approx(expected, rel=1e-12)
+
+
+class TestWeightedEstimatorEquivalence:
+    """ABRA/RK/KADABRA/Bader on weighted graphs: dict == csr == workers>0,
+    cache on == cache off, and the Dijkstra DAGs actually flow through the
+    weighted cache keys."""
+
+    @pytest.fixture(scope="class")
+    def weighted_social(self):
+        return weighted_barabasi_albert_graph(150, 3, seed=9)
+
+    @pytest.mark.parametrize("estimator_cls", [ABRA, KADABRA, RiondatoKornaropoulos])
+    def test_weighted_sampler_backends_and_workers(
+        self, estimator_cls, weighted_social
+    ):
+        def run(backend, workers):
+            return estimator_cls(
+                0.3, 0.1, seed=13, backend=backend, workers=workers,
+                max_samples_cap=300,
+            ).estimate(weighted_social)
+
+        reference = run("dict", 0)
+        for backend, workers in (("csr", 0), ("csr", 2), ("dict", 2)):
+            result = run(backend, workers)
+            assert result.scores == reference.scores
+            assert result.num_samples == reference.num_samples
+            assert result.extra["weighted"] == 1.0
+
+    def test_weighted_bader_backends(self, weighted_social):
+        from repro.baselines.bader import BaderPivot
+
+        def run(backend, workers):
+            return BaderPivot(
+                0.3, 0.1, seed=13, backend=backend, workers=workers,
+                num_pivots=24,
+            ).estimate(weighted_social)
+
+        reference = run("dict", 0)
+        assert run("csr", 0).scores == reference.scores
+        assert run("csr", 2).scores == reference.scores
+
+    def test_weighted_cache_on_off_identical_and_exercised(self, weighted_social):
+        from repro.engine import dag_cache as dag_cache_module
+        from repro.engine.dag_cache import SourceDAGCache
+
+        def run():
+            return RiondatoKornaropoulos(
+                0.3, 0.1, seed=21, backend="csr", max_samples_cap=300
+            ).estimate(weighted_social)
+
+        dag_cache_module.set_dag_cache_enabled(False)
+        try:
+            uncached = run()
+        finally:
+            dag_cache_module.set_dag_cache_enabled(None)
+        dag_cache_module.clear_default_dag_cache()
+        dag_cache_module.set_dag_cache_enabled(True)
+        try:
+            cached = run()
+            stats = dag_cache_module.default_dag_cache().stats()
+        finally:
+            dag_cache_module.set_dag_cache_enabled(None)
+            dag_cache_module.clear_default_dag_cache()
+        assert cached.scores == uncached.scores
+        assert stats["misses"] > 0  # the weighted keys were actually used
+
+        # Weighted and unweighted traversals of the same source must land on
+        # distinct cache keys.
+        cache = SourceDAGCache(max_entries=8)
+        source = next(iter(weighted_social.nodes()))
+        weighted_dag = cache.dag(
+            weighted_social, source, backend="csr", weighted=True
+        )
+        hop_dag = cache.dag(
+            weighted_social, source, backend="csr", weighted=False
+        )
+        assert weighted_dag is not hop_dag
+        assert cache.misses == 2 and cache.hits == 0
+
+
+class TestUnitWeightAB:
+    """Unit-weight graphs: ``weighted=auto`` must take the exact BFS path,
+    and the forced-on Dijkstra engine must reproduce BFS distances."""
+
+    @pytest.fixture(scope="class")
+    def unit_social(self):
+        return barabasi_albert_graph(150, 3, seed=9)
+
+    def test_auto_is_bfs_dag_bit_for_bit(self, unit_social):
+        source = next(iter(unit_social.nodes()))
+        for backend in ("dict", "csr"):
+            auto = shortest_path_dag(
+                unit_social, source, backend=backend, weighted="auto"
+            )
+            off = shortest_path_dag(
+                unit_social, source, backend=backend, weighted="off"
+            )
+            assert auto == off
+            assert auto.weighted is False
+            assert all(isinstance(d, int) for d in auto.distances.values())
+
+    def test_auto_reproduces_bfs_sampled_path_exactly(self, unit_social):
+        nodes = list(unit_social.nodes())
+        source, target = nodes[0], nodes[-1]
+        auto = shortest_path_dag(unit_social, source, weighted="auto")
+        off = shortest_path_dag(unit_social, source, weighted="off")
+        for draw in range(5):
+            assert auto.sample_path(target, random.Random(draw)) == off.sample_path(
+                target, random.Random(draw)
+            )
+
+    def test_forced_on_matches_bfs_distances(self, unit_social):
+        from repro.graphs.traversal import sssp_distances
+
+        for backend in ("dict", "csr"):
+            for source in list(unit_social.nodes())[:3]:
+                hop = bfs_distances(unit_social, source, backend=backend)
+                dijkstra = sssp_distances(
+                    unit_social, source, backend=backend, weighted="on"
+                )
+                assert set(hop) == set(dijkstra)
+                assert all(float(hop[k]) == dijkstra[k] for k in hop)
+
+    @pytest.mark.parametrize("estimator_cls", [ABRA, KADABRA, RiondatoKornaropoulos])
+    def test_auto_equals_off_for_samplers(self, estimator_cls, unit_social):
+        def run(weighted):
+            return estimator_cls(
+                0.3, 0.1, seed=17, backend="csr", weighted=weighted,
+                max_samples_cap=200,
+            ).estimate(unit_social)
+
+        auto = run("auto")
+        off = run("off")
+        assert auto.scores == off.scores
+        assert auto.num_samples == off.num_samples
+
+    def test_auto_equals_off_for_exact_centrality(self, unit_social):
+        assert betweenness_centrality(
+            unit_social, backend="csr", weighted="auto"
+        ) == betweenness_centrality(unit_social, backend="csr", weighted="off")
+        assert closeness_centrality(
+            unit_social, backend="csr", weighted="auto"
+        ) == closeness_centrality(unit_social, backend="csr", weighted="off")
+
+
+class TestWeightedSharedMemory:
+    """The weighted CSR snapshot (three blocks: indptr, indices, weights)
+    rides the zero-copy handoff with bit-identical results and no leaks."""
+
+    pytestmark = pytest.mark.skipif(
+        not __import__("repro.parallel", fromlist=["x"]).shared_memory_available(),
+        reason="numpy/shared_memory unavailable",
+    )
+
+    @pytest.fixture(scope="class")
+    def weighted_social(self):
+        return weighted_barabasi_albert_graph(200, 3, seed=6)
+
+    @pytest.fixture()
+    def shm_toggle(self, monkeypatch):
+        from repro.parallel import set_shared_memory_enabled
+
+        monkeypatch.setenv("REPRO_START_METHOD", "spawn")
+        yield set_shared_memory_enabled
+        set_shared_memory_enabled(None)
+
+    def _no_leaked_blocks(self):
+        from repro import parallel
+
+        assert parallel._active_shared_blocks == set()
+
+    def test_payload_roundtrip_carries_weights(self, weighted_social, shm_toggle):
+        import pickle
+
+        from repro import parallel
+        from repro.graphs import csr as csr_module
+
+        shm_toggle(True)
+        payload = parallel.shareable_graph(weighted_social, "csr")
+        assert isinstance(payload, parallel.SharedCSRPayload)
+        try:
+            snapshot = pickle.loads(pickle.dumps(payload))
+            assert len(payload.block_names()) == 3  # indptr, indices, weights
+            assert snapshot.is_weighted
+            original = csr_module.as_csr(weighted_social)
+            assert list(snapshot.weights) == list(original.weights)
+            assert list(snapshot.indices) == list(original.indices)
+        finally:
+            payload.release()
+        self._no_leaked_blocks()
+
+    def test_weighted_brandes_shared_vs_pickle_vs_serial(
+        self, weighted_social, shm_toggle
+    ):
+        reference = betweenness_centrality(weighted_social, backend="dict")
+        serial = betweenness_centrality(weighted_social, backend="csr", workers=0)
+        shm_toggle(True)
+        shared = betweenness_centrality(weighted_social, backend="csr", workers=2)
+        shm_toggle(False)
+        pickled = betweenness_centrality(weighted_social, backend="csr", workers=2)
+        assert shared == pickled == serial == reference
+        self._no_leaked_blocks()
+
+    def test_weighted_closeness_shared_vs_pickle_vs_serial(
+        self, weighted_social, shm_toggle
+    ):
+        reference = closeness_centrality(weighted_social, backend="dict")
+        serial = closeness_centrality(weighted_social, backend="csr", workers=0)
+        shm_toggle(True)
+        shared = closeness_centrality(weighted_social, backend="csr", workers=2)
+        shm_toggle(False)
+        pickled = closeness_centrality(weighted_social, backend="csr", workers=2)
+        assert shared == pickled == serial == reference
+        self._no_leaked_blocks()
+
+    def test_weighted_sampler_shared_vs_pickle_vs_serial(
+        self, weighted_social, shm_toggle
+    ):
+        def run(workers):
+            return RiondatoKornaropoulos(
+                0.3, 0.1, seed=23, backend="csr", workers=workers,
+                max_samples_cap=200,
+            ).estimate(weighted_social)
+
+        serial = run(0)
+        shm_toggle(True)
+        shared = run(2)
+        shm_toggle(False)
+        pickled = run(2)
+        assert shared.scores == pickled.scores == serial.scores
+        self._no_leaked_blocks()
+
+
+class TestWeightedPathCounts:
+    """Regression: ``path_counts_to`` on Dijkstra DAGs must propagate in
+    topological (reverse settle) order.  The BFS level walk is wrong when
+    equal-length shortest paths have different hop counts — common with
+    integer weights (DIMACS road lengths, integer edge-list columns)."""
+
+    def _integer_weighted(self, seed):
+        rng = random.Random(seed)
+        base = barabasi_albert_graph(80, 3, seed=seed)
+        graph = Graph()
+        for u, v in base.edges():
+            graph.add_edge(u, v, weight=rng.choice([1, 2, 3, 4]))
+        return graph
+
+    def test_hop_heterogeneous_tie_counted(self):
+        # s-a(1), a-b(1), b-t(1), a-t(2): two shortest s->t paths of length
+        # 3 with different hop counts (3 hops via b, 2 hops direct).
+        from repro.graphs.traversal import dict_dijkstra_dag
+
+        graph = Graph.from_edges(
+            [("s", "a", 1.0), ("a", "b", 1.0), ("b", "t", 1.0), ("a", "t", 2.0)]
+        )
+        dag = dict_dijkstra_dag(graph, "s")
+        assert dag.sigma["t"] == 2
+        beta = dag.path_counts_to("t")
+        assert beta == {"t": 1.0, "a": 2.0, "b": 1.0, "s": 2.0}
+
+    @pytest.mark.parametrize("seed", (0, 1, 2))
+    def test_beta_source_equals_sigma_target(self, seed):
+        # Invariant: the number of shortest source->target paths counted
+        # backwards (beta[source]) equals the forward count sigma[target].
+        from repro.graphs import csr as csr_module
+        from repro.graphs.traversal import dict_dijkstra_dag
+
+        graph = self._integer_weighted(seed)
+        nodes = list(graph.nodes())
+        source = nodes[0]
+        dag = dict_dijkstra_dag(graph, source)
+        snapshot = csr_module.as_csr(graph)
+        cdag = csr_module.csr_dijkstra_dag(snapshot, snapshot.index[source])
+        labels = snapshot.labels
+        for target in nodes[1:12]:
+            beta = dag.path_counts_to(target)
+            assert beta[source] == float(dag.sigma[target])
+            cbeta = cdag.path_counts_to(snapshot.index[target])
+            assert {labels[i]: v for i, v in cbeta.items()} == beta
+
+    def test_integer_weight_abra_backends_identical(self):
+        graph = self._integer_weighted(5)
+        results = [
+            ABRA(
+                0.3, 0.1, seed=7, backend=backend, max_samples_cap=200
+            ).estimate(graph)
+            for backend in ("dict", "csr")
+        ]
+        assert results[0].scores == results[1].scores
+
+
+class TestWeightedCompareGroundTruth:
+    """compare_estimators scores each estimator against the ground truth of
+    its own estimand: weighted Brandes for the weighted-aware estimators,
+    hop Brandes for SaPHyRa/ego (which sample hop-shortest paths)."""
+
+    def test_per_engine_truth(self):
+        from repro.analysis import compare_estimators
+
+        graph = weighted_barabasi_albert_graph(120, 3, seed=8)
+        targets = list(graph.nodes())[:12]
+        rows = compare_estimators(
+            graph, targets, epsilon=0.1, delta=0.1, seed=3,
+            estimators=("saphyra", "bader"), max_samples_cap=3000,
+        )
+        by_name = {row.name: row for row in rows}
+        # Both estimators are scored against the truth of their own
+        # estimand, so neither reports the workload-mismatch "errors" the
+        # single-truth implementation produced (hop vs weighted Spearman on
+        # this graph is ~0.7; per-engine scoring keeps rankings coherent).
+        assert by_name["saphyra"].spearman > 0.9
+        # Bader pivots run weighted Brandes: with *all* nodes as pivots the
+        # estimate is exact, so its error against the weighted truth (and
+        # only the weighted truth) is ~0.
+        from repro.baselines.bader import BaderPivot
+
+        exact = BaderPivot(
+            0.3, 0.1, seed=3, num_pivots=graph.number_of_nodes()
+        ).estimate(graph)
+        weighted_truth = betweenness_centrality(graph, weighted="on")
+        hop_truth = betweenness_centrality(graph, weighted="off")
+        weighted_err = max(
+            abs(exact.scores[node] - weighted_truth[node]) for node in targets
+        )
+        hop_err = max(
+            abs(exact.scores[node] - hop_truth[node]) for node in targets
+        )
+        assert weighted_err < 1e-12
+        assert hop_err > 1e-3  # the two estimands genuinely differ here
+
+    def test_unit_graph_single_truth_unchanged(self):
+        from repro.analysis import compare_estimators
+
+        graph = barabasi_albert_graph(120, 3, seed=8)
+        targets = list(graph.nodes())[:12]
+        rows = compare_estimators(
+            graph, targets, epsilon=0.3, delta=0.1, seed=3,
+            estimators=("rk",), max_samples_cap=300,
+        )
+        assert rows[0].spearman is not None
