@@ -1,0 +1,135 @@
+"""Regression gate for the delta-stepping kernel: measure and check speedups.
+
+Measures batched weighted sweeps (``multi_source_sweep`` over 32 sources)
+with ``sssp_kernel="dijkstra"`` vs ``"delta"`` on the two weighted bench
+graphs, asserts bit-identical results, and compares the speedup ratios
+against the floors committed in ``BENCH_weighted.json`` at the repo root.
+
+Speedup *ratios* (delta time / dijkstra time, both measured on the same
+machine in the same process) are robust to absolute machine speed, so the
+committed baseline transfers across CI runners.  The floors are set well
+below the locally measured ratios to absorb scheduler noise; a kernel
+regression that erases the delta advantage still trips them loudly.
+
+Usage::
+
+    python benchmarks/check_weighted_baseline.py           # check (CI gate)
+    python benchmarks/check_weighted_baseline.py --update  # refresh measurements
+
+``--update`` rewrites the ``measured_speedup`` fields (keeping the
+``min_speedup`` floors) so the committed file documents real numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_weighted.json"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+_SCALE = float(os.environ.get("REPRO_BENCH_WEIGHTED_SCALE", "1.0"))
+_REPEATS = int(os.environ.get("REPRO_BENCH_WEIGHTED_REPEATS", "3"))
+
+
+def _build_graphs():
+    from repro.graphs.generators import (
+        weighted_barabasi_albert_graph,
+        weighted_grid_road_graph,
+    )
+
+    side = max(20, int(60 * _SCALE))
+    n = max(200, int(4000 * _SCALE))
+    return {
+        "road": weighted_grid_road_graph(side, side, seed=7)[0],
+        "social": weighted_barabasi_albert_graph(n, 4, seed=7),
+    }
+
+
+def _assert_identical(kind, a, b):
+    for row_a, row_b in zip(a, b):
+        if kind == "sigma":
+            dist_a, sigma_a = row_a
+            dist_b, sigma_b = row_b
+            assert list(dist_a) == list(dist_b), "sigma-sweep distance mismatch"
+            assert list(sigma_a) == list(sigma_b), "sigma mismatch"
+        else:
+            assert list(row_a) == list(row_b), f"{kind}-sweep mismatch"
+
+
+def measure():
+    """Return {(topology, kind): speedup} with bit-identity asserted."""
+    from repro.graphs import csr as csr_module
+
+    results = {}
+    for topology, graph in _build_graphs().items():
+        snapshot = csr_module.as_csr(graph)
+        snapshot.adjacency_lists()
+        snapshot.weight_list()
+        step = max(1, snapshot.n // 32)
+        sources = list(range(0, snapshot.n, step))[:32]
+        for kind in ("distance", "sigma"):
+            timings = {}
+            outputs = {}
+            for kernel in ("dijkstra", "delta"):
+                best = float("inf")
+                for _ in range(_REPEATS):
+                    start = time.perf_counter()
+                    outputs[kernel] = csr_module.multi_source_sweep(
+                        snapshot, sources, kind=kind, weighted=True,
+                        sssp_kernel=kernel,
+                    )
+                    best = min(best, time.perf_counter() - start)
+                timings[kernel] = best
+            _assert_identical(kind, outputs["dijkstra"], outputs["delta"])
+            results[(topology, kind)] = timings["dijkstra"] / timings["delta"]
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite measured_speedup fields in BENCH_weighted.json",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    measured = measure()
+
+    failures = []
+    for entry in baseline["entries"]:
+        key = (entry["topology"], entry["kind"])
+        speedup = measured[key]
+        label = f"{entry['topology']}/{entry['kind']}"
+        print(
+            f"{label}: delta vs dijkstra speedup {speedup:.2f}x "
+            f"(floor {entry['min_speedup']:.2f}x, "
+            f"recorded {entry['measured_speedup']:.2f}x)"
+        )
+        if args.update:
+            entry["measured_speedup"] = round(speedup, 2)
+        elif speedup < entry["min_speedup"]:
+            failures.append(
+                f"{label}: {speedup:.2f}x below the {entry['min_speedup']:.2f}x floor"
+            )
+
+    if args.update:
+        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+        print(f"updated {BASELINE_PATH}")
+        return 0
+    if failures:
+        print("\nREGRESSION: " + "; ".join(failures), file=sys.stderr)
+        return 1
+    print("\nall kernels at or above their committed speedup floors")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -39,6 +39,31 @@ def _add_backend_argument(subparser) -> None:
              "weights count as 1), or off (ignore weights, hop distances).  "
              "When passed explicitly it overrides REPRO_WEIGHTED",
     )
+    # default=None so an absent flag leaves the REPRO_SSSP_KERNEL environment
+    # variable (or the built-in auto selection) in charge.
+    subparser.add_argument(
+        "--sssp-kernel",
+        choices=("auto", "dijkstra", "delta"),
+        default=None,
+        help="weighted SSSP kernel: dijkstra (per-source binary heap), "
+             "delta (bucket-synchronous delta-stepping), or auto (delta for "
+             "batched sweeps, dijkstra for single-source calls; the "
+             "default).  When passed explicitly it overrides "
+             "REPRO_SSSP_KERNEL.  The kernels are bit-identical — this "
+             "never changes results, only wall-clock time",
+    )
+    # default=None so an absent flag leaves the REPRO_COMPILED environment
+    # variable (or the built-in auto detection) in charge.
+    subparser.add_argument(
+        "--compiled",
+        choices=("auto", "on", "off"),
+        default=None,
+        help="compiled (numba) kernel tier for the weighted engine: auto "
+             "(use numba iff installed; the default), on (require numba — "
+             "error when missing), or off (pure-Python loops).  When passed "
+             "explicitly it overrides REPRO_COMPILED.  Never changes "
+             "results, only wall-clock time",
+    )
     # default=None so an absent flag leaves the REPRO_WORKERS environment
     # variable (or serial execution) in charge.
     subparser.add_argument(
@@ -171,6 +196,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.graphs.sssp import set_default_weighted
 
         set_default_weighted(weighted)
+    sssp_kernel = getattr(args, "sssp_kernel", None)
+    if sssp_kernel is not None:
+        # `--sssp-kernel auto` is set explicitly too, so it restores the
+        # built-in selection even when REPRO_SSSP_KERNEL is exported.
+        from repro.graphs.sssp import set_default_sssp_kernel
+
+        set_default_sssp_kernel(sssp_kernel)
+    compiled = getattr(args, "compiled", None)
+    if compiled is not None:
+        # `--compiled auto` is set explicitly too, so it restores numba
+        # auto-detection even when REPRO_COMPILED is exported.
+        from repro.graphs.compiled import set_default_compiled
+
+        set_default_compiled(compiled)
     workers = getattr(args, "workers", None)
     if workers is not None:
         # `--workers 0` is set explicitly too, so it restores serial

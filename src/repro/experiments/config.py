@@ -74,6 +74,24 @@ class ExperimentConfig:
         (process-wide, sticky, mirrored into the environment).  Unlike the
         knobs above this one *selects the workload* — weighted and
         unweighted runs rank different shortest paths.
+    sssp_kernel:
+        Weighted SSSP execution kernel for the whole run: ``"auto"``
+        (delta-stepping for batched sweeps, Dijkstra for single-source
+        calls), ``"dijkstra"`` or ``"delta"``; ``None`` (default) leaves
+        the ``REPRO_SSSP_KERNEL`` environment variable in charge.
+        Applied lazily via
+        :func:`repro.graphs.sssp.set_default_sssp_kernel` (process-wide,
+        sticky, mirrored into the environment).  The kernels are
+        bit-identical, so like ``workers`` this knob never changes
+        results — only wall-clock time.
+    compiled:
+        Compiled (numba) kernel tier: ``"auto"`` (use numba iff
+        importable), ``"on"`` (require numba — raises when missing) or
+        ``"off"`` (pure-Python loops); ``None`` (default) leaves the
+        ``REPRO_COMPILED`` environment variable in charge.  Applied
+        lazily via :func:`repro.graphs.compiled.set_default_compiled`
+        (process-wide, sticky, mirrored into the environment); never
+        changes results.
     """
 
     datasets: Sequence[str] = ("flickr", "livejournal", "usa-road", "orkut")
@@ -90,6 +108,8 @@ class ExperimentConfig:
     dag_cache: Optional[bool] = None
     shared_memory: Optional[bool] = None
     weighted: Optional[str] = None
+    sssp_kernel: Optional[str] = None
+    compiled: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.scale <= 0:
@@ -108,6 +128,19 @@ class ExperimentConfig:
         if self.weighted is not None and self.weighted not in ("auto", "on", "off"):
             raise ValueError(
                 f"weighted must be None, 'auto', 'on' or 'off', got {self.weighted!r}"
+            )
+        if self.sssp_kernel is not None and self.sssp_kernel not in (
+            "auto",
+            "dijkstra",
+            "delta",
+        ):
+            raise ValueError(
+                f"sssp_kernel must be None, 'auto', 'dijkstra' or 'delta', "
+                f"got {self.sssp_kernel!r}"
+            )
+        if self.compiled is not None and self.compiled not in ("auto", "on", "off"):
+            raise ValueError(
+                f"compiled must be None, 'auto', 'on' or 'off', got {self.compiled!r}"
             )
 
     # ------------------------------------------------------------------

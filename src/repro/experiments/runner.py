@@ -94,6 +94,8 @@ class ExperimentRunner:
         self._dag_cache_applied = False
         self._shared_memory_applied = False
         self._weighted_applied = False
+        self._sssp_kernel_applied = False
+        self._compiled_applied = False
         self._datasets: Dict[str, Dataset] = {}
         self._block_cut_trees: Dict[str, BlockCutTree] = {}
         self._ground_truth_cache = GroundTruthCache()
@@ -150,6 +152,39 @@ class ExperimentRunner:
         set_default_weighted(self.config.weighted)
         self._weighted_applied = True
 
+    def _apply_sssp_kernel_config(self) -> None:
+        """Apply an explicit ``config.sssp_kernel`` choice, once, lazily.
+
+        Same lifecycle as the knobs above (process-wide, sticky, mirrored
+        into ``REPRO_SSSP_KERNEL``; ``set_default_sssp_kernel(None)``
+        hands control back to the environment).  The Dijkstra and
+        delta-stepping kernels are bit-identical, so this knob — like the
+        worker count — never changes results, only wall-clock time.
+        """
+        if self._sssp_kernel_applied or self.config.sssp_kernel is None:
+            return
+        from repro.graphs.sssp import set_default_sssp_kernel
+
+        set_default_sssp_kernel(self.config.sssp_kernel)
+        self._sssp_kernel_applied = True
+
+    def _apply_compiled_config(self) -> None:
+        """Apply an explicit ``config.compiled`` choice, once, lazily.
+
+        Same lifecycle as the knobs above (process-wide, sticky, mirrored
+        into ``REPRO_COMPILED``; ``set_default_compiled(None)`` hands
+        control back to the environment).  The jitted loops are
+        structurally identical to the pure-Python ones, so the tier never
+        changes results; ``"on"`` raises here when numba is missing
+        rather than silently degrading.
+        """
+        if self._compiled_applied or self.config.compiled is None:
+            return
+        from repro.graphs.compiled import set_default_compiled
+
+        set_default_compiled(self.config.compiled)
+        self._compiled_applied = True
+
     # ------------------------------------------------------------------
     # Cached resources
     # ------------------------------------------------------------------
@@ -158,6 +193,8 @@ class ExperimentRunner:
         self._apply_dag_cache_config()
         self._apply_shared_memory_config()
         self._apply_weighted_config()
+        self._apply_sssp_kernel_config()
+        self._apply_compiled_config()
         if name not in self._datasets:
             self._datasets[name] = load(
                 name, scale=self.config.scale, seed=self.config.seed

@@ -32,21 +32,24 @@ Edge = Tuple[Node, Node]
 Weight = Union[int, float]
 
 
-def _check_weight(weight: Weight) -> Optional[float]:
+def _check_weight(weight: Weight, *, edge: Optional[Tuple[Node, Node]] = None) -> Optional[float]:
     """Validate an edge weight; return the stored form (``None`` = unit).
 
     Unit weights are stored as ``None`` so unit-weight graphs keep the exact
     pre-weights adjacency layout (and ``is_weighted`` stays ``False``).
+    Rejections name the offending edge when the caller knows it, so a bad
+    weight deep inside a bulk load points at the edge, not just the value.
     """
     if weight == 1:
         return None
+    where = "" if edge is None else f" for edge {edge[0]!r}-{edge[1]!r}"
     if isinstance(weight, bool) or not isinstance(weight, (int, float)):
         raise GraphError(
-            f"edge weight must be a positive real number, got {weight!r}"
+            f"edge weight must be a positive real number, got {weight!r}{where}"
         )
     if not math.isfinite(weight) or weight <= 0:
         raise GraphError(
-            f"edge weight must be positive and finite, got {weight!r} "
+            f"edge weight must be positive and finite, got {weight!r}{where} "
             "(zero-weight undirected edges would make the shortest-path "
             "DAG cyclic)"
         )
@@ -143,7 +146,7 @@ class Graph:
         """
         if u == v:
             raise GraphError(f"self loops are not allowed (node {u!r})")
-        stored = _check_weight(weight)
+        stored = _check_weight(weight, edge=(u, v))
         self.add_node(u)
         self.add_node(v)
         if v not in self._adj[u]:
@@ -164,7 +167,7 @@ class Graph:
         """
         if not self.has_edge(u, v):
             raise GraphError(f"edge ({u!r}, {v!r}) does not exist")
-        stored = _check_weight(weight)
+        stored = _check_weight(weight, edge=(u, v))
         previous = self._adj[u][v]
         if previous is stored or previous == (1 if stored is None else stored):
             return

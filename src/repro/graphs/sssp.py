@@ -25,6 +25,19 @@ the backend/workers knob machinery — to a concrete boolean per graph:
   (the unit-weight A/B used by the equivalence tests and benchmarks).
 * ``"off"``: ignore weights and run hop-distance BFS even on weighted
   graphs.
+
+This module also owns the **weighted kernel knob**: once the weighted
+engine is selected, ``sssp_kernel`` (``"auto"``/``"dijkstra"``/``"delta"``,
+the ``REPRO_SSSP_KERNEL`` environment variable and
+:func:`set_default_sssp_kernel`) picks the *execution strategy* — the
+per-source binary-heap Dijkstra of PR 5, or the bucket-synchronous
+delta-stepping kernel of :mod:`repro.graphs.delta_stepping`.  The two
+kernels are **bit-identical** (distances, exact sigma, predecessor append
+order, settle order, sampled paths — the delta kernel re-pins Dijkstra's
+exact ``(distance, push counter)`` settle order from the final
+distances), so like the ``backend`` and ``direction`` knobs this choice
+affects speed only.  The dict backend always runs the reference Dijkstra
+— it *is* the reference both kernels are pinned to.
 """
 
 from __future__ import annotations
@@ -127,3 +140,110 @@ def effective_weighted(graph, weighted: Optional[str] = None) -> bool:
     if mode == WEIGHTED_OFF:
         return False
     return bool(getattr(graph, "is_weighted", False))
+
+
+# ---------------------------------------------------------------------------
+# Weighted kernel selection (Dijkstra vs delta-stepping)
+# ---------------------------------------------------------------------------
+
+#: Environment variable overriding the default weighted SSSP kernel.
+SSSP_KERNEL_ENV_VAR = "REPRO_SSSP_KERNEL"
+
+KERNEL_AUTO = "auto"
+KERNEL_DIJKSTRA = "dijkstra"
+KERNEL_DELTA = "delta"
+
+_KERNEL_CHOICES = (KERNEL_AUTO, KERNEL_DIJKSTRA, KERNEL_DELTA)
+
+_default_sssp_kernel: Optional[str] = None
+_kernel_env_mirror = EnvMirroredOverride(SSSP_KERNEL_ENV_VAR)
+
+
+def _check_kernel_name(value: str, *, source: str = "sssp_kernel") -> None:
+    """Raise a uniform error for an invalid weighted-kernel name."""
+    if value not in _KERNEL_CHOICES:
+        raise ValueError(
+            f"{source}={value!r} is not a valid SSSP kernel; choose one of "
+            f"{_KERNEL_CHOICES} (the default can also be set via the "
+            f"{SSSP_KERNEL_ENV_VAR} environment variable)"
+        )
+
+
+def _env_sssp_kernel() -> Optional[str]:
+    """Return the validated ``REPRO_SSSP_KERNEL`` value, or ``None`` if unset."""
+    env = os.environ.get(SSSP_KERNEL_ENV_VAR, "").strip().lower()
+    if not env:
+        return None
+    _check_kernel_name(env, source=SSSP_KERNEL_ENV_VAR)
+    return env
+
+
+def default_sssp_kernel() -> str:
+    """Return the kernel used when callers pass ``sssp_kernel=None``.
+
+    Resolution order: :func:`set_default_sssp_kernel` override, then the
+    ``REPRO_SSSP_KERNEL`` environment variable, then ``"auto"``.
+    """
+    if _default_sssp_kernel is not None:
+        return _default_sssp_kernel
+    env = _env_sssp_kernel()
+    if env is not None:
+        return env
+    return KERNEL_AUTO
+
+
+def set_default_sssp_kernel(kernel: Optional[str]) -> None:
+    """Set (or with ``None`` clear) the process-wide default weighted kernel.
+
+    Mirrored into ``REPRO_SSSP_KERNEL`` via the
+    :class:`repro.parallel.EnvMirroredOverride` protocol so spawn workers
+    resolve the same kernel; ``None`` restores the environment variable the
+    first override displaced.
+    """
+    global _default_sssp_kernel
+    if kernel is not None:
+        _check_kernel_name(kernel)
+    _kernel_env_mirror.set(kernel)
+    _default_sssp_kernel = kernel
+
+
+def resolve_sssp_kernel(kernel: Optional[str] = None) -> str:
+    """Map a user-facing ``sssp_kernel`` argument to a concrete mode name.
+
+    An invalid ``REPRO_SSSP_KERNEL`` value is rejected eagerly, matching
+    :func:`resolve_weighted`.
+    """
+    env = _env_sssp_kernel()
+    if kernel is None:
+        if _default_sssp_kernel is not None:
+            return _default_sssp_kernel
+        return env if env is not None else KERNEL_AUTO
+    _check_kernel_name(kernel)
+    return kernel
+
+
+def effective_sssp_kernel(
+    kernel: Optional[str] = None, *, batched: bool = False
+) -> str:
+    """Resolve ``sssp_kernel`` to a concrete kernel for one weighted run.
+
+    ``"auto"`` picks delta-stepping for *batched* multi-source sweeps when
+    numpy is available — fat stacked frontiers are where the bucket kernel
+    beats the per-source heap — and stays on Dijkstra for single-source
+    calls (sampler DAG construction), whose thin frontiers favour the
+    heap.  Forcing ``"delta"`` routes every weighted call through the
+    bucket kernel; without numpy the pure-python bucket loop runs (same
+    results, interpreter speed), mirroring the no-numpy CSR degradation.
+
+    The dict backend ignores the knob: it *is* the Dijkstra reference both
+    CSR kernels are pinned bit-identical to, so routing it would change
+    nothing but indirection.
+    """
+    mode = resolve_sssp_kernel(kernel)
+    if mode != KERNEL_AUTO:
+        return mode
+    from repro.graphs.csr import HAS_NUMPY
+
+    if batched and HAS_NUMPY:
+        return KERNEL_DELTA
+    return KERNEL_DIJKSTRA

@@ -1161,3 +1161,157 @@ class TestWeightedCompareGroundTruth:
             estimators=("rk",), max_samples_cap=300,
         )
         assert rows[0].spearman is not None
+
+
+# ----------------------------------------------------------------------
+# Weighted SSSP kernel knob (PR 6): delta-stepping == Dijkstra == dict
+# ----------------------------------------------------------------------
+def _integer_tie_graph(seed):
+    """Integer weights => many equal-length shortest paths (heavy tie load)."""
+    rng = random.Random(seed)
+    base = barabasi_albert_graph(80, 3, seed=seed)
+    graph = Graph()
+    for u, v in base.edges():
+        graph.add_edge(u, v, weight=rng.choice([1, 2, 3]))
+    return graph
+
+
+KERNEL_GRAPH_CASES = WEIGHTED_GRAPH_CASES + [
+    pytest.param(lambda seed: _integer_tie_graph(seed), id="integer-ties"),
+]
+
+
+class TestSSSPKernelEquivalence:
+    """The ``sssp_kernel`` knob never changes results — only speed.
+
+    Delta-stepping settles distances by bucket-ordered label correction,
+    then re-pins Dijkstra's settle order / predecessor order / sigma from
+    the final distances, so every output (including sampled paths and
+    worker/shared-memory runs) must be bit-identical across kernels and
+    against the dict oracle.  Integer weights make equal-length shortest
+    paths (and settle-order ties) common, exercising the tie-break
+    reconstruction rather than the easy unique-path case.
+    """
+
+    @pytest.fixture()
+    def kernel_toggle(self):
+        from repro.graphs.sssp import set_default_sssp_kernel
+
+        yield set_default_sssp_kernel
+        set_default_sssp_kernel(None)
+
+    @pytest.mark.parametrize("make_graph", KERNEL_GRAPH_CASES)
+    @pytest.mark.parametrize("seed", (0, 1))
+    def test_dag_bit_identical_across_kernels(self, make_graph, seed, kernel_toggle):
+        graph = make_graph(seed)
+        oracle = shortest_path_dag(graph, list(graph.nodes())[0], backend="dict")
+        dags = {}
+        for kernel in ("dijkstra", "delta"):
+            kernel_toggle(kernel)
+            dags[kernel] = shortest_path_dag(
+                graph, list(graph.nodes())[0], backend="csr"
+            )
+        for dag in dags.values():
+            assert dag.distances == oracle.distances
+            assert dag.sigma == oracle.sigma
+            assert dag.order == oracle.order
+            assert dag.predecessors == oracle.predecessors
+
+    @pytest.mark.parametrize("make_graph", KERNEL_GRAPH_CASES)
+    @pytest.mark.parametrize("seed", (0, 1))
+    def test_sampled_paths_identical_across_kernels(
+        self, make_graph, seed, kernel_toggle
+    ):
+        graph = make_graph(seed)
+        nodes = list(graph.nodes())
+        source = nodes[0]
+        reference = shortest_path_dag(graph, source, backend="dict")
+        kernel_toggle("delta")
+        candidate = shortest_path_dag(graph, source, backend="csr")
+        for target in nodes[-4:]:
+            if target == source or target not in reference.distances:
+                continue
+            for draw in range(3):
+                assert reference.sample_path(
+                    target, random.Random(draw)
+                ) == candidate.sample_path(target, random.Random(draw))
+
+    @pytest.mark.parametrize("make_graph", KERNEL_GRAPH_CASES)
+    @pytest.mark.parametrize("kind", ("distance", "sigma", "brandes"))
+    def test_sweeps_bit_identical_across_kernels(self, make_graph, kind):
+        from repro.graphs import csr as csr_module
+
+        graph = make_graph(0)
+        snapshot = csr_module.as_csr(graph)
+        sources = list(range(min(6, snapshot.n)))
+        results = {
+            kernel: csr_module.multi_source_sweep(
+                snapshot, sources, kind=kind, weighted=True, sssp_kernel=kernel
+            )
+            for kernel in ("dijkstra", "delta")
+        }
+        for a, b in zip(results["dijkstra"], results["delta"]):
+            if kind == "sigma":
+                dist_a, sigma_a = a
+                dist_b, sigma_b = b
+                assert list(dist_a) == list(dist_b)
+                assert list(sigma_a) == list(sigma_b)
+            else:
+                assert list(a) == list(b)
+
+    @pytest.mark.parametrize("make_graph", KERNEL_GRAPH_CASES)
+    def test_distances_with_order_identical(self, make_graph, kernel_toggle):
+        from repro.graphs.traversal import sssp_distances
+
+        graph = make_graph(0)
+        source = list(graph.nodes())[0]
+        reference = sssp_distances(graph, source, backend="dict")
+        for kernel in ("dijkstra", "delta"):
+            kernel_toggle(kernel)
+            candidate = sssp_distances(graph, source, backend="csr")
+            assert reference == candidate
+            assert list(reference) == list(candidate)
+
+    @pytest.mark.parametrize("workers", (0, 2))
+    def test_centrality_workers_bitwise_across_kernels(
+        self, workers, kernel_toggle
+    ):
+        graph = weighted_barabasi_albert_graph(120, 3, seed=6)
+        reference = betweenness_centrality(graph, backend="dict")
+        scores = {}
+        for kernel in ("dijkstra", "delta"):
+            kernel_toggle(kernel)
+            scores[kernel] = betweenness_centrality(
+                graph, backend="csr", workers=workers
+            )
+        assert scores["dijkstra"] == scores["delta"] == reference
+
+    def test_shared_memory_on_off_bitwise_delta(self, kernel_toggle, monkeypatch):
+        from repro import parallel
+
+        if not parallel.shared_memory_available():
+            pytest.skip("numpy/shared_memory unavailable")
+        monkeypatch.setenv("REPRO_START_METHOD", "spawn")
+        graph = weighted_barabasi_albert_graph(150, 3, seed=6)
+        reference = betweenness_centrality(graph, backend="dict")
+        kernel_toggle("delta")
+        try:
+            parallel.set_shared_memory_enabled(True)
+            shared = betweenness_centrality(graph, backend="csr", workers=2)
+            parallel.set_shared_memory_enabled(False)
+            pickled = betweenness_centrality(graph, backend="csr", workers=2)
+        finally:
+            parallel.set_shared_memory_enabled(None)
+        assert shared == pickled == reference
+        assert parallel._active_shared_blocks == set()
+
+    def test_sampler_identical_across_kernels(self, kernel_toggle):
+        graph = weighted_barabasi_albert_graph(150, 3, seed=9)
+        results = {}
+        for kernel in ("dijkstra", "delta"):
+            kernel_toggle(kernel)
+            results[kernel] = ABRA(
+                0.3, 0.1, seed=11, backend="csr", max_samples_cap=200
+            ).estimate(graph)
+        assert results["dijkstra"].scores == results["delta"].scores
+        assert results["dijkstra"].num_samples == results["delta"].num_samples

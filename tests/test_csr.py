@@ -20,7 +20,7 @@ from repro.graphs.csr import (
     effective_backend,
     resolve_backend,
     set_default_backend,
-    weighted_choice,
+    sigma_choice,
 )
 from repro.graphs.generators import erdos_renyi_graph, path_graph
 from repro.graphs.graph import Graph
@@ -192,17 +192,17 @@ class TestBackendSelection:
             set_default_backend("sparse")
 
 
-class TestWeightedChoice:
+class TestSigmaChoice:
     def test_distribution_roughly_proportional(self):
         rng = random.Random(3)
         counts = {"a": 0, "b": 0}
         for _ in range(3000):
-            counts[weighted_choice(["a", "b"], [1, 3], rng)] += 1
+            counts[sigma_choice(["a", "b"], [1, 3], rng)] += 1
         assert 550 < counts["a"] < 950
 
     def test_zero_total_raises(self):
         with pytest.raises(SamplingError):
-            weighted_choice(["a"], [0], random.Random(0))
+            sigma_choice(["a"], [0], random.Random(0))
 
     def test_huge_integer_weights_stay_exact(self):
         # Float accumulation would collapse 2**60 and 2**60 + 1; the integer
@@ -210,19 +210,19 @@ class TestWeightedChoice:
         rng = random.Random(5)
         items = ["low", "high"]
         weights = [1, 2**60]
-        picks = {weighted_choice(items, weights, rng) for _ in range(50)}
+        picks = {sigma_choice(items, weights, rng) for _ in range(50)}
         assert picks == {"high"}
 
     def test_single_item(self):
-        assert weighted_choice(["only"], [7], random.Random(1)) == "only"
+        assert sigma_choice(["only"], [7], random.Random(1)) == "only"
 
     def test_length_mismatch_raises(self):
         # Regression: `zip` used to truncate silently and the `items[-1]`
         # fallback masked the mismatch, returning an arbitrary item.
         with pytest.raises(SamplingError, match="3 items but 2 weights"):
-            weighted_choice(["a", "b", "c"], [1, 2], random.Random(0))
+            sigma_choice(["a", "b", "c"], [1, 2], random.Random(0))
         with pytest.raises(SamplingError, match="1 items but 2 weights"):
-            weighted_choice(["a"], [1, 2], random.Random(0))
+            sigma_choice(["a"], [1, 2], random.Random(0))
 
 
 class TestKernels:

@@ -5,6 +5,7 @@ from __future__ import annotations
 
 import math
 import random
+import warnings
 
 import pytest
 
@@ -58,6 +59,18 @@ class TestGraphWeights:
             return
         with pytest.raises(GraphError):
             graph.add_edge(0, 1, weight=bad)
+
+    def test_rejection_names_the_edge(self):
+        graph = Graph()
+        with pytest.raises(GraphError, match=r"for edge 'a'-'b'"):
+            graph.add_edge("a", "b", weight=-2.0)
+        with pytest.raises(GraphError, match=r"for edge 0-1"):
+            graph.add_edge(0, 1, weight=float("nan"))
+        with pytest.raises(GraphError, match=r"for edge 0-1"):
+            graph.add_edge(0, 1, weight="heavy")
+        graph.add_edge(0, 1)
+        with pytest.raises(GraphError, match=r"for edge 0-1"):
+            graph.set_edge_weight(0, 1, 0.0)
 
     def test_duplicate_edge_keeps_first_weight(self):
         graph = Graph()
@@ -308,13 +321,44 @@ class TestWeightedKnob:
 
 
 class TestSigmaChoiceRename:
-    def test_alias_still_works(self):
-        assert csr_module.weighted_choice is csr_module.sigma_choice
+    def test_alias_warns_and_delegates(self):
         from repro.graphs import traversal
 
-        assert traversal._weighted_choice is traversal.sigma_choice
         rng = random.Random(0)
-        assert csr_module.sigma_choice(["x"], [5], rng) == "x"
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert csr_module.weighted_choice(["x"], [5], rng) == "x"
+        assert len(caught) == 1
+        assert issubclass(caught[0].category, DeprecationWarning)
+        assert "sigma_choice" in str(caught[0].message)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert traversal._weighted_choice(["y"], [3], rng) == "y"
+        assert len(caught) == 1
+        assert issubclass(caught[0].category, DeprecationWarning)
+        assert "sigma_choice" in str(caught[0].message)
+
+    def test_canonical_name_does_not_warn(self):
+        rng = random.Random(0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert csr_module.sigma_choice(["x"], [5], rng) == "x"
+
+    def test_aliases_delegate_bit_identically(self):
+        rng_alias, rng_canonical = random.Random(42), random.Random(42)
+        population = list(range(10))
+        sigmas = [i + 1 for i in range(10)]
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            picks_alias = [
+                csr_module.weighted_choice(population, sigmas, rng_alias)
+                for _ in range(50)
+            ]
+        picks_canonical = [
+            csr_module.sigma_choice(population, sigmas, rng_canonical)
+            for _ in range(50)
+        ]
+        assert picks_alias == picks_canonical
 
 
 class TestDictDijkstraOracle:
