@@ -111,15 +111,16 @@ def test_bench_rk_pivot_workload(benchmark, mode):
     ~4 draws per node on average, so the cached run rebuilds each source
     DAG once instead of four times — the >= 2x acceptance workload.
     """
-    from repro.engine import clear_default_dag_cache, dag_cache
+    from repro.engine import set_default_dag_cache_size
 
     graph = barabasi_albert_graph(max(200, int(1000 * _SCALE)), 4, seed=9)
     cap = 4 * graph.number_of_nodes()
     set_dag_cache_enabled(mode == "cached")
     # Size the default cache so the whole source set stays resident (the
     # workload is "every source drawn ~4 times", not an LRU-churn study).
-    os.environ[dag_cache.DAG_CACHE_SIZE_ENV_VAR] = str(2 * graph.number_of_nodes())
-    clear_default_dag_cache()
+    # The override mirrors into REPRO_DAG_CACHE_SIZE and rebuilds the
+    # default cache; None restores whatever the environment had.
+    set_default_dag_cache_size(2 * graph.number_of_nodes())
     try:
         result = benchmark(
             lambda: RiondatoKornaropoulos(
@@ -128,8 +129,7 @@ def test_bench_rk_pivot_workload(benchmark, mode):
         )
     finally:
         set_dag_cache_enabled(None)
-        os.environ.pop(dag_cache.DAG_CACHE_SIZE_ENV_VAR, None)
-        clear_default_dag_cache()
+        set_default_dag_cache_size(None)
     assert result.num_samples == cap  # the VC size exceeds the cap at eps=0.02
 
 

@@ -92,13 +92,11 @@ def _legacy_rows_chunk(payload, chunk):
 
 @pytest.fixture(scope="module", autouse=True)
 def _spawn_start_method():
-    previous = os.environ.get(parallel.START_METHOD_ENV_VAR)
-    os.environ[parallel.START_METHOD_ENV_VAR] = "spawn"
+    # The override mirrors into REPRO_START_METHOD (displacing any prior
+    # value) and None restores it — no hand-rolled save/restore needed.
+    parallel.set_default_start_method("spawn")
     yield
-    if previous is None:
-        os.environ.pop(parallel.START_METHOD_ENV_VAR, None)
-    else:
-        os.environ[parallel.START_METHOD_ENV_VAR] = previous
+    parallel.set_default_start_method(None)
 
 
 @pytest.fixture(autouse=True)

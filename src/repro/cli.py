@@ -6,6 +6,7 @@ Commands
 ``datasets``    List the available datasets with their summaries.
 ``table``       Regenerate Table I, II or III.
 ``figure``      Regenerate the data behind Figures 3-7.
+``lint``        Statically check the architecture invariants (AST-based).
 """
 
 from __future__ import annotations
@@ -75,6 +76,17 @@ def _add_backend_argument(subparser) -> None:
              "REPRO_WORKERS).  Worker counts never change results, only "
              "wall-clock time",
     )
+    # default=None so an absent flag leaves the REPRO_START_METHOD
+    # environment variable (or the platform default) in charge.
+    subparser.add_argument(
+        "--start-method",
+        choices=("fork", "spawn", "forkserver"),
+        default=None,
+        help="multiprocessing start method for the worker pool (the "
+             "platform default when absent; when passed explicitly it "
+             "overrides REPRO_START_METHOD).  The pool is bit-identical "
+             "under every start method — this never changes results",
+    )
     # default=None so an absent flag leaves the REPRO_DAG_CACHE environment
     # variable (or the built-in on default) in charge.
     subparser.add_argument(
@@ -85,6 +97,28 @@ def _add_backend_argument(subparser) -> None:
              "passed explicitly it overrides REPRO_DAG_CACHE).  The cache "
              "never changes results, only wall-clock time; "
              "REPRO_DAG_CACHE_SIZE bounds its per-graph entry count",
+    )
+    # default=None so an absent flag leaves REPRO_DAG_CACHE_SIZE (or the
+    # built-in default of 512) in charge.
+    subparser.add_argument(
+        "--dag-cache-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-graph LRU entry bound for the DAG cache (default 512; "
+             "when passed explicitly it overrides REPRO_DAG_CACHE_SIZE).  "
+             "Cache bounds never change results, only wall-clock time",
+    )
+    # default=None so an absent flag leaves REPRO_DAG_CACHE_BUDGET (or the
+    # built-in default of 16M elements) in charge.
+    subparser.add_argument(
+        "--dag-cache-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-graph estimated-element budget for the DAG cache "
+             "(default 16000000, about 128 MB; when passed explicitly it "
+             "overrides REPRO_DAG_CACHE_BUDGET).  Never changes results",
     )
     # default=None so an absent flag leaves the REPRO_SHARED_MEMORY
     # environment variable (or the built-in on default) in charge.
@@ -166,6 +200,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_argument(figure)
 
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the AST-based invariant checker over source trees",
+        description="Statically check the repo's architecture invariants "
+                    "(knob protocol, float-fold discipline, RNG discipline, "
+                    "env-mirror writes, kernel ownership).  Exits 1 on any "
+                    "unsuppressed finding.",
+    )
+    from repro.lint.cli import add_arguments as _add_lint_arguments
+
+    _add_lint_arguments(lint)
+
     return parser
 
 
@@ -217,6 +263,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.parallel import set_default_workers
 
         set_default_workers(workers)
+    start_method = getattr(args, "start_method", None)
+    if start_method is not None:
+        # An explicit --start-method overrides REPRO_START_METHOD for the
+        # whole process (and is mirrored back into it for nested tooling).
+        from repro.parallel import set_default_start_method
+
+        set_default_start_method(start_method)
     dag_cache = getattr(args, "dag_cache", None)
     if dag_cache is not None:
         # `--dag-cache off` is set explicitly too, so it disables the cache
@@ -224,6 +277,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.engine import set_dag_cache_enabled
 
         set_dag_cache_enabled(dag_cache == "on")
+    dag_cache_size = getattr(args, "dag_cache_size", None)
+    if dag_cache_size is not None:
+        # An explicit bound overrides REPRO_DAG_CACHE_SIZE process-wide.
+        from repro.engine import set_default_dag_cache_size
+
+        set_default_dag_cache_size(dag_cache_size)
+    dag_cache_budget = getattr(args, "dag_cache_budget", None)
+    if dag_cache_budget is not None:
+        # An explicit budget overrides REPRO_DAG_CACHE_BUDGET process-wide.
+        from repro.engine import set_default_dag_cache_budget
+
+        set_default_dag_cache_budget(dag_cache_budget)
     shared_memory = getattr(args, "shared_memory", None)
     if shared_memory is not None:
         # `--shared-memory off` is set explicitly too, so it restores the
@@ -231,6 +296,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.parallel import set_shared_memory_enabled
 
         set_shared_memory_enabled(shared_memory == "on")
+    if args.command == "lint":
+        from repro.lint.cli import run as _run_lint
+
+        return _run_lint(args)
     if args.command == "rank":
         return _command_rank(args)
     if args.command == "datasets":

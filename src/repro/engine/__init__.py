@@ -40,7 +40,11 @@ from repro.engine.dag_cache import (
     clear_default_dag_cache,
     dag_cache_enabled,
     default_dag_cache,
+    resolve_dag_cache_budget,
+    resolve_dag_cache_size,
     set_dag_cache_enabled,
+    set_default_dag_cache_budget,
+    set_default_dag_cache_size,
     source_dag,
     source_distance_map,
     source_distance_rows,
@@ -75,6 +79,10 @@ __all__ = [
     "clear_default_dag_cache",
     "dag_cache_enabled",
     "set_dag_cache_enabled",
+    "resolve_dag_cache_size",
+    "resolve_dag_cache_budget",
+    "set_default_dag_cache_size",
+    "set_default_dag_cache_budget",
     "DAG_CACHE_ENV_VAR",
     "DAG_CACHE_SIZE_ENV_VAR",
     "DAG_CACHE_BUDGET_ENV_VAR",

@@ -33,8 +33,11 @@ Configuration: the process-wide default cache honours ``REPRO_DAG_CACHE``
 (``1``/``on`` — the default — or ``0``/``off``), ``REPRO_DAG_CACHE_SIZE``
 (max entries per graph, default 512) and ``REPRO_DAG_CACHE_BUDGET`` (max
 estimated elements per graph, default 16M ≈ 128 MB);
-:func:`set_dag_cache_enabled` overrides the environment, mirroring the
-backend/workers knobs.  The override is mirrored into the environment
+:func:`set_dag_cache_enabled`, :func:`set_default_dag_cache_size` and
+:func:`set_default_dag_cache_budget` (the CLI's ``--dag-cache`` /
+``--dag-cache-size`` / ``--dag-cache-budget`` flags) override the
+environment, mirroring the backend/workers knobs.  The override is
+mirrored into the environment
 variable so worker processes started under any start method — including
 ``spawn``, which re-imports this module from scratch — resolve the same
 setting as the parent.
@@ -81,7 +84,15 @@ def dag_cache_enabled() -> bool:
 
     Resolution order: :func:`set_dag_cache_enabled` override, then the
     ``REPRO_DAG_CACHE`` environment variable, then on.
+
+    The size and budget variables are validated here eagerly as well (not
+    only when a cache is actually built), matching the eager
+    ``REPRO_BACKEND`` validation in :func:`repro.graphs.csr.resolve_backend`:
+    a typo'd ``REPRO_DAG_CACHE_SIZE`` surfaces as one clear error naming the
+    variable at the first cache decision instead of deep inside a sampler.
     """
+    _env_cache_size()
+    _env_cache_budget()
     if _enabled_override is not None:
         return _enabled_override
     env = os.environ.get(DAG_CACHE_ENV_VAR, "").strip().lower()
@@ -114,10 +125,11 @@ def set_dag_cache_enabled(enabled: Optional[bool]) -> None:
     _enabled_override = enabled
 
 
-def _positive_int_env(name: str, default: int) -> int:
+def _positive_int_env(name: str) -> Optional[int]:
+    """Return the validated positive-int value of ``name`` (``None`` = unset)."""
     env = os.environ.get(name, "").strip()
     if not env:
-        return default
+        return None
     try:
         value = int(env)
     except ValueError:
@@ -130,12 +142,87 @@ def _positive_int_env(name: str, default: int) -> int:
     return value
 
 
-def _env_cache_size() -> int:
-    return _positive_int_env(DAG_CACHE_SIZE_ENV_VAR, DEFAULT_DAG_CACHE_SIZE)
+def _env_cache_size() -> Optional[int]:
+    return _positive_int_env(DAG_CACHE_SIZE_ENV_VAR)
 
 
-def _env_cache_budget() -> int:
-    return _positive_int_env(DAG_CACHE_BUDGET_ENV_VAR, DEFAULT_DAG_CACHE_BUDGET)
+def _env_cache_budget() -> Optional[int]:
+    return _positive_int_env(DAG_CACHE_BUDGET_ENV_VAR)
+
+
+_size_override: Optional[int] = None
+_budget_override: Optional[int] = None
+_size_env_mirror = EnvMirroredOverride(DAG_CACHE_SIZE_ENV_VAR)
+_budget_env_mirror = EnvMirroredOverride(DAG_CACHE_BUDGET_ENV_VAR)
+
+
+def _check_cache_bound(value: int, *, source: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(
+            f"{source} must be a positive int, got {type(value).__name__}"
+        )
+    if value < 1:
+        raise ValueError(f"{source} must be >= 1, got {value}")
+    return value
+
+
+def resolve_dag_cache_size() -> int:
+    """The per-graph entry bound new caches are built with.
+
+    Resolution order: :func:`set_default_dag_cache_size` override, then the
+    ``REPRO_DAG_CACHE_SIZE`` environment variable, then
+    :data:`DEFAULT_DAG_CACHE_SIZE`.
+    """
+    env = _env_cache_size()
+    if _size_override is not None:
+        return _size_override
+    return env if env is not None else DEFAULT_DAG_CACHE_SIZE
+
+
+def resolve_dag_cache_budget() -> int:
+    """The per-graph element budget new caches are built with.
+
+    Resolution order: :func:`set_default_dag_cache_budget` override, then
+    the ``REPRO_DAG_CACHE_BUDGET`` environment variable, then
+    :data:`DEFAULT_DAG_CACHE_BUDGET`.
+    """
+    env = _env_cache_budget()
+    if _budget_override is not None:
+        return _budget_override
+    return env if env is not None else DEFAULT_DAG_CACHE_BUDGET
+
+
+def set_default_dag_cache_size(size: Optional[int]) -> None:
+    """Set (or with ``None`` clear) the default per-graph entry bound.
+
+    Mirrored into ``REPRO_DAG_CACHE_SIZE`` (the
+    :class:`repro.parallel.EnvMirroredOverride` protocol) so worker
+    processes build their caches with the same bound under every start
+    method; ``None`` restores the variable the first override displaced.
+    The process-wide default cache is dropped so the next use is rebuilt
+    with the new bound (the cache never changes results, so rebuilding is
+    free of correctness concerns).
+    """
+    global _size_override
+    if size is not None:
+        _check_cache_bound(size, source="dag_cache_size")
+    _size_env_mirror.set(None if size is None else str(size))
+    _size_override = size
+    clear_default_dag_cache()
+
+
+def set_default_dag_cache_budget(budget: Optional[int]) -> None:
+    """Set (or with ``None`` clear) the default per-graph element budget.
+
+    Same mirroring and default-cache-rebuild semantics as
+    :func:`set_default_dag_cache_size`.
+    """
+    global _budget_override
+    if budget is not None:
+        _check_cache_bound(budget, source="dag_cache_budget")
+    _budget_env_mirror.set(None if budget is None else str(budget))
+    _budget_override = budget
+    clear_default_dag_cache()
 
 
 def _entry_cost(value: object) -> int:
@@ -195,10 +282,13 @@ class SourceDAGCache:
     Parameters
     ----------
     max_entries:
-        LRU capacity per graph (``None`` reads ``REPRO_DAG_CACHE_SIZE``).
+        LRU capacity per graph (``None`` resolves via
+        :func:`resolve_dag_cache_size`: the
+        :func:`set_default_dag_cache_size` override, then
+        ``REPRO_DAG_CACHE_SIZE``, then the default).
     max_cost:
         Element budget per graph, in stored int64/float64-sized units
-        (``None`` reads ``REPRO_DAG_CACHE_BUDGET``).  When a workload's
+        (``None`` resolves via :func:`resolve_dag_cache_budget`).  When a workload's
         traversals are individually huge — one DAG on a paper-scale graph
         is already hundreds of megabytes — the budget degrades the cache to
         roughly one resident traversal (the most recent entry is always
@@ -226,11 +316,11 @@ class SourceDAGCache:
         max_cost: Optional[int] = None,
     ) -> None:
         if max_entries is None:
-            max_entries = _env_cache_size()
+            max_entries = resolve_dag_cache_size()
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         if max_cost is None:
-            max_cost = _env_cache_budget()
+            max_cost = resolve_dag_cache_budget()
         if max_cost < 1:
             raise ValueError(f"max_cost must be >= 1, got {max_cost}")
         self.max_entries = max_entries

@@ -42,10 +42,24 @@ class ExperimentConfig:
     max_samples_cap:
         Hard cap on per-run sample counts, keeping worst-case bench times
         bounded (``None`` disables the cap).
+    backend:
+        Traversal backend for the whole run: ``"auto"`` (CSR when numpy is
+        importable), ``"csr"`` or ``"dict"``; ``None`` (default) leaves the
+        ``REPRO_BACKEND`` environment variable in charge.  Applied lazily
+        via :func:`repro.graphs.csr.set_default_backend` (process-wide,
+        sticky).  Backends are bit-identical, so this knob never changes
+        results — only wall-clock time.
     workers:
         Worker processes forwarded to every estimator and the ground-truth
         computation (``None`` resolves via ``REPRO_WORKERS``, 0 = serial).
         Worker counts never change results — only wall-clock time.
+    start_method:
+        Multiprocessing start method for the worker pool: ``"fork"``,
+        ``"spawn"`` or ``"forkserver"``; ``None`` (default) leaves the
+        ``REPRO_START_METHOD`` environment variable in charge.  Applied
+        lazily via :func:`repro.parallel.set_default_start_method`
+        (process-wide, sticky, mirrored into the environment); never
+        changes results.
     dag_cache:
         Force the cross-sample source-DAG cache on (``True``) or off
         (``False``) for the whole experiment run; ``None`` (default) leaves
@@ -56,6 +70,18 @@ class ExperimentConfig:
         and sticky**: it mirrors into ``REPRO_DAG_CACHE`` so spawned
         workers agree, and it stays in force after the runner finishes
         until ``set_dag_cache_enabled(None)`` restores the environment.
+    dag_cache_size:
+        Per-graph LRU entry bound for the source-DAG cache (``None`` leaves
+        ``REPRO_DAG_CACHE_SIZE`` / the built-in default in charge).  Applied
+        lazily via :func:`repro.engine.set_default_dag_cache_size`
+        (process-wide, sticky, mirrored into the environment); caches never
+        change results.
+    dag_cache_budget:
+        Per-graph estimated-element budget for the source-DAG cache
+        (``None`` leaves ``REPRO_DAG_CACHE_BUDGET`` / the built-in default
+        in charge).  Applied lazily via
+        :func:`repro.engine.set_default_dag_cache_budget` (process-wide,
+        sticky, mirrored into the environment).
     shared_memory:
         Force the zero-copy shared-memory CSR handoff to worker processes
         on (``True``) or off (``False``, the pickle payload) for the whole
@@ -104,8 +130,12 @@ class ExperimentConfig:
     subset_sizes: Sequence[int] = (10, 25, 50, 75, 100)
     algorithms: Sequence[str] = ("abra", "kadabra", "saphyra_full", "saphyra")
     max_samples_cap: int = 20_000
+    backend: Optional[str] = None
     workers: Optional[int] = None
+    start_method: Optional[str] = None
     dag_cache: Optional[bool] = None
+    dag_cache_size: Optional[int] = None
+    dag_cache_budget: Optional[int] = None
     shared_memory: Optional[bool] = None
     weighted: Optional[str] = None
     sssp_kernel: Optional[str] = None
@@ -123,8 +153,25 @@ class ExperimentConfig:
         unknown = set(self.algorithms) - {"abra", "kadabra", "saphyra_full", "saphyra"}
         if unknown:
             raise ValueError(f"unknown algorithms: {sorted(unknown)}")
+        if self.backend is not None and self.backend not in ("auto", "csr", "dict"):
+            raise ValueError(
+                f"backend must be None, 'auto', 'csr' or 'dict', got {self.backend!r}"
+            )
         if self.workers is not None and self.workers < 0:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.start_method is not None and self.start_method not in (
+            "fork",
+            "spawn",
+            "forkserver",
+        ):
+            raise ValueError(
+                f"start_method must be None, 'fork', 'spawn' or 'forkserver', "
+                f"got {self.start_method!r}"
+            )
+        for name in ("dag_cache_size", "dag_cache_budget"):
+            value = getattr(self, name)
+            if value is not None and (isinstance(value, bool) or value < 1):
+                raise ValueError(f"{name} must be None or >= 1, got {value!r}")
         if self.weighted is not None and self.weighted not in ("auto", "on", "off"):
             raise ValueError(
                 f"weighted must be None, 'auto', 'on' or 'off', got {self.weighted!r}"

@@ -91,7 +91,10 @@ class ExperimentRunner:
 
     def __init__(self, config: Optional[ExperimentConfig] = None) -> None:
         self.config = config if config is not None else ExperimentConfig.default()
+        self._backend_applied = False
+        self._start_method_applied = False
         self._dag_cache_applied = False
+        self._dag_cache_bounds_applied = False
         self._shared_memory_applied = False
         self._weighted_applied = False
         self._sssp_kernel_applied = False
@@ -101,6 +104,37 @@ class ExperimentRunner:
         self._ground_truth_cache = GroundTruthCache()
         self._whole_network_cache: Dict[Tuple[str, str, float], BaselineResult] = {}
         self._full_saphyra_cache: Dict[Tuple[str, float], "SaPHyRaAsBaseline"] = {}
+
+    def _apply_backend_config(self) -> None:
+        """Apply an explicit ``config.backend`` choice, once, lazily.
+
+        Mirrors the CLI's --backend flag: process-wide and sticky
+        (``set_default_backend(None)`` hands control back to
+        ``REPRO_BACKEND``).  Backends are bit-identical, so this knob
+        never changes results — only wall-clock time.
+        """
+        if self._backend_applied or self.config.backend is None:
+            return
+        from repro.graphs.csr import set_default_backend
+
+        set_default_backend(self.config.backend)
+        self._backend_applied = True
+
+    def _apply_start_method_config(self) -> None:
+        """Apply an explicit ``config.start_method`` choice, once, lazily.
+
+        Same lifecycle as the knobs below (process-wide, sticky, mirrored
+        into ``REPRO_START_METHOD`` so nested tooling agrees;
+        ``set_default_start_method(None)`` hands control back to the
+        environment).  The worker pool is bit-identical under every start
+        method, so this knob never changes results.
+        """
+        if self._start_method_applied or self.config.start_method is None:
+            return
+        from repro.parallel import set_default_start_method
+
+        set_default_start_method(self.config.start_method)
+        self._start_method_applied = True
 
     def _apply_dag_cache_config(self) -> None:
         """Apply an explicit ``config.dag_cache`` choice, once, lazily.
@@ -119,6 +153,31 @@ class ExperimentRunner:
 
         set_dag_cache_enabled(self.config.dag_cache)
         self._dag_cache_applied = True
+
+    def _apply_dag_cache_bounds_config(self) -> None:
+        """Apply explicit ``config.dag_cache_size``/``dag_cache_budget``.
+
+        Same lifecycle as the on/off knob above: process-wide, sticky,
+        mirrored into ``REPRO_DAG_CACHE_SIZE`` / ``REPRO_DAG_CACHE_BUDGET``
+        so spawned workers agree; ``set_default_dag_cache_size(None)`` /
+        ``set_default_dag_cache_budget(None)`` hand control back to the
+        environment.  Cache bounds never change results — only how many
+        traversals are recomputed.
+        """
+        if self._dag_cache_bounds_applied:
+            return
+        if self.config.dag_cache_size is None and self.config.dag_cache_budget is None:
+            return
+        from repro.engine import (
+            set_default_dag_cache_budget,
+            set_default_dag_cache_size,
+        )
+
+        if self.config.dag_cache_size is not None:
+            set_default_dag_cache_size(self.config.dag_cache_size)
+        if self.config.dag_cache_budget is not None:
+            set_default_dag_cache_budget(self.config.dag_cache_budget)
+        self._dag_cache_bounds_applied = True
 
     def _apply_shared_memory_config(self) -> None:
         """Apply an explicit ``config.shared_memory`` choice, once, lazily.
@@ -190,7 +249,10 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
     def dataset(self, name: str) -> Dataset:
         """Load (and cache) a dataset at the configured scale."""
+        self._apply_backend_config()
+        self._apply_start_method_config()
         self._apply_dag_cache_config()
+        self._apply_dag_cache_bounds_config()
         self._apply_shared_memory_config()
         self._apply_weighted_config()
         self._apply_sssp_kernel_config()

@@ -133,6 +133,7 @@ class _SearchSide:
 
     def expand(self, graph: Graph) -> int:
         """Expand one complete BFS level; return the number of scanned entries."""
+        # repro-lint: disable=kernel-ownership — audited: KADABRA's dict-backend balanced search needs per-level predecessor bookkeeping _BatchSweep doesn't expose; equivalence is pinned by test_bidirectional
         next_frontier: List[Node] = []
         next_level = self.level + 1
         scanned = 0
@@ -181,6 +182,7 @@ class _CSRSearchSide:
     def __init__(self, csr, root: int) -> None:
         self.csr = csr
         self.root = root
+        # repro-lint: disable=kernel-ownership — audited: this *is* the sanctioned reuse — a single-slot handle on the shared kernel instead of a private loop
         self.sweep = _csr._BatchSweep(
             csr, (root,), sigma_mode="int", track_edges=True
         )

@@ -857,7 +857,7 @@ class _BatchSweep:
         if isinstance(frontier, list):
             indptr, _ = self.csr.adjacency_lists()
             if self.batch == 1:
-                return sum(indptr[node + 1] - indptr[node] for node in frontier)
+                return int(sum(indptr[node + 1] - indptr[node] for node in frontier))
             n = self.n
             total = 0
             for flat in frontier:
@@ -1726,6 +1726,7 @@ def distance_stats_from_row(dist):
             # Sequential left-to-right sum in node-index order: numpy's
             # pairwise .sum() re-associates float additions, which would
             # break bit-identity with the dict backend's sequential total.
+            # repro-lint: disable=float-fold — audited: builtin sum over tolist() is the pinned sequential node-index-order fold
             return int(reached.sum()), sum(dist[reached].tolist())
         return int(reached.sum()), int(dist[reached].sum())
     reachable = 0

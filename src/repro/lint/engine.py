@@ -1,0 +1,112 @@
+"""File collection and the lint run itself."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.lint.model import Finding, Rule, SourceFile
+from repro.lint.rules import default_rules
+
+#: Directory names never descended into when a directory is linted.
+#: ``fixtures`` holds the deliberate-violation corpus for the lint tests
+#: — those files are linted only when passed as explicit paths.
+SKIP_DIR_NAMES = frozenset(
+    {"__pycache__", ".git", ".venv", "fixtures", "node_modules", ".mypy_cache"}
+)
+
+
+class LintUsageError(Exception):
+    """A problem with the lint invocation itself (e.g. a missing path)."""
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    files: int = 0
+    rules: List[Rule] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version": 1,
+            "rules": [
+                {"id": rule.rule_id, "description": rule.description}
+                for rule in self.rules
+            ],
+            "findings": [finding.to_dict() for finding in self.findings],
+            "summary": {
+                "files": self.files,
+                "findings": len(self.findings),
+                "suppressed": len(self.suppressed),
+            },
+        }
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Expand files and directories into a sorted ``.py`` file list.
+
+    Explicit file paths are always included (that is how the fixture
+    corpus gets linted); directories are walked with ``SKIP_DIR_NAMES``
+    pruned.  A path that does not exist raises :class:`LintUsageError`.
+    """
+    collected: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            collected.append(path)
+        elif os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(d for d in dirs if d not in SKIP_DIR_NAMES)
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        collected.append(os.path.join(root, name))
+        else:
+            raise LintUsageError(f"no such file or directory: {path!r}")
+    # De-duplicate while keeping a deterministic order.
+    unique: List[str] = []
+    seen = set()
+    for path in sorted(collected):
+        if path not in seen:
+            seen.add(path)
+            unique.append(path)
+    return unique
+
+
+def run_lint(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintReport:
+    """Lint ``paths`` and return the partitioned report.
+
+    Meta findings (``parse-error``, ``bad-suppression``) are always
+    active; rule findings whose line carries a matching
+    ``# repro-lint: disable=`` comment land in ``report.suppressed``.
+    """
+    active_rules = list(default_rules() if rules is None else rules)
+    known = {rule.rule_id for rule in active_rules}
+    sources = [SourceFile.load(path, known) for path in iter_python_files(paths)]
+    by_path = {source.path: source for source in sources}
+
+    raw: List[Finding] = []
+    for source in sources:
+        raw.extend(source.meta_findings)
+    for rule in active_rules:
+        for source in sources:
+            raw.extend(rule.check_file(source))
+        raw.extend(rule.check_project(sources))
+
+    report = LintReport(files=len(sources), rules=active_rules)
+    for finding in sorted(raw, key=Finding.sort_key):
+        source = by_path.get(finding.path)
+        if source is not None and source.is_suppressed(finding):
+            report.suppressed.append(finding)
+        else:
+            report.findings.append(finding)
+    return report

@@ -1,0 +1,42 @@
+"""The rule registry.
+
+Rules register here by being listed in :func:`default_rules`; IDs are
+stable and documented in the README's "Static invariants" section.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.lint.model import META_RULES, Rule
+from repro.lint.rules.env_mirror import EnvMirrorRule
+from repro.lint.rules.float_fold import FloatFoldRule
+from repro.lint.rules.kernel_ownership import KernelOwnershipRule
+from repro.lint.rules.knob_protocol import KnobProtocolRule
+from repro.lint.rules.rng_discipline import RngDisciplineRule
+
+__all__ = [
+    "EnvMirrorRule",
+    "FloatFoldRule",
+    "KernelOwnershipRule",
+    "KnobProtocolRule",
+    "RngDisciplineRule",
+    "all_rule_ids",
+    "default_rules",
+]
+
+
+def default_rules() -> List[Rule]:
+    """Fresh instances of every shipped rule."""
+    return [
+        KnobProtocolRule(),
+        FloatFoldRule(),
+        RngDisciplineRule(),
+        EnvMirrorRule(),
+        KernelOwnershipRule(),
+    ]
+
+
+def all_rule_ids() -> Tuple[str, ...]:
+    """Every shipped rule ID plus the unsuppressable meta rules."""
+    return tuple(rule.rule_id for rule in default_rules()) + META_RULES

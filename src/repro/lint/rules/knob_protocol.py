@@ -1,0 +1,167 @@
+"""``knob-protocol``: every ``REPRO_*`` knob carries its full surface.
+
+The protocol (ROADMAP, "Architecture invariants"): every toggle resolves
+arg > ``set_default_*`` override > ``REPRO_*`` env > default, and is
+reachable from all three entry points — programmatic (the
+``set_default_*`` / ``set_*_enabled`` override), command line (a
+``--knob-name`` flag in ``cli.py``) and experiment configs (an
+``ExperimentConfig`` field).  Env-only knobs drift: they work on the
+machine that exported the variable and silently fall back everywhere
+else.  This is the one cross-module rule — it audits the whole file set
+at once:
+
+* a knob is *declared* by a module-level ``X_ENV_VAR = "REPRO_FOO"``
+  constant or a literal ``os.environ.get("REPRO_FOO")`` read in
+  non-test/bench code;
+* the knob name is the lowercased remainder (``REPRO_DAG_CACHE_SIZE`` →
+  ``dag_cache_size``), and the rule then requires a
+  ``set_default_dag_cache_size``/``set_dag_cache_size_enabled``
+  function somewhere in the project, a ``--dag-cache-size`` flag string
+  in a ``cli.py``, and a ``dag_cache_size`` field on ``ExperimentConfig``.
+
+One finding per env var, anchored at its declaration, listing every
+missing surface.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.lint.model import Finding, Rule, SourceFile
+from repro.lint.rules.common import dotted_name
+
+_ENV_VALUE_RE = re.compile(r"^REPRO_[A-Z0-9_]+$")
+
+#: Path components whose files neither declare knobs nor count as knob
+#: surfaces: test/bench/fixture code reads knobs, it does not define
+#: them, and the lint package's own cli.py is not the product CLI.
+DEFAULT_EXCLUDE_PARTS: Tuple[str, ...] = (
+    "tests",
+    "benchmarks",
+    "examples",
+    "fixtures",
+    "lint",
+)
+
+
+def _env_constant(node: ast.AST) -> str:
+    """The ``REPRO_*`` value if ``node`` is a literal matching it."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        if _ENV_VALUE_RE.match(node.value):
+            return node.value
+    return ""
+
+
+class KnobProtocolRule(Rule):
+    rule_id = "knob-protocol"
+    description = (
+        "every REPRO_* env var read in product code needs the full knob "
+        "surface: a set_default_*/set_*_enabled override, a --flag in "
+        "cli.py, and an ExperimentConfig field"
+    )
+
+    def __init__(
+        self, exclude_parts: Sequence[str] = DEFAULT_EXCLUDE_PARTS
+    ) -> None:
+        self.exclude_parts = tuple(exclude_parts)
+
+    def _included(self, source: SourceFile) -> bool:
+        return source.tree is not None and not any(
+            part in self.exclude_parts for part in source.parts
+        )
+
+    # ------------------------------------------------------------------
+    def _declarations(
+        self, sources: Sequence[SourceFile]
+    ) -> Dict[str, Tuple[SourceFile, ast.AST]]:
+        """env var value → (file, declaring node), first site wins."""
+        declared: Dict[str, Tuple[SourceFile, ast.AST]] = {}
+        for source in sources:
+            if not self._included(source):
+                continue
+            assert source.tree is not None
+            for node in ast.walk(source.tree):
+                value = ""
+                if isinstance(node, ast.Assign):
+                    if any(
+                        isinstance(target, ast.Name)
+                        and target.id.endswith("_ENV_VAR")
+                        for target in node.targets
+                    ):
+                        value = _env_constant(node.value)
+                elif isinstance(node, ast.Call):
+                    name = dotted_name(node.func)
+                    if name in ("os.environ.get", "os.getenv") and node.args:
+                        value = _env_constant(node.args[0])
+                if value and value not in declared:
+                    declared[value] = (source, node)
+        return declared
+
+    def _surfaces(
+        self, sources: Sequence[SourceFile]
+    ) -> Tuple[Set[str], Set[str], Set[str]]:
+        """(function names, cli flag strings, ExperimentConfig fields)."""
+        functions: Set[str] = set()
+        flags: Set[str] = set()
+        fields: Set[str] = set()
+        for source in sources:
+            if not self._included(source):
+                continue
+            assert source.tree is not None
+            is_cli = source.name == "cli.py"
+            for node in ast.walk(source.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    functions.add(node.name)
+                elif (
+                    is_cli
+                    and isinstance(node, ast.Constant)
+                    and isinstance(node.value, str)
+                    and node.value.startswith("--")
+                ):
+                    flags.add(node.value)
+                elif isinstance(node, ast.ClassDef) and node.name == "ExperimentConfig":
+                    for statement in node.body:
+                        if isinstance(statement, ast.AnnAssign) and isinstance(
+                            statement.target, ast.Name
+                        ):
+                            fields.add(statement.target.id)
+        return functions, flags, fields
+
+    # ------------------------------------------------------------------
+    def check_project(self, sources: Sequence[SourceFile]) -> List[Finding]:
+        declared = self._declarations(sources)
+        if not declared:
+            return []
+        functions, flags, fields = self._surfaces(sources)
+        findings: List[Finding] = []
+        for env_value in sorted(declared):
+            source, node = declared[env_value]
+            knob = env_value[len("REPRO_"):].lower()
+            missing: List[str] = []
+            if (
+                f"set_default_{knob}" not in functions
+                and f"set_{knob}_enabled" not in functions
+            ):
+                missing.append(
+                    f"no set_default_{knob}()/set_{knob}_enabled() override"
+                )
+            flag = "--" + knob.replace("_", "-")
+            if flag not in flags:
+                missing.append(f"no {flag} flag in cli.py")
+            if knob not in fields:
+                missing.append(f"no ExperimentConfig.{knob} field")
+            if missing:
+                findings.append(
+                    source.finding(
+                        self.rule_id,
+                        node,
+                        f"{env_value} is an incomplete knob: "
+                        + "; ".join(missing)
+                        + " (the protocol is arg > set_default override "
+                        "> env > default, reachable from the CLI and "
+                        "ExperimentConfig)",
+                    )
+                )
+        return findings

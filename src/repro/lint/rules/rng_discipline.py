@@ -1,0 +1,80 @@
+"""``rng-discipline``: all randomness rides seeded per-chunk streams.
+
+Global RNG state (``random.seed``/``random.random``/``np.random.*``) is
+process-wide: a library call that consumes from it changes every later
+draw, so results stop being a pure function of the master seed — the
+exact failure the fixed chunk layout + per-chunk ``spawn_rngs`` streams
+in :mod:`repro.parallel` exist to prevent.  The rule bans attribute
+access on the global ``random`` module and on ``np.random`` everywhere
+except ``repro/utils/rng.py`` (the one place seeded streams are minted).
+Constructing seeded instances — ``random.Random(seed)`` — is fine
+anywhere; that is the sanctioned API.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.lint.model import Finding, Rule, SourceFile
+from repro.lint.rules.common import NUMPY_ALIASES
+
+#: Attributes of the ``random`` module that do not touch global state:
+#: class constructors callers seed themselves.
+_ALLOWED_RANDOM_ATTRS = frozenset({"Random", "SystemRandom"})
+
+
+def _is_rng_home(source: SourceFile) -> bool:
+    return (
+        source.name == "rng.py"
+        and len(source.parts) >= 2
+        and source.parts[-2] == "utils"
+    )
+
+
+class RngDisciplineRule(Rule):
+    rule_id = "rng-discipline"
+    description = (
+        "no global random.* or np.random.* use outside "
+        "repro/utils/rng.py; randomness must come from seeded "
+        "random.Random instances (ensure_rng/spawn_rngs)"
+    )
+
+    def check_file(self, source: SourceFile) -> List[Finding]:
+        if _is_rng_home(source) or source.tree is None:
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            value = node.value
+            if (
+                isinstance(value, ast.Name)
+                and value.id == "random"
+                and node.attr not in _ALLOWED_RANDOM_ATTRS
+            ):
+                findings.append(
+                    source.finding(
+                        self.rule_id,
+                        node,
+                        f"global-state RNG call `random.{node.attr}`; use a "
+                        "seeded stream from repro.utils.rng "
+                        "(ensure_rng/spawn_rngs) so results stay a pure "
+                        "function of the master seed",
+                    )
+                )
+            elif (
+                isinstance(value, ast.Name)
+                and value.id in NUMPY_ALIASES
+                and node.attr == "random"
+            ):
+                findings.append(
+                    source.finding(
+                        self.rule_id,
+                        node,
+                        f"`{value.id}.random` use; numpy's global RNG is "
+                        "process-wide state — draw through seeded "
+                        "repro.utils.rng streams instead",
+                    )
+                )
+        return findings

@@ -45,8 +45,10 @@ Configuration
 The default worker count is resolved like the traversal backend: an explicit
 ``workers=`` argument wins, then :func:`set_default_workers` (the CLI's
 ``--workers`` flag), then the ``REPRO_WORKERS`` environment variable, then 0
-(serial).  ``REPRO_START_METHOD`` selects the multiprocessing start method
-(``fork``/``spawn``/``forkserver``); everything shipped to workers is
+(serial).  The multiprocessing start method follows the same protocol:
+:func:`set_default_start_method` (the CLI's ``--start-method`` flag), then
+``REPRO_START_METHOD`` (``fork``/``spawn``/``forkserver``), then the
+platform default; everything shipped to workers is
 picklable top-level functions plus payload objects, so the pool is
 spawn-safe (CI runs the equivalence suite under ``spawn``).
 ``REPRO_SHARED_MEMORY`` (``1``/``on`` — the default — or ``0``/``off``) and
@@ -135,6 +137,21 @@ def _check_workers(value: int, *, source: str = "workers") -> int:
     return value
 
 
+def _env_workers() -> Optional[int]:
+    """Return the validated ``REPRO_WORKERS`` value, or ``None`` if unset."""
+    env = os.environ.get(WORKERS_ENV_VAR, "").strip()
+    if not env:
+        return None
+    try:
+        value = int(env)
+    except ValueError:
+        raise ValueError(
+            f"{WORKERS_ENV_VAR}={env!r} is not a valid worker count; "
+            "expected a non-negative integer"
+        ) from None
+    return _check_workers(value, source=WORKERS_ENV_VAR)
+
+
 def set_default_workers(workers: Optional[int]) -> None:
     """Set (or with ``None`` clear) the process-wide default worker count.
 
@@ -164,17 +181,8 @@ def default_workers() -> int:
     """
     if _default_workers is not None:
         return _default_workers
-    env = os.environ.get(WORKERS_ENV_VAR, "").strip()
-    if env:
-        try:
-            value = int(env)
-        except ValueError:
-            raise ValueError(
-                f"{WORKERS_ENV_VAR}={env!r} is not a valid worker count; "
-                "expected a non-negative integer"
-            ) from None
-        return _check_workers(value, source=WORKERS_ENV_VAR)
-    return 0
+    env = _env_workers()
+    return 0 if env is None else env
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
@@ -183,29 +191,69 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     ``0`` and ``1`` both execute in-process (a one-worker pool would only add
     IPC overhead); counts above 1 use a process pool.
 
-    An invalid ``REPRO_SHARED_MEMORY`` value is rejected here as well (not
-    only when a payload is actually wrapped), mirroring the eager
-    ``REPRO_BACKEND`` validation in :func:`repro.graphs.csr.resolve_backend`:
-    a typo'd variable surfaces as one clear error naming the variable at
-    executor-configuration time instead of mid-sweep.
+    Every executor environment knob — ``REPRO_WORKERS``,
+    ``REPRO_START_METHOD`` and ``REPRO_SHARED_MEMORY`` — is validated here
+    eagerly (even when an explicit ``workers`` argument makes the variable
+    moot for this call), mirroring the eager ``REPRO_BACKEND`` validation in
+    :func:`repro.graphs.csr.resolve_backend`: a typo'd variable surfaces as
+    one clear error naming the variable at executor-configuration time
+    instead of mid-sweep.
     """
+    _env_workers()
+    _env_start_method()
     shared_memory_enabled()
     if workers is None:
         return default_workers()
     return _check_workers(workers)
 
 
-def start_method() -> Optional[str]:
-    """The configured multiprocessing start method (``None`` = platform default)."""
+_default_start_method: Optional[str] = None
+_start_method_env_mirror = EnvMirroredOverride(START_METHOD_ENV_VAR)
+
+
+def _check_start_method(value: str, *, source: str = "start_method") -> str:
+    if value not in _START_METHODS:
+        raise ValueError(
+            f"{source}={value!r} is not a valid start method; "
+            f"choose one of {_START_METHODS} (the default can also be set via "
+            f"the {START_METHOD_ENV_VAR} environment variable)"
+        )
+    return value
+
+
+def _env_start_method() -> Optional[str]:
+    """Return the validated ``REPRO_START_METHOD`` value, or ``None`` if unset."""
     env = os.environ.get(START_METHOD_ENV_VAR, "").strip().lower()
     if not env:
         return None
-    if env not in _START_METHODS:
-        raise ValueError(
-            f"{START_METHOD_ENV_VAR}={env!r} is not a valid start method; "
-            f"choose one of {_START_METHODS}"
-        )
-    return env
+    return _check_start_method(env, source=START_METHOD_ENV_VAR)
+
+
+def set_default_start_method(method: Optional[str]) -> None:
+    """Set (or with ``None`` clear) the process-wide default start method.
+
+    Mirrored into ``REPRO_START_METHOD`` via :class:`EnvMirroredOverride` so
+    helper processes (and benchmark subprocesses) resolve the same method;
+    ``None`` restores the environment variable the first override displaced —
+    the semantics shared by every knob's ``set_default_*`` mirror.
+    """
+    global _default_start_method
+    if method is not None:
+        _check_start_method(method)
+    _start_method_env_mirror.set(method)
+    _default_start_method = method
+
+
+def start_method() -> Optional[str]:
+    """The configured multiprocessing start method (``None`` = platform default).
+
+    Resolution order: :func:`set_default_start_method` override, then the
+    ``REPRO_START_METHOD`` environment variable, then ``None`` (let
+    :mod:`multiprocessing` pick the platform default).
+    """
+    if _default_start_method is not None:
+        return _default_start_method
+    return _env_start_method()
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,23 @@
+"""Violation twin: raw environment writes outside the mirror."""
+
+import os
+
+
+def force_backend(value):
+    os.environ["SOME_VAR"] = value
+
+
+def clear_backend():
+    del os.environ["SOME_VAR"]
+
+
+def drop_backend():
+    os.environ.pop("SOME_VAR", None)
+
+
+def bulk(values):
+    os.environ.update(values)
+
+
+def low_level(value):
+    os.putenv("SOME_VAR", value)

@@ -1,0 +1,14 @@
+"""Compliant twin: integer folds wrapped, float fold audited."""
+
+
+def reachable_count(reached):
+    return int(reached.sum())
+
+
+def degree_total(indptr, nodes):
+    return int(sum(indptr[node + 1] - indptr[node] for node in nodes))
+
+
+def distance_total(dist, reached):
+    # repro-lint: disable=float-fold — audited: sequential fold over a list, order pinned to node index
+    return sum(dist[reached].tolist())

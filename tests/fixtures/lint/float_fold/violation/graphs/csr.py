@@ -1,0 +1,18 @@
+"""Violation twin: unaudited folds in a kernel module."""
+
+
+def distance_total(dist, reached):
+    total = dist[reached].sum()  # pairwise: re-associates float adds
+    return total
+
+
+def numpy_style_total(np, rows):
+    return np.sum(rows)
+
+
+def fsum_total(math, values):
+    return math.fsum(values)
+
+
+def builtin_total(values):
+    return sum(values)

@@ -1,0 +1,8 @@
+"""Compliant twin: drives the public sweep APIs."""
+
+from repro.graphs.csr import as_csr, multi_source_sweep
+
+
+def distances(graph, roots):
+    snapshot = as_csr(graph)
+    return multi_source_sweep(snapshot, roots, kind="distance")

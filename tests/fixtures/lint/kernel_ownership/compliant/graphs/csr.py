@@ -1,0 +1,19 @@
+"""A kernel module: the whitelist lets it own the expansion loop."""
+
+
+class _BatchSweep:
+    def __init__(self, frontier):
+        self.frontier = frontier
+
+    def run(self, neighbors):
+        dist = {node: 0 for node in self.frontier}
+        frontier = list(self.frontier)
+        while frontier:
+            next_frontier = []
+            for node in frontier:
+                for neighbor in neighbors(node):
+                    if neighbor not in dist:
+                        dist[neighbor] = dist[node] + 1
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+        return dist

@@ -1,0 +1,23 @@
+"""Violation twin: a private BFS copy outside the kernel modules."""
+
+from repro.graphs.csr import _BatchSweep
+
+
+def private_bfs(graph, root):
+    dist = {root: 0}
+    frontier = [root]
+    while frontier:
+        next_frontier = []
+        for node in frontier:
+            for neighbor in graph.neighbors(node):
+                if neighbor not in dist:
+                    dist[neighbor] = dist[node] + 1
+                    next_frontier.append(neighbor)
+        frontier = next_frontier
+    return dist
+
+
+def private_sweep(snapshot, roots):
+    import repro.graphs.csr as csr_module
+
+    return csr_module._BatchSweep(snapshot, roots)

@@ -1,0 +1,9 @@
+"""CLI with the --frob flag."""
+
+import argparse
+
+
+def build_parser():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--frob", choices=("on", "off"), default=None)
+    return parser

@@ -1,0 +1,9 @@
+"""ExperimentConfig with the frob field."""
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class ExperimentConfig:
+    frob: Optional[bool] = None

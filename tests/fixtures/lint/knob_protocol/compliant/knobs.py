@@ -1,0 +1,18 @@
+"""Compliant twin: the full knob surface for REPRO_FROB."""
+
+import os
+
+FROB_ENV_VAR = "REPRO_FROB"
+
+_default_frob = None
+
+
+def set_default_frob(value):
+    global _default_frob
+    _default_frob = value
+
+
+def frob_enabled():
+    if _default_frob is not None:
+        return _default_frob
+    return os.environ.get(FROB_ENV_VAR, "") not in ("", "0")

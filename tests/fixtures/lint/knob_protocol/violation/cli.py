@@ -1,0 +1,9 @@
+"""CLI without the --frob flag."""
+
+import argparse
+
+
+def build_parser():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--other", default=None)
+    return parser

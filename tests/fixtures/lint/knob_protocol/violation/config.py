@@ -1,0 +1,9 @@
+"""ExperimentConfig without the frob field."""
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class ExperimentConfig:
+    other: Optional[str] = None

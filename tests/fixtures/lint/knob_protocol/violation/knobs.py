@@ -1,0 +1,9 @@
+"""Violation twin: an env-only knob with no override, flag or field."""
+
+import os
+
+FROB_ENV_VAR = "REPRO_FROB"
+
+
+def frob_enabled():
+    return os.environ.get(FROB_ENV_VAR, "") not in ("", "0")

@@ -1,0 +1,8 @@
+"""Compliant twin: seeded instances only."""
+
+import random
+
+
+def draw(seed):
+    rng = random.Random(seed)
+    return rng.random()

@@ -1,0 +1,11 @@
+"""Violation twin: global RNG state."""
+
+import random
+
+import numpy as np
+
+
+def draw():
+    random.seed(7)
+    jitter = np.random.random()
+    return random.random() + jitter

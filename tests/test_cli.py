@@ -62,6 +62,50 @@ class TestProcessKnobFlags:
             parallel.set_default_workers(None)
         assert parallel.WORKERS_ENV_VAR not in os.environ
 
+    def test_start_method_flag_mirrors_environment(self, capsys, monkeypatch):
+        import os
+
+        from repro import parallel
+
+        monkeypatch.delenv(parallel.START_METHOD_ENV_VAR, raising=False)
+        try:
+            code = main(
+                ["rank", "--dataset", "karate", "--subset-size", "6",
+                 "--epsilon", "0.2", "--delta", "0.1", "--seed", "3",
+                 "--workers", "0", "--start-method", "spawn"]
+            )
+            assert code == 0
+            assert os.environ[parallel.START_METHOD_ENV_VAR] == "spawn"
+            assert parallel.start_method() == "spawn"
+        finally:
+            parallel.set_default_start_method(None)
+            parallel.set_default_workers(None)
+        assert parallel.START_METHOD_ENV_VAR not in os.environ
+
+    def test_dag_cache_bounds_flags_mirror_environment(self, capsys, monkeypatch):
+        import os
+
+        from repro.engine import dag_cache as dag_cache_module
+
+        monkeypatch.delenv(dag_cache_module.DAG_CACHE_SIZE_ENV_VAR, raising=False)
+        monkeypatch.delenv(dag_cache_module.DAG_CACHE_BUDGET_ENV_VAR, raising=False)
+        try:
+            code = main(
+                ["rank", "--dataset", "karate", "--subset-size", "6",
+                 "--epsilon", "0.2", "--delta", "0.1", "--seed", "3",
+                 "--dag-cache-size", "33", "--dag-cache-budget", "44444"]
+            )
+            assert code == 0
+            assert os.environ[dag_cache_module.DAG_CACHE_SIZE_ENV_VAR] == "33"
+            assert os.environ[dag_cache_module.DAG_CACHE_BUDGET_ENV_VAR] == "44444"
+            assert dag_cache_module.resolve_dag_cache_size() == 33
+            assert dag_cache_module.resolve_dag_cache_budget() == 44444
+        finally:
+            dag_cache_module.set_default_dag_cache_size(None)
+            dag_cache_module.set_default_dag_cache_budget(None)
+        assert dag_cache_module.DAG_CACHE_SIZE_ENV_VAR not in os.environ
+        assert dag_cache_module.DAG_CACHE_BUDGET_ENV_VAR not in os.environ
+
 
 class TestDatasetsCommand:
     def test_lists_datasets(self, capsys):

@@ -261,6 +261,49 @@ class TestSourceDAGCache:
             set_dag_cache_enabled(None)
         assert os.environ[module.DAG_CACHE_ENV_VAR] == "on"
 
+    def test_size_and_budget_overrides(self, monkeypatch):
+        # The PR-7 knob surface: set_default_dag_cache_size/budget follow
+        # the full protocol — validated, env-mirrored, displaced-value
+        # restore, and new caches are built with the resolved bounds.
+        from repro.engine import dag_cache as module
+
+        monkeypatch.setenv(module.DAG_CACHE_SIZE_ENV_VAR, "64")
+        monkeypatch.delenv(module.DAG_CACHE_BUDGET_ENV_VAR, raising=False)
+        try:
+            module.set_default_dag_cache_size(9)
+            module.set_default_dag_cache_budget(777)
+            assert os.environ[module.DAG_CACHE_SIZE_ENV_VAR] == "9"
+            assert os.environ[module.DAG_CACHE_BUDGET_ENV_VAR] == "777"
+            assert module.resolve_dag_cache_size() == 9
+            assert module.resolve_dag_cache_budget() == 777
+            cache = SourceDAGCache()
+            assert cache.max_entries == 9 and cache.max_cost == 777
+        finally:
+            module.set_default_dag_cache_size(None)
+            module.set_default_dag_cache_budget(None)
+        # The displaced env value is restored and back in charge.
+        assert os.environ[module.DAG_CACHE_SIZE_ENV_VAR] == "64"
+        assert module.resolve_dag_cache_size() == 64
+        assert module.DAG_CACHE_BUDGET_ENV_VAR not in os.environ
+        assert module.resolve_dag_cache_budget() == module.DEFAULT_DAG_CACHE_BUDGET
+
+    def test_size_and_budget_override_validation(self):
+        from repro.engine import dag_cache as module
+
+        with pytest.raises(ValueError, match="dag_cache_size"):
+            module.set_default_dag_cache_size(0)
+        with pytest.raises(TypeError, match="dag_cache_budget"):
+            module.set_default_dag_cache_budget(True)
+
+    def test_enabled_check_eagerly_validates_bounds(self, monkeypatch):
+        # dag_cache_enabled() is the first knob touch on the hot path;
+        # a typo'd bound surfaces there, naming the variable.
+        from repro.engine import dag_cache as module
+
+        monkeypatch.setenv(module.DAG_CACHE_SIZE_ENV_VAR, "huge")
+        with pytest.raises(ValueError, match=module.DAG_CACHE_SIZE_ENV_VAR):
+            dag_cache_enabled()
+
     def test_distance_rows_batched_misses_then_hits(self):
         cache = SourceDAGCache(max_entries=16)
         graph = grid_road_graph(6, 6, seed=0)[0]
@@ -329,6 +372,7 @@ class TestDirectionOptimising:
     def test_bottom_up_actually_fires_on_fat_levels(self):
         graph = barabasi_albert_graph(3000, 4, seed=1)
         snapshot = csr_module.as_csr(graph)
+        # repro-lint: disable=kernel-ownership — audited: unit test exercising the kernel itself
         sweep = csr_module._BatchSweep(
             snapshot, list(range(8)), direction="auto"
         )
@@ -340,6 +384,7 @@ class TestDirectionOptimising:
         graph = cycle_graph(8)
         snapshot = csr_module.as_csr(graph)
         with pytest.raises(ValueError):
+            # repro-lint: disable=kernel-ownership — audited: unit test exercising the kernel itself
             csr_module._BatchSweep(
                 snapshot, (0,), sigma_mode="int", direction="auto"
             )

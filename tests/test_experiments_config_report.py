@@ -38,11 +38,45 @@ class TestConfig:
             {"num_subsets": 0},
             {"epsilons": ()},
             {"algorithms": ("abra", "mystery")},
+            {"backend": "gpu"},
+            {"start_method": "threads"},
+            {"dag_cache_size": 0},
+            {"dag_cache_budget": -5},
+            {"dag_cache_size": True},
         ],
     )
     def test_invalid_configs(self, kwargs):
         with pytest.raises(ValueError):
             ExperimentConfig(**kwargs)
+
+    def test_knob_fields_accept_valid_values(self):
+        config = ExperimentConfig(
+            backend="csr",
+            start_method="spawn",
+            dag_cache_size=128,
+            dag_cache_budget=1_000_000,
+        )
+        assert config.backend == "csr"
+        assert config.start_method == "spawn"
+        assert config.dag_cache_size == 128
+        assert config.dag_cache_budget == 1_000_000
+
+    def test_every_knob_env_var_has_a_config_field(self):
+        # The knob protocol, from the other side: each REPRO_* executor
+        # knob the lint audits must stay addressable per-experiment.
+        for field_name in (
+            "backend",
+            "workers",
+            "start_method",
+            "dag_cache",
+            "dag_cache_size",
+            "dag_cache_budget",
+            "shared_memory",
+            "weighted",
+            "sssp_kernel",
+            "compiled",
+        ):
+            assert hasattr(ExperimentConfig(), field_name)
 
 
 class TestRenderTable:

@@ -60,6 +60,39 @@ class TestRunnerCaching:
         finally:
             set_dag_cache_enabled(None)
 
+    def test_new_knob_configs_applied_lazily(self, monkeypatch):
+        from repro.engine import dag_cache as dag_cache_module
+        from repro import parallel
+        from repro.graphs import csr as csr_module
+
+        monkeypatch.delenv(parallel.START_METHOD_ENV_VAR, raising=False)
+        monkeypatch.delenv(dag_cache_module.DAG_CACHE_SIZE_ENV_VAR, raising=False)
+        monkeypatch.delenv(dag_cache_module.DAG_CACHE_BUDGET_ENV_VAR, raising=False)
+        try:
+            runner = ExperimentRunner(
+                ExperimentConfig(
+                    datasets=("flickr",),
+                    scale=0.05,
+                    backend="csr",
+                    start_method="spawn",
+                    dag_cache_size=77,
+                    dag_cache_budget=88_888,
+                )
+            )
+            # Construction flips nothing.
+            assert parallel.start_method() is None
+            assert dag_cache_module.resolve_dag_cache_size() != 77
+            runner.dataset("flickr")  # first real work applies the overrides
+            assert parallel.start_method() == "spawn"
+            assert csr_module.default_backend() == "csr"
+            assert dag_cache_module.resolve_dag_cache_size() == 77
+            assert dag_cache_module.resolve_dag_cache_budget() == 88_888
+        finally:
+            csr_module.set_default_backend(None)
+            parallel.set_default_start_method(None)
+            dag_cache_module.set_default_dag_cache_size(None)
+            dag_cache_module.set_default_dag_cache_budget(None)
+
     def test_block_cut_tree_cached(self, smoke_runner):
         assert smoke_runner.block_cut_tree("flickr") is smoke_runner.block_cut_tree(
             "flickr"

@@ -1,0 +1,361 @@
+"""Tests for the ``repro lint`` invariant checker.
+
+Covers the four required surfaces: per-rule fixture twins (each rule
+fires on its seeded violation and stays quiet on the compliant twin),
+suppression parsing, the JSON report schema, and the tree-wide "zero
+unsuppressed findings" gate that keeps the repo itself honest.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    Finding,
+    SourceFile,
+    all_rule_ids,
+    default_rules,
+    iter_python_files,
+    run_lint,
+)
+from repro.lint.cli import main as lint_main
+from repro.lint.model import parse_suppression_comment
+from repro.lint.rules import (
+    EnvMirrorRule,
+    FloatFoldRule,
+    KernelOwnershipRule,
+    KnobProtocolRule,
+    RngDisciplineRule,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "lint"
+
+KNOWN = set(all_rule_ids())
+
+
+def _lint_fixture(rule, twin_dir):
+    """Run one rule over one fixture twin directory."""
+    report = run_lint([str(twin_dir)], rules=[rule])
+    return report
+
+
+# ----------------------------------------------------------------------
+# Per-rule fixture twins
+# ----------------------------------------------------------------------
+RULE_FIXTURES = [
+    ("float_fold", lambda: FloatFoldRule()),
+    ("rng_discipline", lambda: RngDisciplineRule()),
+    ("env_mirror", lambda: EnvMirrorRule()),
+    ("kernel_ownership", lambda: KernelOwnershipRule()),
+    # The fixture paths contain "tests" and "fixtures" components, which
+    # the knob rule excludes by default — lift the exclusion here.
+    ("knob_protocol", lambda: KnobProtocolRule(exclude_parts=())),
+]
+
+
+class TestRuleFixtures:
+    @pytest.mark.parametrize("name,factory", RULE_FIXTURES)
+    def test_fires_on_violation(self, name, factory):
+        rule = factory()
+        report = _lint_fixture(rule, FIXTURES / name / "violation")
+        assert report.findings, f"{rule.rule_id} missed its seeded violation"
+        assert all(f.rule == rule.rule_id for f in report.findings)
+
+    @pytest.mark.parametrize("name,factory", RULE_FIXTURES)
+    def test_quiet_on_compliant(self, name, factory):
+        rule = factory()
+        report = _lint_fixture(rule, FIXTURES / name / "compliant")
+        assert report.findings == [], [f.format() for f in report.findings]
+
+    def test_float_fold_counts(self):
+        report = _lint_fixture(FloatFoldRule(), FIXTURES / "float_fold" / "violation")
+        # .sum(), np.sum, math.fsum, builtin sum — one finding each.
+        assert len(report.findings) == 4
+
+    def test_float_fold_compliant_suppression_is_recorded(self):
+        report = _lint_fixture(FloatFoldRule(), FIXTURES / "float_fold" / "compliant")
+        assert len(report.suppressed) == 1
+        assert report.suppressed[0].rule == "float-fold"
+
+    def test_env_mirror_flags_every_write_kind(self):
+        report = _lint_fixture(EnvMirrorRule(), FIXTURES / "env_mirror" / "violation")
+        # subscript assign, del, pop, update, putenv.
+        assert len(report.findings) == 5
+
+    def test_kernel_ownership_flags_import_loop_and_attribute(self):
+        report = _lint_fixture(
+            KernelOwnershipRule(), FIXTURES / "kernel_ownership" / "violation"
+        )
+        lines = sorted(f.line for f in report.findings)
+        # private import, the while-frontier loop, and the attribute use.
+        assert len(lines) == 3
+
+    def test_knob_protocol_names_every_missing_surface(self):
+        report = _lint_fixture(
+            KnobProtocolRule(exclude_parts=()),
+            FIXTURES / "knob_protocol" / "violation",
+        )
+        assert len(report.findings) == 1
+        message = report.findings[0].message
+        assert "REPRO_FROB" in message
+        assert "set_default_frob" in message
+        assert "--frob" in message
+        assert "ExperimentConfig.frob" in message
+
+    def test_float_fold_ignores_non_kernel_modules(self):
+        source = SourceFile("pkg/analysis.py", "total = values.sum()\n", KNOWN)
+        assert FloatFoldRule().check_file(source) == []
+
+
+# ----------------------------------------------------------------------
+# Suppression parsing
+# ----------------------------------------------------------------------
+class TestSuppressionParsing:
+    @pytest.mark.parametrize(
+        "comment",
+        [
+            "# repro-lint: disable=float-fold — audited reason",
+            "# repro-lint: disable=float-fold -- audited reason",
+            "# repro-lint: disable=float-fold: audited reason",
+        ],
+    )
+    def test_separators(self, comment):
+        suppression, bad = parse_suppression_comment("f.py", 3, comment, KNOWN)
+        assert bad is None
+        assert suppression.rules == ("float-fold",)
+        assert suppression.reason == "audited reason"
+
+    def test_multiple_rules(self):
+        suppression, bad = parse_suppression_comment(
+            "f.py", 1, "# repro-lint: disable=float-fold,rng-discipline — both", KNOWN
+        )
+        assert bad is None
+        assert suppression.rules == ("float-fold", "rng-discipline")
+
+    def test_ordinary_comment_is_ignored(self):
+        suppression, bad = parse_suppression_comment("f.py", 1, "# just a note", KNOWN)
+        assert suppression is None and bad is None
+
+    @pytest.mark.parametrize(
+        "comment,fragment",
+        [
+            ("# repro-lint: disable=float-fold", "reason"),
+            ("# repro-lint: disable=float-fold — ", "reason"),
+            ("# repro-lint: enable=float-fold — x", "malformed"),
+            ("# repro-lint: disable=no-such-rule — x", "unknown rule"),
+            ("# repro-lint: disable=bad-suppression — x", "cannot be suppressed"),
+            ("# repro-lint: disable= — x", "no rule IDs"),
+        ],
+    )
+    def test_malformed_suppressions(self, comment, fragment):
+        suppression, bad = parse_suppression_comment("f.py", 2, comment, KNOWN)
+        assert suppression is None
+        assert bad is not None and bad.rule == "bad-suppression"
+        assert fragment in bad.message
+
+    def test_inline_suppression_covers_its_line(self):
+        text = "total = data.sum()  # repro-lint: disable=float-fold — audited: ok\n"
+        source = SourceFile("graphs/csr.py", text, KNOWN)
+        findings = FloatFoldRule().check_file(source)
+        assert len(findings) == 1
+        assert source.is_suppressed(findings[0]) is not None
+
+    def test_standalone_suppression_covers_next_line(self):
+        text = (
+            "# repro-lint: disable=float-fold — audited: ok\n"
+            "total = data.sum()\n"
+        )
+        source = SourceFile("graphs/csr.py", text, KNOWN)
+        findings = FloatFoldRule().check_file(source)
+        assert len(findings) == 1
+        assert source.is_suppressed(findings[0]) is not None
+
+    def test_suppression_does_not_leak_to_other_lines(self):
+        text = (
+            "total = data.sum()  # repro-lint: disable=float-fold — audited: ok\n"
+            "other = data.sum()\n"
+        )
+        source = SourceFile("graphs/csr.py", text, KNOWN)
+        report_lines = {
+            finding.line: source.is_suppressed(finding)
+            for finding in FloatFoldRule().check_file(source)
+        }
+        assert report_lines[1] is not None
+        assert report_lines[2] is None
+
+    def test_suppression_only_covers_listed_rules(self):
+        text = "total = data.sum()  # repro-lint: disable=rng-discipline — wrong rule\n"
+        source = SourceFile("graphs/csr.py", text, KNOWN)
+        findings = FloatFoldRule().check_file(source)
+        assert source.is_suppressed(findings[0]) is None
+
+    def test_bad_suppression_is_a_finding_and_unsuppressable(self):
+        text = "x = 1  # repro-lint: disable=float-fold\n"
+        source = SourceFile("f.py", text, KNOWN)
+        assert len(source.meta_findings) == 1
+        finding = source.meta_findings[0]
+        assert finding.rule == "bad-suppression"
+        assert source.is_suppressed(finding) is None
+
+    def test_marker_inside_string_literal_is_ignored(self):
+        text = 'doc = "# repro-lint: disable=float-fold"\n'
+        source = SourceFile("f.py", text, KNOWN)
+        assert source.meta_findings == []
+        assert source.suppressions == {}
+
+
+# ----------------------------------------------------------------------
+# Engine, report schema, CLI
+# ----------------------------------------------------------------------
+class TestEngineAndReport:
+    def test_parse_error_is_a_finding(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n")
+        report = run_lint([str(bad)])
+        assert len(report.findings) == 1
+        assert report.findings[0].rule == "parse-error"
+
+    def test_missing_path_is_a_usage_error(self):
+        from repro.lint import LintUsageError
+
+        with pytest.raises(LintUsageError):
+            iter_python_files(["no/such/path"])
+
+    def test_walk_skips_fixture_directories(self, tmp_path):
+        (tmp_path / "fixtures").mkdir()
+        (tmp_path / "fixtures" / "seeded.py").write_text("x = 1\n")
+        (tmp_path / "real.py").write_text("y = 2\n")
+        files = iter_python_files([str(tmp_path)])
+        assert [Path(f).name for f in files] == ["real.py"]
+
+    def test_explicit_file_path_is_always_linted(self):
+        target = FIXTURES / "rng_discipline" / "violation" / "sampler.py"
+        report = run_lint([str(target)], rules=[RngDisciplineRule()])
+        assert report.findings
+
+    def test_json_schema(self):
+        report = run_lint(
+            [str(FIXTURES / "float_fold" / "violation")], rules=[FloatFoldRule()]
+        )
+        payload = report.to_dict()
+        assert payload["version"] == 1
+        assert payload["summary"] == {
+            "files": 1,
+            "findings": len(report.findings),
+            "suppressed": 0,
+        }
+        assert [rule["id"] for rule in payload["rules"]] == ["float-fold"]
+        for finding in payload["findings"]:
+            assert set(finding) == {"rule", "path", "line", "col", "message"}
+            assert isinstance(finding["line"], int)
+            json.dumps(finding)  # every field is JSON-serialisable
+
+    def test_findings_sorted_and_deterministic(self):
+        paths = [str(FIXTURES / "env_mirror" / "violation")]
+        first = run_lint(paths, rules=[EnvMirrorRule()])
+        second = run_lint(paths, rules=[EnvMirrorRule()])
+        keys = [f.sort_key() for f in first.findings]
+        assert keys == sorted(keys)
+        assert keys == [f.sort_key() for f in second.findings]
+
+    def test_all_rule_ids_include_meta(self):
+        ids = all_rule_ids()
+        assert "parse-error" in ids and "bad-suppression" in ids
+        for rule in default_rules():
+            assert rule.rule_id in ids
+            assert rule.description
+
+    def test_finding_format(self):
+        finding = Finding("float-fold", "a.py", 3, 7, "msg")
+        assert finding.format() == "a.py:3:7: float-fold: msg"
+
+
+class TestCli:
+    def test_exit_zero_on_clean_tree(self, capsys):
+        code = lint_main([str(FIXTURES / "float_fold" / "compliant")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s), 1 suppressed" in out
+
+    def test_exit_one_on_findings(self, capsys):
+        code = lint_main([str(FIXTURES / "float_fold" / "violation")])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "float-fold" in out
+
+    def test_exit_two_on_bad_path(self, capsys):
+        code = lint_main(["no/such/path"])
+        assert code == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_json_output(self, capsys):
+        code = lint_main(
+            ["--format", "json", str(FIXTURES / "rng_discipline" / "violation")]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["summary"]["findings"] == len(payload["findings"])
+        assert {f["rule"] for f in payload["findings"]} == {"rng-discipline"}
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in default_rules():
+            assert rule.rule_id in out
+
+    def test_repro_lint_subcommand(self, capsys):
+        from repro.cli import main as repro_main
+
+        code = repro_main(["lint", str(FIXTURES / "float_fold" / "compliant")])
+        assert code == 0
+
+    def test_module_entry_point(self):
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.lint",
+                str(FIXTURES / "knob_protocol" / "violation"),
+            ],
+            capture_output=True,
+            text=True,
+            cwd=str(REPO_ROOT),
+        )
+        # The knob rule excludes these paths by default, but the meta
+        # pass still runs — what matters here is the entry point works
+        # and exits by the findings contract.
+        assert result.returncode in (0, 1)
+        assert "file(s) checked" in result.stdout
+
+
+# ----------------------------------------------------------------------
+# The repo gates on itself
+# ----------------------------------------------------------------------
+class TestTreeWideGate:
+    def test_zero_unsuppressed_findings(self):
+        report = run_lint(
+            [
+                str(REPO_ROOT / "src"),
+                str(REPO_ROOT / "tests"),
+                str(REPO_ROOT / "benchmarks"),
+            ]
+        )
+        assert report.findings == [], "\n".join(
+            finding.format() for finding in report.findings
+        )
+
+    def test_every_tree_suppression_carries_a_reason(self):
+        # The parser enforces this (a reasonless marker is a
+        # bad-suppression finding), so a clean gate implies reasons
+        # exist; assert the suppressed set is non-empty and audited to
+        # keep the contract visible.
+        report = run_lint([str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")])
+        assert report.findings == []
+        assert report.suppressed, "expected the audited float-fold/kernel sites"

@@ -204,6 +204,65 @@ class TestSetDefaultWorkersMirroring:
         assert parallel.resolve_workers() == 0
 
 
+class TestStartMethodKnob:
+    """`set_default_start_method` follows the full knob protocol."""
+
+    @pytest.fixture(autouse=True)
+    def _reset(self):
+        yield
+        parallel.set_default_start_method(None)
+
+    def test_override_mirrors_and_restores(self, monkeypatch):
+        monkeypatch.setenv(parallel.START_METHOD_ENV_VAR, "fork")
+        parallel.set_default_start_method("spawn")
+        assert os.environ[parallel.START_METHOD_ENV_VAR] == "spawn"
+        assert parallel.start_method() == "spawn"
+        parallel.set_default_start_method(None)
+        assert os.environ[parallel.START_METHOD_ENV_VAR] == "fork"
+        assert parallel.start_method() == "fork"
+
+    def test_env_resolution_and_platform_default(self, monkeypatch):
+        monkeypatch.delenv(parallel.START_METHOD_ENV_VAR, raising=False)
+        assert parallel.start_method() is None
+        monkeypatch.setenv(parallel.START_METHOD_ENV_VAR, "forkserver")
+        assert parallel.start_method() == "forkserver"
+
+    def test_invalid_override_rejected(self):
+        with pytest.raises(ValueError, match="start_method"):
+            parallel.set_default_start_method("threads")
+
+    def test_invalid_env_value_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv(parallel.START_METHOD_ENV_VAR, "threads")
+        with pytest.raises(ValueError, match=parallel.START_METHOD_ENV_VAR):
+            parallel.start_method()
+
+
+class TestEagerEnvValidation:
+    """Executor knob env vars are validated at resolve time, naming the
+    variable, even when an explicit argument makes the value moot — the
+    PR-2 REPRO_BACKEND pattern."""
+
+    def test_invalid_workers_env_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv(parallel.WORKERS_ENV_VAR, "lots")
+        with pytest.raises(ValueError, match=parallel.WORKERS_ENV_VAR):
+            parallel.resolve_workers(2)
+
+    def test_negative_workers_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(parallel.WORKERS_ENV_VAR, "-1")
+        with pytest.raises(ValueError, match=parallel.WORKERS_ENV_VAR):
+            parallel.resolve_workers()
+
+    def test_invalid_start_method_env_fails_resolve_workers(self, monkeypatch):
+        monkeypatch.setenv(parallel.START_METHOD_ENV_VAR, "threads")
+        with pytest.raises(ValueError, match=parallel.START_METHOD_ENV_VAR):
+            parallel.resolve_workers(0)
+
+    def test_invalid_shared_memory_env_fails_resolve_workers(self, monkeypatch):
+        monkeypatch.setenv(parallel.SHARED_MEMORY_ENV_VAR, "maybe")
+        with pytest.raises(ValueError, match=parallel.SHARED_MEMORY_ENV_VAR):
+            parallel.resolve_workers(0)
+
+
 class _RecordingPool:
     """Proxy around a real multiprocessing pool that records shutdown calls."""
 
