@@ -120,6 +120,33 @@ def _add_backend_argument(subparser) -> None:
              "(default 16000000, about 128 MB; when passed explicitly it "
              "overrides REPRO_DAG_CACHE_BUDGET).  Never changes results",
     )
+    # default=None so an absent flag leaves the REPRO_DAG_CACHE_DELTA
+    # environment variable (or the built-in auto default) in charge.
+    subparser.add_argument(
+        "--dag-cache-delta",
+        choices=("auto", "on", "off"),
+        default=None,
+        help="delta cache invalidation for mutating graphs: auto (validate "
+             "cached entries against the mutation journal, falling back to "
+             "wholesale eviction past a size limit; the default), on "
+             "(always validate), or off (journal disabled, wholesale "
+             "eviction on every mutation — the pre-delta behaviour).  When "
+             "passed explicitly it overrides REPRO_DAG_CACHE_DELTA.  "
+             "Retention is only ever claimed when provably safe — this "
+             "never changes results, only wall-clock time",
+    )
+    # default=None so an absent flag leaves REPRO_DELTA_JOURNAL_SIZE (or
+    # the built-in default of 256) in charge.
+    subparser.add_argument(
+        "--delta-journal-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="mutation-journal cap per graph (default 256; when passed "
+             "explicitly it overrides REPRO_DELTA_JOURNAL_SIZE).  Edits "
+             "past the cap degrade to wholesale cache eviction; never "
+             "changes results",
+    )
     # default=None so an absent flag leaves the REPRO_SHARED_MEMORY
     # environment variable (or the built-in on default) in charge.
     subparser.add_argument(
@@ -289,6 +316,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.engine import set_default_dag_cache_budget
 
         set_default_dag_cache_budget(dag_cache_budget)
+    dag_cache_delta = getattr(args, "dag_cache_delta", None)
+    if dag_cache_delta is not None:
+        # `--dag-cache-delta auto` is set explicitly too, so it restores the
+        # built-in default even when REPRO_DAG_CACHE_DELTA is exported.
+        from repro.engine import set_default_dag_cache_delta
+
+        set_default_dag_cache_delta(dag_cache_delta)
+    delta_journal_size = getattr(args, "delta_journal_size", None)
+    if delta_journal_size is not None:
+        # An explicit cap overrides REPRO_DELTA_JOURNAL_SIZE process-wide.
+        from repro.engine import set_default_delta_journal_size
+
+        set_default_delta_journal_size(delta_journal_size)
     shared_memory = getattr(args, "shared_memory", None)
     if shared_memory is not None:
         # `--shared-memory off` is set explicitly too, so it restores the

@@ -10,10 +10,13 @@ small JSON cache keeps repeated benchmark invocations fast.
 from __future__ import annotations
 
 import json
+import weakref
 from pathlib import Path
 from typing import Dict, Hashable, Optional, Union
 
 from repro.centrality.brandes import betweenness_centrality
+from repro.graphs import delta as _delta
+from repro.graphs import sssp as _sssp
 from repro.graphs.graph import Graph
 
 Node = Hashable
@@ -52,9 +55,50 @@ class GroundTruthCache:
 
     def __init__(self, cache_dir: Optional[PathLike] = None) -> None:
         self._memory: Dict[str, Dict[Node, float]] = {}
+        # Version fencing (PR 8): remember which graph object (weakly) and
+        # which ``Graph._version`` each entry was computed against, so a
+        # mutated graph cannot be served stale truth.  Reweight-only delta
+        # ranges are retained when the truth metric is hop-based (forced
+        # ``weighted=off``) — weights are invisible to it.
+        self._versions: Dict[str, int] = {}
+        self._graphs: Dict[str, "weakref.ref[Graph]"] = {}
+        self.delta_retained = 0
+        self.delta_evictions = 0
         self._cache_dir = Path(cache_dir) if cache_dir is not None else None
         if self._cache_dir is not None:
             self._cache_dir.mkdir(parents=True, exist_ok=True)
+
+    def _remember(self, key: str, graph: Graph) -> None:
+        try:
+            self._graphs[key] = weakref.ref(graph)
+            self._versions[key] = graph._version
+        except TypeError:  # a bare CSR payload or stub without weakref/version
+            self._graphs.pop(key, None)
+            self._versions.pop(key, None)
+        _delta.track(graph)
+
+    def _fresh(self, key: str, graph: Graph) -> bool:
+        """Whether the cached entry still describes ``graph``."""
+        ref = self._graphs.get(key)
+        if ref is None or ref() is not graph:
+            # A different graph object under the same key: the key contract
+            # ("a key identifies the graph") is the caller's, honour it.
+            return True
+        version = self._versions.get(key)
+        if version == graph._version:
+            return True
+        deltas = _delta.deltas_between(graph, version)
+        if (
+            deltas is not None
+            and all(d.op == _delta.OP_REWEIGHT for d in deltas)
+            and _sssp.resolve_weighted() == _sssp.WEIGHTED_OFF
+        ):
+            # Pure reweights cannot move hop-metric betweenness; re-key.
+            self._versions[key] = graph._version
+            self.delta_retained += 1
+            return True
+        self.delta_evictions += 1
+        return False
 
     def get(
         self, key: str, graph: Graph, *, workers: Optional[int] = None
@@ -62,23 +106,43 @@ class GroundTruthCache:
         """Return the exact betweenness for ``graph``, computing it at most once
         per ``key`` (a key should identify the graph, e.g. ``"flickr@1.0#0"``).
 
-        ``workers`` parallelises a cache miss's Brandes pass; the cached
-        values are identical for any worker count.
+        The entry is version-fenced: if *this* graph object has mutated
+        since the entry was computed, the truth is recomputed (unless the
+        mutation journal proves the edits cannot move it — reweight-only
+        ranges under hop-metric routing).  ``workers`` parallelises a cache
+        miss's Brandes pass; the cached values are identical for any worker
+        count.
         """
+        stale = False
         if key in self._memory:
-            return self._memory[key]
-        if self._cache_dir is not None:
+            if self._fresh(key, graph):
+                return self._memory[key]
+            # The on-disk file under this key holds the same stale values;
+            # skip the reload and recompute (overwriting it below).
+            stale = True
+            del self._memory[key]
+        if self._cache_dir is not None and not stale:
             path = self._path_for(key)
             if path.exists():
                 values = self._load(path)
                 if len(values) == graph.number_of_nodes():
                     self._memory[key] = values
+                    self._remember(key, graph)
                     return values
         values = exact_betweenness(graph, workers=workers)
         self._memory[key] = values
+        self._remember(key, graph)
         if self._cache_dir is not None:
             self._store(self._path_for(key), values)
         return values
+
+    def stats(self) -> Dict[str, int]:
+        """Entry count plus the delta retention/eviction counters."""
+        return {
+            "entries": len(self._memory),
+            "delta_retained": self.delta_retained,
+            "delta_evictions": self.delta_evictions,
+        }
 
     # ------------------------------------------------------------------
     def _path_for(self, key: str) -> Path:

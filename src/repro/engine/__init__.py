@@ -34,17 +34,24 @@ from __future__ import annotations
 
 from repro.engine.dag_cache import (
     DAG_CACHE_BUDGET_ENV_VAR,
+    DAG_CACHE_DELTA_ENV_VAR,
     DAG_CACHE_ENV_VAR,
     DAG_CACHE_SIZE_ENV_VAR,
+    DELTA_JOURNAL_SIZE_ENV_VAR,
     SourceDAGCache,
     clear_default_dag_cache,
     dag_cache_enabled,
     default_dag_cache,
+    default_dag_cache_delta,
     resolve_dag_cache_budget,
+    resolve_dag_cache_delta,
     resolve_dag_cache_size,
+    resolve_delta_journal_size,
     set_dag_cache_enabled,
     set_default_dag_cache_budget,
+    set_default_dag_cache_delta,
     set_default_dag_cache_size,
+    set_default_delta_journal_size,
     source_dag,
     source_distance_map,
     source_distance_rows,
@@ -83,7 +90,14 @@ __all__ = [
     "resolve_dag_cache_budget",
     "set_default_dag_cache_size",
     "set_default_dag_cache_budget",
+    "default_dag_cache_delta",
+    "resolve_dag_cache_delta",
+    "set_default_dag_cache_delta",
+    "resolve_delta_journal_size",
+    "set_default_delta_journal_size",
     "DAG_CACHE_ENV_VAR",
     "DAG_CACHE_SIZE_ENV_VAR",
     "DAG_CACHE_BUDGET_ENV_VAR",
+    "DAG_CACHE_DELTA_ENV_VAR",
+    "DELTA_JOURNAL_SIZE_ENV_VAR",
 ]

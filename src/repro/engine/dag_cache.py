@@ -13,8 +13,15 @@ traversals of the same source, so estimators running both engines on one
 graph never cross-contaminate:
 
 * entries are stored per graph object (weakly — a collected graph drops its
-  entries) and invalidated wholesale when ``Graph._version`` bumps, exactly
-  like the CSR snapshot cache in :mod:`repro.graphs.csr`;
+  entries); a ``Graph._version`` bump triggers **delta validation** (PR 8):
+  when the mutation journal of :mod:`repro.graphs.delta` covers the gap,
+  each entry is tested against the journalled edits (an inserted edge can
+  only affect a source whose cached distances it shortens — or ties, for
+  DAG entries; a deletion only one whose shortest paths it lies on) and
+  survivors re-key to the new version.  Uncovered gaps — or
+  ``dag_cache_delta=off`` (``REPRO_DAG_CACHE_DELTA``) — fall back to the
+  historical wholesale eviction, exactly like the CSR snapshot cache in
+  :mod:`repro.graphs.csr`;
 * each graph's store is an LRU bounded *twice*: by entry count
   (``max_entries``) and by an estimated element budget (``max_cost``, in
   stored int64/float64-sized elements), so pivot-heavy workloads keep their
@@ -51,6 +58,16 @@ from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 from weakref import WeakKeyDictionary
 
 from repro.graphs import csr as _csr
+from repro.graphs import delta as _delta
+from repro.graphs.delta import (  # re-exported via repro.engine
+    DAG_CACHE_DELTA_ENV_VAR,
+    DELTA_JOURNAL_SIZE_ENV_VAR,
+    default_dag_cache_delta,
+    resolve_dag_cache_delta,
+    resolve_delta_journal_size,
+    set_default_dag_cache_delta,
+    set_default_delta_journal_size,
+)
 from repro.graphs.graph import Graph
 from repro.parallel import EnvMirroredOverride
 
@@ -304,7 +321,7 @@ class SourceDAGCache:
     >>> second = cache.dag(graph, 0, backend="dict")
     >>> first is second, cache.hits, cache.misses
     (True, 1, 1)
-    >>> graph.add_edge(0, 3)  # version bump evicts the stale entry
+    >>> graph.add_edge(0, 3)  # this shortcut shortens paths from 0: evicted
     >>> cache.dag(graph, 0, backend="dict") is first
     False
     """
@@ -328,21 +345,146 @@ class SourceDAGCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # Delta-invalidation counters (PR 8): entries kept across a version
+        # bump because the journalled edits provably cannot affect them,
+        # entries evicted by a failed validity test, and version bumps that
+        # fell back to wholesale eviction (journal uncovered / overflowed /
+        # past the auto-mode validation limit).
+        self.delta_retained = 0
+        self.delta_evictions = 0
+        self.journal_overflows = 0
         self._stores: "WeakKeyDictionary[Graph, _GraphStore]" = (
             WeakKeyDictionary()
         )
 
     # ------------------------------------------------------------------
     def _store(self, graph: Graph) -> _GraphStore:
-        """The live entry store of ``graph``, evicting on a version bump."""
+        """The live entry store of ``graph``, revalidating on a version bump.
+
+        A version bump first tries delta validation (see
+        :meth:`_revalidate`): when the mutation journal covers the gap,
+        each entry is tested against the edits and survivors re-key to the
+        new version.  Uncovered gaps — and ``dag_cache_delta=off`` — keep
+        the historical wholesale eviction.
+        """
         cached = self._stores.get(graph)
         if cached is not None and cached.version == graph._version:
             return cached
         if cached is not None:
+            if self._revalidate(graph, cached):
+                return cached
             self.evictions += len(cached)
         store = _GraphStore(graph._version)
         self._stores[graph] = store
+        # Arm the mutation journal so the next version bump is coverable.
+        _delta.track(graph)
         return store
+
+    def _revalidate(self, graph: Graph, store: _GraphStore) -> bool:
+        """Delta-validate ``store`` in place; ``True`` when re-keyed.
+
+        Runs the O(|Δ|) per-entry validity test of
+        :func:`repro.graphs.delta.delta_affects_source` against the cached
+        distances.  Entries an edit *could* affect are evicted; provably
+        untouched ones survive and re-key to ``graph._version``.  Returns
+        ``False`` (wholesale fallback) when the journal does not cover the
+        gap or ``auto`` mode's validation limit is exceeded.
+        """
+        deltas = _delta.deltas_between(graph, store.version)
+        if deltas is None:
+            if len(store) and resolve_dag_cache_delta() != _delta.DELTA_OFF:
+                self.journal_overflows += 1
+            return False
+        if (
+            resolve_dag_cache_delta() == _delta.DELTA_AUTO
+            and len(deltas) > _delta.AUTO_DELTA_VALIDATION_LIMIT
+        ):
+            self.journal_overflows += 1
+            return False
+        survivors: "OrderedDict[Tuple, Tuple[object, int]]" = OrderedDict()
+        cost = 0
+        for key, (value, entry_cost) in store.entries.items():
+            if self._entry_survives(graph, key, value, deltas):
+                survivors[key] = (value, entry_cost)
+                cost += entry_cost
+                self.delta_retained += 1
+            else:
+                self.delta_evictions += 1
+                self.evictions += 1
+        store.entries = survivors
+        store.cost = cost
+        store.version = graph._version
+        return True
+
+    def _entry_survives(
+        self, graph: Graph, key: Tuple, value: object, deltas
+    ) -> bool:
+        """Whether no journalled edit can affect one cached entry."""
+        kind = key[0]
+        if kind == "dag":
+            # ("dag", backend, weighted, source): full DAGs carry sigma and
+            # predecessor lists, so equal-length (tie) paths matter too.
+            weighted = bool(key[2])
+            tie_sensitive = True
+        elif kind == "dist-map":
+            # ("dist-map", backend, source): hop distances, reachable only.
+            weighted = False
+            tie_sensitive = False
+        elif kind == "dist":
+            # ("dist", source) hop row | ("dist", True, source) weighted row.
+            weighted = len(key) == 3
+            tie_sensitive = False
+        else:
+            return False  # unknown entry shape: never retain on faith
+        dist_of = self._distance_accessor(graph, kind, value)
+        if dist_of is None:
+            return False
+        for delta in deltas:
+            if _delta.delta_affects_source(
+                delta, dist_of, weighted=weighted, tie_sensitive=tie_sensitive
+            ):
+                return False
+        return True
+
+    @staticmethod
+    def _distance_accessor(graph: Graph, kind: str, value: object):
+        """A ``label -> distance-or-None`` view of one cached entry.
+
+        DAGs and distance maps are self-contained; index-space rows
+        translate labels through the current snapshot — pure edge deltas
+        preserve the label order, so its ``index`` equals the one the row
+        was computed with.
+        """
+        if kind == "dag":
+            snapshot = getattr(value, "csr", None)
+            if snapshot is not None:  # CSRShortestPathDAG (index space)
+                dist = value.dist
+                index = snapshot.index
+
+                def dist_of(label, _dist=dist, _index=index):
+                    i = _index.get(label)
+                    if i is None:
+                        return None
+                    d = _dist[i]
+                    return None if d < 0 else d
+
+                return dist_of
+            distances = getattr(value, "distances", None)
+            if distances is not None:  # label-space ShortestPathDAG
+                return distances.get
+            return None
+        if kind == "dist-map":
+            return value.get if isinstance(value, dict) else None
+        row = value  # CSR distance row, -1/-1.0 = unreachable
+
+        def row_dist_of(label, _row=row, _index=_csr.as_csr(graph).index):
+            i = _index.get(label)
+            if i is None:
+                return None
+            d = _row[i]
+            return None if d < 0 else d
+
+        return row_dist_of
 
     def _trim(self, store: _GraphStore) -> None:
         while len(store) > self.max_entries or (
@@ -377,7 +519,12 @@ class SourceDAGCache:
 
         if weighted:
             return dict_dijkstra_dag(graph, source)
-        return shortest_path_dag(graph, source, backend=_csr.DICT_BACKEND)
+        # Pin the hop metric (like the CSR branch): the ``weighted`` flag is
+        # part of the cache key, so a ``False`` entry must stay a BFS DAG
+        # even if the graph has since grown weights under ``weighted=auto``.
+        return shortest_path_dag(
+            graph, source, backend=_csr.DICT_BACKEND, weighted="off"
+        )
 
     def dag(self, graph: Graph, source: Node, *, backend: str,
             weighted: bool = False):
@@ -484,13 +631,23 @@ class SourceDAGCache:
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, int]:
-        """Hit/miss/eviction counters plus the live entry count and cost."""
+        """Hit/miss/eviction counters plus the live entry count and cost.
+
+        The delta counters (PR 8): ``delta_retained`` entries survived a
+        version bump via the journal validity test, ``delta_evictions``
+        failed it (also counted in ``evictions``), ``journal_overflows``
+        version bumps fell back to wholesale eviction for lack of journal
+        coverage.
+        """
         entries = sum(len(store) for store in self._stores.values())
         cost = sum(store.cost for store in self._stores.values())
         return {
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "delta_retained": self.delta_retained,
+            "delta_evictions": self.delta_evictions,
+            "journal_overflows": self.journal_overflows,
             "entries": entries,
             "cost": cost,
         }

@@ -82,6 +82,24 @@ class ExperimentConfig:
         in charge).  Applied lazily via
         :func:`repro.engine.set_default_dag_cache_budget` (process-wide,
         sticky, mirrored into the environment).
+    dag_cache_delta:
+        Delta cache invalidation for mutating graphs: ``"auto"`` (validate
+        cached entries against the mutation journal, wholesale past a size
+        limit; the built-in default), ``"on"`` (always validate) or
+        ``"off"`` (journal disabled — the historical wholesale eviction);
+        ``None`` (default) leaves the ``REPRO_DAG_CACHE_DELTA``
+        environment variable in charge.  Applied lazily via
+        :func:`repro.engine.set_default_dag_cache_delta` (process-wide,
+        sticky, mirrored into the environment).  Retention is only
+        claimed when provably safe, so this never changes results — only
+        wall-clock time on mutate-then-requery workloads.
+    delta_journal_size:
+        Per-graph mutation-journal cap (``None`` leaves
+        ``REPRO_DELTA_JOURNAL_SIZE`` / the built-in default of 256 in
+        charge).  Applied lazily via
+        :func:`repro.engine.set_default_delta_journal_size` (process-wide,
+        sticky, mirrored into the environment); overflow degrades to
+        wholesale eviction, never wrong answers.
     shared_memory:
         Force the zero-copy shared-memory CSR handoff to worker processes
         on (``True``) or off (``False``, the pickle payload) for the whole
@@ -136,6 +154,8 @@ class ExperimentConfig:
     dag_cache: Optional[bool] = None
     dag_cache_size: Optional[int] = None
     dag_cache_budget: Optional[int] = None
+    dag_cache_delta: Optional[str] = None
+    delta_journal_size: Optional[int] = None
     shared_memory: Optional[bool] = None
     weighted: Optional[str] = None
     sssp_kernel: Optional[str] = None
@@ -168,10 +188,19 @@ class ExperimentConfig:
                 f"start_method must be None, 'fork', 'spawn' or 'forkserver', "
                 f"got {self.start_method!r}"
             )
-        for name in ("dag_cache_size", "dag_cache_budget"):
+        for name in ("dag_cache_size", "dag_cache_budget", "delta_journal_size"):
             value = getattr(self, name)
             if value is not None and (isinstance(value, bool) or value < 1):
                 raise ValueError(f"{name} must be None or >= 1, got {value!r}")
+        if self.dag_cache_delta is not None and self.dag_cache_delta not in (
+            "auto",
+            "on",
+            "off",
+        ):
+            raise ValueError(
+                f"dag_cache_delta must be None, 'auto', 'on' or 'off', "
+                f"got {self.dag_cache_delta!r}"
+            )
         if self.weighted is not None and self.weighted not in ("auto", "on", "off"):
             raise ValueError(
                 f"weighted must be None, 'auto', 'on' or 'off', got {self.weighted!r}"

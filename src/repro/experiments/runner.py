@@ -95,6 +95,7 @@ class ExperimentRunner:
         self._start_method_applied = False
         self._dag_cache_applied = False
         self._dag_cache_bounds_applied = False
+        self._dag_cache_delta_applied = False
         self._shared_memory_applied = False
         self._weighted_applied = False
         self._sssp_kernel_applied = False
@@ -179,6 +180,34 @@ class ExperimentRunner:
             set_default_dag_cache_budget(self.config.dag_cache_budget)
         self._dag_cache_bounds_applied = True
 
+    def _apply_dag_cache_delta_config(self) -> None:
+        """Apply explicit ``config.dag_cache_delta``/``delta_journal_size``.
+
+        Same lifecycle as the cache bounds above: process-wide, sticky,
+        mirrored into ``REPRO_DAG_CACHE_DELTA`` / ``REPRO_DELTA_JOURNAL_SIZE``
+        so spawned workers agree; passing ``None`` to the setters hands
+        control back to the environment.  Delta invalidation only retains
+        cached work it can prove untouched, so the knob never changes
+        results — only wall-clock time on mutating graphs.
+        """
+        if self._dag_cache_delta_applied:
+            return
+        if (
+            self.config.dag_cache_delta is None
+            and self.config.delta_journal_size is None
+        ):
+            return
+        from repro.engine import (
+            set_default_dag_cache_delta,
+            set_default_delta_journal_size,
+        )
+
+        if self.config.dag_cache_delta is not None:
+            set_default_dag_cache_delta(self.config.dag_cache_delta)
+        if self.config.delta_journal_size is not None:
+            set_default_delta_journal_size(self.config.delta_journal_size)
+        self._dag_cache_delta_applied = True
+
     def _apply_shared_memory_config(self) -> None:
         """Apply an explicit ``config.shared_memory`` choice, once, lazily.
 
@@ -253,6 +282,7 @@ class ExperimentRunner:
         self._apply_start_method_config()
         self._apply_dag_cache_config()
         self._apply_dag_cache_bounds_config()
+        self._apply_dag_cache_delta_config()
         self._apply_shared_memory_config()
         self._apply_weighted_config()
         self._apply_sssp_kernel_config()

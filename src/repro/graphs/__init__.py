@@ -22,6 +22,16 @@ from repro.graphs.csr import (
     set_default_backend,
 )
 from repro.graphs.components import connected_components, largest_connected_component
+from repro.graphs.delta import (
+    EdgeDelta,
+    MutationJournal,
+    default_dag_cache_delta,
+    deltas_between,
+    resolve_dag_cache_delta,
+    resolve_delta_journal_size,
+    set_default_dag_cache_delta,
+    set_default_delta_journal_size,
+)
 from repro.graphs.diameter import (
     estimate_diameter,
     estimate_subset_diameter,
@@ -97,4 +107,12 @@ __all__ = [
     "two_sweep_lower_bound",
     "GraphSummary",
     "summarize",
+    "EdgeDelta",
+    "MutationJournal",
+    "deltas_between",
+    "default_dag_cache_delta",
+    "resolve_dag_cache_delta",
+    "set_default_dag_cache_delta",
+    "resolve_delta_journal_size",
+    "set_default_delta_journal_size",
 ]

@@ -61,6 +61,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 from weakref import WeakKeyDictionary
 
 from repro.errors import GraphError
+from repro.graphs import delta as _delta
 from repro.graphs.graph import Graph
 
 try:  # numpy is optional: the CSR backend degrades to pure-Python loops.
@@ -204,7 +205,12 @@ def effective_backend(
                 # A current snapshot exists, so the array kernels are free to
                 # use even though the graph is small.
                 return CSR_BACKEND
-            # The graph mutated since the snapshot was taken: routing a small
+            if _delta.deltas_between(graph, cached[0]) is not None:
+                # The mutation journal covers the gap: the stale snapshot is
+                # one cheap incremental patch away (see ``as_csr``), so keep
+                # it and stay on the array kernels.
+                return CSR_BACKEND
+            # The graph mutated past journal coverage: routing a small
             # graph to CSR now would force a pointless re-freeze, and keeping
             # the stale snapshot alive would let the cache hold arbitrarily
             # large dead arrays under mutate/query cycles.  Evict and fall
@@ -411,14 +417,160 @@ class CSRGraph:
 _csr_cache: "WeakKeyDictionary[Graph, Tuple[int, CSRGraph]]" = WeakKeyDictionary()
 
 
+def _patched_snapshot(
+    graph: Graph, old: CSRGraph, old_version: int
+) -> Optional[CSRGraph]:
+    """Patch a stale snapshot through the mutation journal, or ``None``.
+
+    Replays the journalled edge deltas against the frozen
+    ``indptr``/``indices``/``weights`` arrays: only the adjacency segments
+    of nodes an edit touched are rebuilt (in Python, they are tiny);
+    everything else is block-copied.  The replay mirrors the dict
+    adjacency's semantics exactly — an insert appends at the end of both
+    endpoints' segments, a delete closes the gap preserving order, a
+    reweight edits in place — so the result is **byte-identical** to
+    :meth:`CSRGraph.from_graph` on the mutated graph (asserted by the
+    equivalence tests).  Returns ``None`` when the journal does not cover
+    the gap (overflow, structural change, delta invalidation off) or any
+    sanity check fails; the caller falls back to a full rebuild.
+    """
+    deltas = _delta.deltas_between(graph, old_version)
+    if not deltas:  # None (uncovered) or [] (nothing to replay: rebuild path)
+        return None
+    if old.n != graph.number_of_nodes():
+        return None  # node set changed without a structural marker: rebuild
+    index = old.index
+    old_weighted = old.weights is not None
+    # Materialise the adjacency segment of each touched node once, as a
+    # plain list; weights ride along (unit edges expand to 1.0 so a graph
+    # turning weighted mid-journal patches cleanly).
+    segments: Dict[int, List[int]] = {}
+    weight_segments: Dict[int, List[float]] = {}
+
+    def segment(a: int) -> List[int]:
+        seg = segments.get(a)
+        if seg is None:
+            start = int(old.indptr[a])
+            end = int(old.indptr[a + 1])
+            chunk = old.indices[start:end]
+            seg = chunk.tolist() if HAS_NUMPY and not isinstance(
+                chunk, array
+            ) else list(chunk)
+            segments[a] = seg
+            if old_weighted:
+                wchunk = old.weights[start:end]
+                weight_segments[a] = (
+                    wchunk.tolist()
+                    if HAS_NUMPY and not isinstance(wchunk, array)
+                    else list(wchunk)
+                )
+            else:
+                weight_segments[a] = [1.0] * len(seg)
+        return seg
+
+    try:
+        for d in deltas:
+            iu = index[d.u]
+            iv = index[d.v]
+            for a, b in ((iu, iv), (iv, iu)):
+                seg = segment(a)
+                wseg = weight_segments[a]
+                if d.op == _delta.OP_INSERT:
+                    seg.append(b)
+                    wseg.append(d.new)
+                elif d.op == _delta.OP_DELETE:
+                    pos = seg.index(b)
+                    del seg[pos]
+                    del wseg[pos]
+                elif d.op == _delta.OP_REWEIGHT:
+                    wseg[seg.index(b)] = d.new
+                else:
+                    return None
+    except (KeyError, ValueError):
+        # The journal disagrees with the snapshot (an endpoint or edge it
+        # names is missing): never patch on faith, rebuild from scratch.
+        return None
+
+    new_weighted = graph.is_weighted
+    n = old.n
+    total = 2 * graph.number_of_edges()
+    affected = sorted(segments)
+    if HAS_NUMPY and not isinstance(old.indptr, array):
+        counts = (old.indptr[1:] - old.indptr[:-1]).copy()
+        for a in affected:
+            counts[a] = len(segments[a])
+        indptr = _np.empty(n + 1, dtype=_np.int64)
+        indptr[0] = 0
+        _np.cumsum(counts, out=indptr[1:])
+        if int(indptr[n]) != total:
+            return None
+        indices = _np.empty(total, dtype=_np.int64)
+        weights = _np.empty(total, dtype=_np.float64) if new_weighted else None
+        src = 0  # read cursor into the old arrays
+        dst = 0  # write cursor into the new arrays
+
+        def copy_run(src: int, end: int, dst: int) -> int:
+            length = end - src
+            if length:
+                indices[dst : dst + length] = old.indices[src:end]
+                if weights is not None:
+                    if old_weighted:
+                        weights[dst : dst + length] = old.weights[src:end]
+                    else:
+                        weights[dst : dst + length] = 1.0
+            return dst + length
+
+        for a in affected:
+            dst = copy_run(src, int(old.indptr[a]), dst)
+            src = int(old.indptr[a + 1])
+            seg = segments[a]
+            if seg:
+                indices[dst : dst + len(seg)] = seg
+                if weights is not None:
+                    weights[dst : dst + len(seg)] = weight_segments[a]
+            dst += len(seg)
+        dst = copy_run(src, int(old.indptr[n]), dst)
+        if dst != total:
+            return None
+    else:
+        indices = array("q")
+        weights = array("d") if new_weighted else None
+        indptr_list = [0]
+        src = 0
+        affected_set = set(affected)
+        for a in range(n):
+            if a in affected_set:
+                seg = segments[a]
+                indices.extend(seg)
+                if weights is not None:
+                    weights.extend(weight_segments[a])
+            else:
+                start = int(old.indptr[a])
+                end = int(old.indptr[a + 1])
+                indices.extend(old.indices[start:end])
+                if weights is not None:
+                    if old_weighted:
+                        weights.extend(old.weights[start:end])
+                    else:
+                        weights.extend([1.0] * (end - start))
+            indptr_list.append(len(indices))
+        if len(indices) != total:
+            return None
+        indptr = array("q", indptr_list)
+    return CSRGraph(indptr, indices, old.labels, weights)
+
+
 def as_csr(graph: Graph) -> CSRGraph:
     """Return the (cached) CSR snapshot of ``graph``.
 
     The snapshot is rebuilt automatically if the graph has mutated since the
-    cached version was taken; repeated calls on an unchanged graph are O(1).
-    A :class:`CSRGraph` passes through unchanged, so code holding either a
-    graph or a bare snapshot (a shared-memory worker payload) can normalise
-    with one call.
+    cached version was taken — *incrementally*, when the mutation journal
+    (see :mod:`repro.graphs.delta`) covers the gap: the frozen arrays are
+    patched in O(|Δ| + copy) instead of re-walking the whole adjacency,
+    byte-identical to a from-scratch build.  Repeated calls on an unchanged
+    graph are O(1).  A :class:`CSRGraph` passes through unchanged, so code
+    holding either a graph or a bare snapshot (a shared-memory worker
+    payload) can normalise with one call.
     """
     if isinstance(graph, CSRGraph):
         return graph
@@ -426,8 +578,14 @@ def as_csr(graph: Graph) -> CSRGraph:
     cached = _csr_cache.get(graph)
     if cached is not None and cached[0] == version:
         return cached[1]
-    csr = CSRGraph.from_graph(graph)
+    csr = None
+    if cached is not None:
+        csr = _patched_snapshot(graph, cached[1], cached[0])
+    if csr is None:
+        csr = CSRGraph.from_graph(graph)
     _csr_cache[graph] = (version, csr)
+    # Arm the journal so the *next* mutation round can patch this snapshot.
+    _delta.track(graph)
     return csr
 
 

@@ -26,6 +26,13 @@ import math
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import GraphError
+from repro.graphs.delta import (
+    STRUCTURAL_DELTA,
+    EdgeDelta,
+    OP_DELETE,
+    OP_INSERT,
+    OP_REWEIGHT,
+)
 
 Node = Hashable
 Edge = Tuple[Node, Node]
@@ -75,7 +82,14 @@ class Graph:
     (True, 2.5, 1)
     """
 
-    __slots__ = ("_adj", "_num_edges", "_num_weighted", "_version", "__weakref__")
+    __slots__ = (
+        "_adj",
+        "_num_edges",
+        "_num_weighted",
+        "_version",
+        "_journal",
+        "__weakref__",
+    )
 
     def __init__(self) -> None:
         self._adj: Dict[Node, Dict[Node, Optional[float]]] = {}
@@ -86,6 +100,11 @@ class Graph:
         # Monotonic mutation counter; lets derived representations (the CSR
         # backend cache in :mod:`repro.graphs.csr`) detect staleness cheaply.
         self._version: int = 0
+        # Mutation journal (:class:`repro.graphs.delta.MutationJournal`),
+        # armed lazily by the caches via :func:`repro.graphs.delta.track`
+        # once something snapshots this graph.  ``None`` until then, so
+        # bulk construction pays one attribute check per mutation.
+        self._journal = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -127,6 +146,11 @@ class Graph:
         if node not in self._adj:
             self._adj[node] = {}
             self._version += 1
+            if self._journal is not None:
+                # Node-set changes invalidate the label<->index mapping of
+                # every snapshot; journalled as structural so consumers
+                # fall back to wholesale eviction for ranges crossing it.
+                self._journal.record(self._version, STRUCTURAL_DELTA)
 
     def add_edge(self, u: Node, v: Node, weight: Weight = 1) -> None:
         """Add the undirected edge ``{u, v}``, creating endpoints as needed.
@@ -156,6 +180,14 @@ class Graph:
             if stored is not None:
                 self._num_weighted += 1
             self._version += 1
+            if self._journal is not None:
+                self._journal.record(
+                    self._version,
+                    EdgeDelta(
+                        OP_INSERT, u, v, None,
+                        1.0 if stored is None else stored,
+                    ),
+                )
 
     def set_edge_weight(self, u: Node, v: Node, weight: Weight) -> None:
         """Set the weight of the existing edge ``{u, v}``.
@@ -178,6 +210,15 @@ class Graph:
         self._adj[u][v] = stored
         self._adj[v][u] = stored
         self._version += 1
+        if self._journal is not None:
+            self._journal.record(
+                self._version,
+                EdgeDelta(
+                    OP_REWEIGHT, u, v,
+                    1.0 if previous is None else previous,
+                    1.0 if stored is None else stored,
+                ),
+            )
 
     def remove_edge(self, u: Node, v: Node) -> None:
         """Remove the edge ``{u, v}``.
@@ -189,12 +230,21 @@ class Graph:
         """
         if not self.has_edge(u, v):
             raise GraphError(f"edge ({u!r}, {v!r}) does not exist")
-        if self._adj[u][v] is not None:
+        stored = self._adj[u][v]
+        if stored is not None:
             self._num_weighted -= 1
         del self._adj[u][v]
         del self._adj[v][u]
         self._num_edges -= 1
         self._version += 1
+        if self._journal is not None:
+            self._journal.record(
+                self._version,
+                EdgeDelta(
+                    OP_DELETE, u, v,
+                    1.0 if stored is None else stored, None,
+                ),
+            )
 
     def remove_node(self, node: Node) -> None:
         """Remove ``node`` and all incident edges.
@@ -213,6 +263,8 @@ class Graph:
             self._num_edges -= 1
         del self._adj[node]
         self._version += 1
+        if self._journal is not None:
+            self._journal.record(self._version, STRUCTURAL_DELTA)
 
     # ------------------------------------------------------------------
     # Queries

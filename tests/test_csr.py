@@ -8,6 +8,7 @@ import pytest
 
 from repro.errors import GraphError, SamplingError
 from repro.graphs import csr as csr_module
+from repro.graphs import delta as delta_module
 from repro.graphs.csr import (
     AUTO_CSR_THRESHOLD,
     CSRGraph,
@@ -156,25 +157,53 @@ class TestBackendSelection:
         assert effective_backend(tiny, None) == "csr"
 
     @pytest.mark.skipif(not csr_module.HAS_NUMPY, reason="needs numpy")
-    def test_effective_backend_auto_ignores_stale_snapshot(self):
+    def test_effective_backend_auto_ignores_unpatchable_stale_snapshot(self):
         # Regression: the auto heuristic used to probe `graph in cache`
         # without checking the snapshot's version, so a small graph mutated
         # after snapshotting was still routed to CSR (forcing a pointless
-        # re-freeze on every query).
-        tiny = path_graph(4)
-        as_csr(tiny)
-        tiny.add_edge(0, 3)
-        assert effective_backend(tiny, None) == "dict"
+        # re-freeze on every query).  With the mutation journal disabled the
+        # stale snapshot cannot be patched, so the historical behaviour must
+        # hold: fall back to the dict kernels.
+        delta_module.set_default_dag_cache_delta("off")
+        try:
+            tiny = path_graph(4)
+            as_csr(tiny)
+            tiny.add_edge(0, 3)
+            assert effective_backend(tiny, None) == "dict"
+        finally:
+            delta_module.set_default_dag_cache_delta(None)
 
     @pytest.mark.skipif(not csr_module.HAS_NUMPY, reason="needs numpy")
-    def test_effective_backend_evicts_stale_cache_entry(self):
-        # The stale snapshot must also be dropped so mutate/query cycles
-        # cannot keep dead array copies alive indefinitely.
-        tiny = path_graph(4)
-        as_csr(tiny)
-        tiny.add_edge(0, 3)
-        effective_backend(tiny, None)
-        assert csr_module._csr_cache.get(tiny) is None
+    def test_effective_backend_auto_keeps_patchable_stale_snapshot(self):
+        # With the mutation journal covering the gap the stale snapshot is
+        # one cheap incremental patch away, so auto stays on the array
+        # kernels instead of demoting the graph to dict traversals.
+        delta_module.set_default_dag_cache_delta("auto")
+        try:
+            tiny = path_graph(4)
+            as_csr(tiny)
+            tiny.add_edge(0, 3)
+            assert effective_backend(tiny, None) == "csr"
+            fresh = csr_module.CSRGraph.from_graph(tiny)
+            patched = as_csr(tiny)
+            assert patched.indptr.tobytes() == fresh.indptr.tobytes()
+            assert patched.indices.tobytes() == fresh.indices.tobytes()
+        finally:
+            delta_module.set_default_dag_cache_delta(None)
+
+    @pytest.mark.skipif(not csr_module.HAS_NUMPY, reason="needs numpy")
+    def test_effective_backend_evicts_unpatchable_stale_cache_entry(self):
+        # Without journal coverage the stale snapshot must also be dropped
+        # so mutate/query cycles cannot keep dead array copies alive.
+        delta_module.set_default_dag_cache_delta("off")
+        try:
+            tiny = path_graph(4)
+            as_csr(tiny)
+            tiny.add_edge(0, 3)
+            effective_backend(tiny, None)
+            assert csr_module._csr_cache.get(tiny) is None
+        finally:
+            delta_module.set_default_dag_cache_delta(None)
 
     def test_resolve_backend_rejects_bad_env_eagerly(self, monkeypatch):
         # A typo'd REPRO_BACKEND must surface as one clear error naming the
