@@ -1,0 +1,126 @@
+"""Baseline ratchet: land strict rules before every old site is fixed.
+
+A new whole-program rule can surface pre-existing findings faster than
+they can responsibly be fixed; blocking the rule on a zero count would
+either delay the gate or pressure-wash real findings into suppressions.
+The ratchet resolves that: a committed JSON file lists the *known* old
+findings, CI fails only on findings **not** in the file, and a baseline
+entry the tree no longer produces is itself an error (with
+``--fail-on-stale-baseline``) — so the file can only ever shrink.
+
+Entries match on ``(rule, path, message)``, deliberately ignoring
+line/column: unrelated edits move lines, and a moved known finding should
+not break the build.  Matching is multiset-aware — two identical findings
+need two entries.
+
+File format (committed at the repo root as ``lint-baseline.json``)::
+
+    {"version": 1,
+     "findings": [{"rule": "...", "path": "...", "message": "..."}]}
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.model import Finding, LintUsageError
+
+BaselineEntry = Dict[str, str]
+
+_ENTRY_FIELDS = ("rule", "path", "message")
+
+
+def baseline_key(entry: BaselineEntry) -> Tuple[str, str, str]:
+    return (entry["rule"], entry["path"], entry["message"])
+
+
+def finding_entry(finding: Finding) -> BaselineEntry:
+    """The baseline entry describing one finding."""
+    return {
+        "rule": finding.rule,
+        "path": finding.path,
+        "message": finding.message,
+    }
+
+
+def load_baseline(path: str) -> List[BaselineEntry]:
+    """Parse and validate a committed baseline file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        raise LintUsageError(f"baseline file not found: {path!r}") from None
+    except json.JSONDecodeError as exc:
+        raise LintUsageError(
+            f"baseline file {path!r} is not valid JSON: {exc}"
+        ) from None
+    if not isinstance(payload, dict) or payload.get("version") != 1:
+        raise LintUsageError(
+            f"baseline file {path!r} must be a version-1 object: "
+            '{"version": 1, "findings": [...]}'
+        )
+    entries = payload.get("findings")
+    if not isinstance(entries, list):
+        raise LintUsageError(
+            f"baseline file {path!r} must carry a findings list"
+        )
+    validated: List[BaselineEntry] = []
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, dict) or not all(
+            isinstance(entry.get(field), str) for field in _ENTRY_FIELDS
+        ):
+            raise LintUsageError(
+                f"baseline entry #{index} in {path!r} must carry string "
+                f"fields {_ENTRY_FIELDS}"
+            )
+        validated.append({field: entry[field] for field in _ENTRY_FIELDS})
+    return validated
+
+
+def save_baseline(path: str, findings: Sequence[Finding]) -> None:
+    """Write the ratchet file for the given (unsuppressed) findings."""
+    payload = {
+        "version": 1,
+        "findings": sorted(
+            (finding_entry(finding) for finding in findings),
+            key=baseline_key,
+        ),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def partition_against_baseline(
+    findings: Sequence[Finding], entries: Sequence[BaselineEntry]
+) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+    """Split findings into ``(new, baselined)`` plus the stale entries.
+
+    Each baseline entry absorbs at most as many findings as it occurs in
+    the file; surplus findings with the same key are *new*.  Entries that
+    absorb nothing are stale — the ratchet must shrink to match.
+    """
+    budget = Counter(baseline_key(entry) for entry in entries)
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    for finding in findings:
+        key = baseline_key(finding_entry(finding))
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    stale: List[BaselineEntry] = []
+    consumed: Counter = Counter()
+    for entry in entries:
+        key = baseline_key(entry)
+        consumed[key] += 1
+        matched = sum(
+            1 for finding in baselined
+            if baseline_key(finding_entry(finding)) == key
+        )
+        if consumed[key] > matched:
+            stale.append(entry)
+    return new, baselined, stale

@@ -33,6 +33,10 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 META_RULES = ("parse-error", "bad-suppression")
 
 
+class LintUsageError(Exception):
+    """A problem with the lint invocation itself (e.g. a missing path)."""
+
+
 @dataclass(frozen=True)
 class Finding:
     """One diagnostic: ``path:line:col: rule: message``."""

@@ -1,7 +1,12 @@
 """The rule registry.
 
 Rules register here by being listed in :func:`default_rules`; IDs are
-stable and documented in the README's "Static invariants" section.
+stable and documented in the README's "Static invariants" section.  The
+PR 7 rules are per-file pattern matchers; the PR 9 rules (``knob-flow``,
+``cache-version-key``, ``journal-hook``) run over the whole-program
+semantic model of :mod:`repro.lint.semantics`, and ``suppression-stale``
+is judged by the engine after partitioning (it needs to know which
+suppressions absorbed a finding).
 """
 
 from __future__ import annotations
@@ -9,18 +14,26 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from repro.lint.model import META_RULES, Rule
+from repro.lint.rules.cache_version_key import CacheVersionKeyRule
 from repro.lint.rules.env_mirror import EnvMirrorRule
 from repro.lint.rules.float_fold import FloatFoldRule
+from repro.lint.rules.journal_hook import JournalHookRule
 from repro.lint.rules.kernel_ownership import KernelOwnershipRule
+from repro.lint.rules.knob_flow import KnobFlowRule
 from repro.lint.rules.knob_protocol import KnobProtocolRule
 from repro.lint.rules.rng_discipline import RngDisciplineRule
+from repro.lint.rules.suppression_stale import SuppressionStaleRule
 
 __all__ = [
+    "CacheVersionKeyRule",
     "EnvMirrorRule",
     "FloatFoldRule",
+    "JournalHookRule",
     "KernelOwnershipRule",
+    "KnobFlowRule",
     "KnobProtocolRule",
     "RngDisciplineRule",
+    "SuppressionStaleRule",
     "all_rule_ids",
     "default_rules",
 ]
@@ -34,6 +47,10 @@ def default_rules() -> List[Rule]:
         RngDisciplineRule(),
         EnvMirrorRule(),
         KernelOwnershipRule(),
+        KnobFlowRule(),
+        CacheVersionKeyRule(),
+        JournalHookRule(),
+        SuppressionStaleRule(),
     ]
 
 

@@ -1,0 +1,224 @@
+"""``cache-version-key``: per-``Graph`` caches must be version-fenced.
+
+Caches keyed on a mutable ``Graph`` are the repo's sharpest correctness
+edge: a stale entry is not an error, it is a silently wrong answer served
+fast.  The ROADMAP contract is "caches key on ``Graph._version`` (plus
+``backend``/``weighted`` where the payload depends on them)", and PR 8's
+hand-caught ``compute_dag`` bug is exactly what happens when one knob goes
+missing from one key.  This rule turns both halves into a gate:
+
+* **version fencing** — a store into a subscriptable cache *indexed by a
+  Graph-typed value* (``cache[graph] = ...``) must live in a scope that
+  reads ``._version``: the storing function itself, or (for methods) the
+  owning class — either the key/value embeds ``graph._version`` or the
+  store records it and revalidates on lookup (the ``_csr_cache`` /
+  ``SourceDAGCache`` idioms).  A Graph-keyed store in a scope that never
+  looks at ``_version`` cannot be fence-correct.
+* **knob-complete keys** — inside a function that takes a ``backend`` or
+  ``weighted`` parameter and stores cache entries under a literal key
+  tuple (a ``.lookup(...)``/``.put(...)`` call or a ``cache[(...)]=``
+  subscript), a knob the function body uses must also appear inside the
+  key expression; a key that omits it collapses distinct payloads onto
+  one entry (the ``compute_dag`` bug class).
+
+A Graph-typed value is recognised conservatively: a parameter named
+``graph`` or annotated ``Graph``/``"Graph"``.  Everything the rule cannot
+see stays silent — suppress intentional exceptions with an audited
+reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Sequence, Set, Tuple
+
+from repro.lint.model import Finding, Rule, SourceFile
+from repro.lint.rules.common import dotted_name
+from repro.lint.semantics import project_semantics
+from repro.lint.semantics.symbols import FunctionInfo
+
+#: Path components outside the audit (mirrors the knob-flow scoping).
+DEFAULT_EXCLUDE_PARTS: Tuple[str, ...] = (
+    "tests",
+    "benchmarks",
+    "examples",
+    "fixtures",
+    "lint",
+)
+
+#: The knobs whose value changes what a traversal cache entry *contains*
+#: (ROADMAP: "plus source/backend/weighted for SourceDAGCache").
+KEY_KNOBS = ("backend", "weighted")
+
+#: Call-attribute names treated as cache-entry stores when passed a
+#: literal key tuple.
+_KEYED_STORE_CALLS = frozenset({"lookup", "put"})
+
+
+def _graphish_params(function: FunctionInfo) -> Set[str]:
+    """Parameter names that hold a Graph by name or annotation."""
+    names: Set[str] = set()
+    args = function.node.args
+    for arg in (
+        list(getattr(args, "posonlyargs", []))
+        + list(args.args)
+        + list(args.kwonlyargs)
+    ):
+        if arg.arg == "graph":
+            names.add(arg.arg)
+            continue
+        annotation = arg.annotation
+        text = ""
+        if isinstance(annotation, ast.Constant) and isinstance(
+            annotation.value, str
+        ):
+            text = annotation.value
+        elif annotation is not None:
+            text = dotted_name(annotation) or ""
+        if text.split(".")[-1] == "Graph":
+            names.add(arg.arg)
+    return names
+
+
+def _subscript_stores(body: ast.AST) -> Iterator[ast.Subscript]:
+    """Subscript nodes that are assignment or deletion targets."""
+    for node in ast.walk(body):
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = list(node.targets)
+        for target in targets:
+            if isinstance(target, ast.Subscript):
+                yield target
+
+
+def _reads_version(scope: ast.AST) -> bool:
+    """Whether ``scope`` contains any ``._version`` attribute read."""
+    return any(
+        isinstance(node, ast.Attribute) and node.attr == "_version"
+        for node in ast.walk(scope)
+    )
+
+
+def _names_in(node: ast.AST) -> Set[str]:
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+def _key_expressions(function: FunctionInfo) -> Iterator[ast.AST]:
+    """Literal key-tuple expressions of the function's cache stores.
+
+    Two store shapes count: a ``.lookup(...)``/``.put(...)`` call whose
+    argument list contains a tuple literal (the key), and a subscript
+    assignment whose index is a tuple literal.  Key *variables* are
+    invisible on purpose — only a literal key can be audited statically.
+    """
+    for node in ast.walk(function.node):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _KEYED_STORE_CALLS:
+                for arg in node.args:
+                    if isinstance(arg, (ast.Tuple,)) or (
+                        isinstance(arg, ast.IfExp)
+                        and isinstance(arg.body, ast.Tuple)
+                    ):
+                        yield arg
+    for target in _subscript_stores(function.node):
+        index = target.slice
+        if isinstance(index, ast.Tuple) or (
+            isinstance(index, ast.IfExp) and isinstance(index.body, ast.Tuple)
+        ):
+            yield index
+
+
+class CacheVersionKeyRule(Rule):
+    rule_id = "cache-version-key"
+    description = (
+        "caches indexed by a Graph must fence on Graph._version (embed it "
+        "in the key or revalidate a recorded version), and literal cache "
+        "key tuples must include the backend/weighted knobs the cached "
+        "payload depends on"
+    )
+
+    def __init__(
+        self, exclude_parts: Sequence[str] = DEFAULT_EXCLUDE_PARTS
+    ) -> None:
+        self.exclude_parts = tuple(exclude_parts)
+
+    def _included(self, source: SourceFile) -> bool:
+        return source.tree is not None and not any(
+            part in self.exclude_parts for part in source.parts
+        )
+
+    # ------------------------------------------------------------------
+    def check_project(self, sources: Sequence[SourceFile]) -> List[Finding]:
+        project = project_semantics(sources)
+        findings: List[Finding] = []
+        for function in project.functions():
+            source = function.module.source
+            if not self._included(source):
+                continue
+            findings.extend(self._check_graph_keyed(project, function))
+            findings.extend(self._check_knob_keys(function))
+        return findings
+
+    # ------------------------------------------------------------------
+    def _check_graph_keyed(self, project, function: FunctionInfo):
+        graphish = _graphish_params(function)
+        if not graphish:
+            return
+        stores = [
+            target for target in _subscript_stores(function.node)
+            if isinstance(target.slice, ast.Name)
+            and target.slice.id in graphish
+        ]
+        if not stores:
+            return
+        # Fence scope: the storing function itself first (the ``as_csr``
+        # idiom — read, compare, store in one body), then the owning class
+        # (the ``SourceDAGCache._GraphStore`` idiom — ``put`` stores what
+        # ``lookup`` revalidates).  Deliberately NOT the whole module: an
+        # unrelated function's ``._version`` read must not certify this
+        # store as fenced.
+        if _reads_version(function.node):
+            return
+        where = f"function {function.qualname}"
+        if function.owner is not None:
+            symbols = project.symbols_of(function.module)
+            owner = symbols.classes.get(function.owner)
+            if owner is not None:
+                if _reads_version(owner.node):
+                    return
+                where = f"class {function.owner}"
+        for target in stores:
+            yield function.module.source.finding(
+                self.rule_id,
+                target,
+                f"{function.qualname}() stores a cache entry keyed by a "
+                f"Graph, but {where} never reads ._version — a mutated "
+                "graph will be served stale results; key the entry on "
+                "graph._version or record and revalidate the version "
+                "(the _csr_cache / SourceDAGCache idioms)",
+            )
+
+    def _check_knob_keys(self, function: FunctionInfo):
+        knob_params = [
+            knob for knob in KEY_KNOBS if function.accepts(knob)
+        ]
+        if not knob_params:
+            return
+        body_names = _names_in(function.node)
+        for key in _key_expressions(function):
+            key_names = _names_in(key)
+            for knob in knob_params:
+                if knob in body_names and knob not in key_names:
+                    yield function.module.source.finding(
+                        self.rule_id,
+                        key,
+                        f"{function.qualname}() caches under a key that "
+                        f"omits its {knob!r} parameter while the payload "
+                        f"depends on it — entries computed under "
+                        f"different {knob} values would collide; add "
+                        f"{knob} to the key tuple",
+                    )

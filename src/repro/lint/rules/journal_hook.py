@@ -1,0 +1,201 @@
+"""``journal-hook``: graph mutators must bump ``_version`` and journal.
+
+Since PR 8, cache correctness rests on a two-part mutation protocol in
+:class:`repro.graphs.graph.Graph`: every mutation of the adjacency
+structure or edge weights (1) bumps the monotonic ``_version`` counter the
+CSR snapshot cache and ``SourceDAGCache`` fence on, and (2) records an
+:class:`~repro.graphs.delta.EdgeDelta` (or the STRUCTURAL marker) in the
+armed mutation journal so delta validation can retain provably-unaffected
+cache entries.  A future mutator that forgets either half corrupts every
+cache in the process — silently, because the equivalence tests only cover
+the mutators that exist today.
+
+The rule fires on any *method* in product code that mutates
+``self._adj`` (subscript assignment/deletion at any nesting depth, or a
+mutating call like ``self._adj.pop``/``.setdefault``/``.update``/
+``.clear``) or adjusts the ``self._num_edges``/``self._num_weighted``
+counters, unless the same method both writes ``self._version`` and calls
+``self._journal.record(...)``.  Mutations of *another* object's ``_adj``
+(``clone._adj[...] = ...``) are exempt inside a class that also mutates
+``self._adj`` — that is the owning class building a fresh instance — and
+a finding anywhere else: external code must go through the ``Graph``
+mutation API, which journals for it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.lint.model import Finding, Rule, SourceFile
+from repro.lint.rules.common import dotted_name
+
+#: Path components outside the audit (test doubles mutate freely).
+DEFAULT_EXCLUDE_PARTS: Tuple[str, ...] = (
+    "tests",
+    "benchmarks",
+    "examples",
+    "fixtures",
+    "lint",
+)
+
+#: dict methods that mutate in place.
+_MUTATING_CALLS = frozenset(
+    {"pop", "popitem", "setdefault", "update", "clear", "__setitem__"}
+)
+
+
+def _adj_root(node: ast.AST) -> Optional[str]:
+    """The root name of an ``<root>._adj[...]...`` chain, else ``None``."""
+    current = node
+    while isinstance(current, ast.Subscript):
+        current = current.value
+    name = dotted_name(current)
+    if name is None:
+        return None
+    parts = name.split(".")
+    if len(parts) >= 2 and parts[1] == "_adj":
+        return parts[0]
+    return None
+
+
+def _counter_root(node: ast.AST) -> Optional[str]:
+    name = dotted_name(node)
+    if name is None:
+        return None
+    parts = name.split(".")
+    if len(parts) == 2 and parts[1] in ("_num_edges", "_num_weighted"):
+        return parts[0]
+    return None
+
+
+def _mutations(body: ast.AST) -> Iterator[Tuple[ast.AST, str]]:
+    """``(site, root name)`` for every adjacency/counter mutation."""
+    for node in ast.walk(body):
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = list(node.targets)
+        elif isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ):
+            if node.func.attr in _MUTATING_CALLS:
+                root = _adj_root(node.func.value)
+                if root is not None:
+                    yield node, root
+            continue
+        for target in targets:
+            if isinstance(target, ast.Subscript):
+                root = _adj_root(target)
+                if root is not None:
+                    yield node, root
+            elif isinstance(target, ast.Attribute) and isinstance(
+                node, ast.AugAssign
+            ):
+                root = _counter_root(target)
+                if root is not None:
+                    yield node, root
+
+
+def _writes_version(body: ast.AST) -> bool:
+    for node in ast.walk(body):
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            if dotted_name(target) == "self._version":
+                return True
+    return False
+
+
+def _records_journal(body: ast.AST) -> bool:
+    return any(
+        isinstance(node, ast.Call)
+        and dotted_name(node.func) == "self._journal.record"
+        for node in ast.walk(body)
+    )
+
+
+class JournalHookRule(Rule):
+    rule_id = "journal-hook"
+    description = (
+        "every method mutating graph adjacency/weights (self._adj, the "
+        "edge counters) must bump self._version AND record an EdgeDelta/"
+        "STRUCTURAL marker in self._journal; external code must mutate "
+        "through the Graph API"
+    )
+
+    def __init__(
+        self, exclude_parts: Sequence[str] = DEFAULT_EXCLUDE_PARTS
+    ) -> None:
+        self.exclude_parts = tuple(exclude_parts)
+
+    def _included(self, source: SourceFile) -> bool:
+        return source.tree is not None and not any(
+            part in self.exclude_parts for part in source.parts
+        )
+
+    # ------------------------------------------------------------------
+    def check_file(self, source: SourceFile) -> List[Finding]:
+        if not self._included(source):
+            return []
+        assert source.tree is not None
+        findings: List[Finding] = []
+        # Classes whose methods mutate self._adj own graph storage; their
+        # non-self mutations (clone building) are sanctioned.
+        owning_classes = set()
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef) and any(
+                root == "self" for _site, root in _mutations(node)
+            ):
+                owning_classes.add(node)
+        for node in ast.walk(source.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                enclosing = source.enclosing_class(node)
+                findings.extend(
+                    self._check_function(source, node, enclosing, owning_classes)
+                )
+        return findings
+
+    def _check_function(self, source, function, enclosing, owning_classes):
+        self_sites = []
+        foreign_sites = []
+        for site, root in _mutations(function):
+            if root == "self":
+                self_sites.append(site)
+            else:
+                foreign_sites.append(site)
+        if self_sites and enclosing is not None:
+            missing = []
+            if not _writes_version(function):
+                missing.append("bump self._version")
+            if not _records_journal(function):
+                missing.append(
+                    "record an EdgeDelta/STRUCTURAL marker via "
+                    "self._journal.record(...)"
+                )
+            if missing:
+                yield source.finding(
+                    self.rule_id,
+                    function,
+                    f"{enclosing.name}.{function.name}() mutates graph "
+                    "adjacency/weights but does not "
+                    + " or ".join(missing)
+                    + " — stale CSR snapshots and cached DAGs would "
+                    "survive this mutation (the PR 8 delta protocol)",
+                )
+        if foreign_sites and enclosing not in owning_classes:
+            for site in foreign_sites:
+                yield source.finding(
+                    self.rule_id,
+                    site,
+                    "direct mutation of another object's ._adj bypasses "
+                    "the version/journal protocol — use the Graph "
+                    "mutation API (add_edge/set_edge_weight/remove_edge/"
+                    "remove_node), which journals for you",
+                )

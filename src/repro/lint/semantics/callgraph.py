@@ -1,0 +1,173 @@
+"""Call-graph construction with per-call-site argument binding.
+
+For every :class:`~repro.lint.semantics.symbols.FunctionInfo` this module
+enumerates the call sites in its body and resolves each one to the
+project-owned callee, when that resolution is *certain*:
+
+* ``f(...)`` — a function of the same module, or a ``from x import f as g``
+  binding;
+* ``alias.f(...)`` / ``a.b.c.f(...)`` — through ``import`` aliases and
+  dotted module paths;
+* ``self.m(...)`` — a method of the enclosing class (or, one level up, of
+  a base class resolvable by name);
+* ``ClassName.m(...)`` — a method called through a class defined in or
+  imported into the calling module.
+
+Each resolved site records the exact argument binding: explicit keyword
+names, the callee parameters bound positionally (receiver slot accounted
+for), and whether a ``*args``/``**kwargs`` splat makes the binding open —
+splats are treated as forwarding everything, so rules never fire on a
+binding they cannot see.  Unresolvable calls produce no edge at all.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from repro.lint.rules.common import dotted_name
+from repro.lint.semantics.modules import ModuleInfo
+from repro.lint.semantics.symbols import ClassInfo, FunctionInfo, Project
+
+
+@dataclass
+class CallSite:
+    """One resolved call: who calls whom, binding what."""
+
+    caller: FunctionInfo
+    callee: FunctionInfo
+    node: ast.Call
+    keywords: Set[str] = field(default_factory=set)
+    positional_bound: Set[str] = field(default_factory=set)
+    has_star_args: bool = False
+    has_star_kwargs: bool = False
+
+    def binds(self, param: str) -> bool:
+        """Whether ``param`` is visibly bound (or possibly bound by a splat)."""
+        return (
+            param in self.keywords
+            or param in self.positional_bound
+            or self.has_star_args
+            or self.has_star_kwargs
+        )
+
+
+def _class_in_scope(
+    project: Project, module: ModuleInfo, name: str
+) -> Optional[ClassInfo]:
+    """The class ``name`` refers to inside ``module``, if project-owned."""
+    local = project.symbols_of(module).classes.get(name)
+    if local is not None:
+        return local
+    imported = module.symbol_imports.get(name)
+    if imported is not None:
+        base, symbol = imported
+        target = project.index.resolve(base)
+        if target is not None:
+            return project.symbols_of(target).classes.get(symbol)
+    return None
+
+
+def _method_of(
+    project: Project, class_info: ClassInfo, name: str
+) -> Optional[FunctionInfo]:
+    """``class_info``'s method ``name``, looking one level into bases."""
+    method = class_info.methods.get(name)
+    if method is not None:
+        return method
+    for base_name in class_info.bases:
+        base = _class_in_scope(
+            project, class_info.module, base_name.rpartition(".")[2]
+        )
+        if base is not None:
+            method = base.methods.get(name)
+            if method is not None:
+                return method
+    return None
+
+
+def _resolve_callee(
+    project: Project,
+    module: ModuleInfo,
+    caller: FunctionInfo,
+    call: ast.Call,
+):
+    """``(callee, bound_receiver)`` for one call node, or ``(None, False)``."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        symbols = project.symbols_of(module)
+        local = symbols.functions.get(func.id)
+        if local is not None:
+            return local, False
+        imported = module.symbol_imports.get(func.id)
+        if imported is not None:
+            base, symbol = imported
+            return project.resolve_function(base, symbol), False
+        return None, False
+    if not isinstance(func, ast.Attribute):
+        return None, False
+    full = dotted_name(func)
+    if full is None:
+        return None, False
+    base, _, attr = full.rpartition(".")
+    # ``self.m(...)`` — the enclosing class, then one level of bases.
+    if base == "self" and caller.owner is not None:
+        class_info = project.symbols_of(caller.module).classes.get(caller.owner)
+        if class_info is not None:
+            return _method_of(project, class_info, attr), True
+        return None, False
+    # ``ClassName.m(...)`` — through a class visible in this module.  No
+    # receiver is bound: the first positional argument fills ``self``.
+    if "." not in base:
+        class_info = _class_in_scope(project, module, base)
+        if class_info is not None:
+            return _method_of(project, class_info, attr), False
+    # ``alias.f(...)`` / ``a.b.c.f(...)`` — module aliases and plain
+    # dotted imports: expand the root through the alias table, keep the
+    # rest of the chain.
+    root, _, rest = base.partition(".")
+    expansion = module.module_aliases.get(root)
+    if expansion is not None:
+        reference = f"{expansion}.{rest}" if rest else expansion
+        return project.resolve_function(reference, attr), False
+    return None, False
+
+
+def call_sites(project: Project, function: FunctionInfo) -> List[CallSite]:
+    """Every call in ``function``'s body resolved to a project callee.
+
+    Nested lambdas and inner defs are included — forwarding frequently
+    happens inside a deferred ``lambda`` (the DAG-cache miss closures).
+    """
+    module = function.module
+    sites: List[CallSite] = []
+    for node in ast.walk(function.node):
+        if not isinstance(node, ast.Call):
+            continue
+        callee, bound_receiver = _resolve_callee(project, module, function, node)
+        if callee is None:
+            continue
+        positional = [
+            arg for arg in node.args if not isinstance(arg, ast.Starred)
+        ]
+        site = CallSite(
+            caller=function,
+            callee=callee,
+            node=node,
+            keywords={
+                keyword.arg for keyword in node.keywords
+                if keyword.arg is not None
+            },
+            positional_bound=callee.binding_positional(
+                len(positional), bound_receiver=bound_receiver
+            ),
+            has_star_args=any(
+                isinstance(arg, ast.Starred) for arg in node.args
+            ),
+            has_star_kwargs=any(
+                keyword.arg is None for keyword in node.keywords
+            ),
+        )
+        sites.append(site)
+    return sites

@@ -1,0 +1,152 @@
+"""Module index and import/alias resolution.
+
+The linter sees files, not an installed package: ``src/repro/graphs/csr.py``
+must be addressable as ``repro.graphs.csr`` even though the walk started at
+``src``, and a fixture twin under ``tests/fixtures/lint/knob_flow/violation``
+must resolve its sibling imports without any root configuration.  Both fall
+out of the same scheme:
+
+* every file gets a *dotted name* from its path parts (``__init__.py`` maps
+  to its package, a leading ``src`` component is dropped);
+* a module reference in an ``import`` statement resolves by **dotted-suffix
+  match** against the index — ``repro.graphs.csr`` matches the file whose
+  dotted name ends with that suffix, and the fixture's bare ``engine``
+  matches ``tests.fixtures...violation.engine``.  An ambiguous suffix (two
+  files match) resolves to nothing: the rules stay conservative.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lint.model import SourceFile
+
+
+def dotted_name_for(source: SourceFile) -> str:
+    """The dotted module name of one linted file.
+
+    ``src/repro/graphs/csr.py`` → ``repro.graphs.csr``;
+    ``src/repro/lint/__init__.py`` → ``repro.lint``.  Only a *leading*
+    ``src`` component is dropped — dropping interior ones could alias two
+    distinct files onto one name.
+    """
+    parts = list(source.parts)
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if not parts:
+        return ""
+    leaf = parts[-1]
+    if leaf.endswith(".py"):
+        leaf = leaf[: -len(".py")]
+    if leaf == "__init__":
+        parts = parts[:-1]
+    else:
+        parts = parts[:-1] + [leaf]
+    return ".".join(parts)
+
+
+class ModuleInfo:
+    """One module of the run: its file, dotted name and import bindings."""
+
+    def __init__(self, source: SourceFile, dotted: str) -> None:
+        self.source = source
+        self.dotted = dotted
+        #: local alias → dotted module reference (``import a.b as c``; for a
+        #: plain ``import a.b`` the binding is ``a`` → ``a``, and dotted
+        #: call chains like ``a.b.f()`` re-join the path at resolution time).
+        self.module_aliases: Dict[str, str] = {}
+        #: local name → (dotted module reference, symbol name) for
+        #: ``from a.b import f [as g]`` bindings.
+        self.symbol_imports: Dict[str, Tuple[str, str]] = {}
+        #: dotted module references imported without an alias
+        #: (``import a.b``), used to resolve fully-dotted call chains.
+        self.plain_imports: List[str] = []
+
+    @property
+    def package(self) -> str:
+        """The package containing this module (itself, for ``__init__``)."""
+        if self.source.name == "__init__.py":
+            return self.dotted
+        return self.dotted.rpartition(".")[0]
+
+    # ------------------------------------------------------------------
+    def collect_imports(self) -> None:
+        tree = self.source.tree
+        if tree is None:
+            return
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname is not None:
+                        self.module_aliases[alias.asname] = alias.name
+                    else:
+                        # ``import a.b`` binds ``a``; remember the full
+                        # path so ``a.b.f()`` chains resolve too.
+                        root = alias.name.split(".", 1)[0]
+                        self.module_aliases.setdefault(root, root)
+                        self.plain_imports.append(alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                base = self._resolve_from_base(node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    # ``from a import b`` may bind the submodule ``a.b``
+                    # or a symbol of ``a``; the index disambiguates at
+                    # resolution time, so record both readings.
+                    self.module_aliases.setdefault(local, f"{base}.{alias.name}")
+                    self.symbol_imports[local] = (base, alias.name)
+
+    def _resolve_from_base(self, node: ast.ImportFrom) -> Optional[str]:
+        """The dotted module a ``from ... import`` pulls names out of."""
+        if not node.level:
+            return node.module
+        # Relative import: climb from the containing package.
+        base_parts = self.package.split(".") if self.package else []
+        climb = node.level - 1
+        if climb > len(base_parts):
+            return None
+        parts = base_parts[: len(base_parts) - climb]
+        if node.module:
+            parts.append(node.module)
+        return ".".join(parts) if parts else None
+
+
+class ModuleIndex:
+    """All modules of one lint run, addressable by dotted suffix."""
+
+    def __init__(self, sources: Sequence[SourceFile]) -> None:
+        self.modules: List[ModuleInfo] = []
+        self.by_path: Dict[str, ModuleInfo] = {}
+        #: dotted suffix → matching modules (ambiguity kept, resolved to
+        #: nothing by :meth:`resolve`).
+        self._by_suffix: Dict[str, List[ModuleInfo]] = {}
+        for source in sources:
+            if source.tree is None:
+                continue
+            info = ModuleInfo(source, dotted_name_for(source))
+            info.collect_imports()
+            self.modules.append(info)
+            self.by_path[source.path] = info
+            parts = info.dotted.split(".") if info.dotted else []
+            for start in range(len(parts)):
+                suffix = ".".join(parts[start:])
+                self._by_suffix.setdefault(suffix, []).append(info)
+
+    def resolve(self, reference: str) -> Optional[ModuleInfo]:
+        """The unique module a dotted reference names, if any.
+
+        Exact dotted-name matches win; otherwise the reference must match
+        exactly one module as a dotted suffix.  Anything ambiguous or
+        unknown resolves to ``None`` — rules never guess.
+        """
+        candidates = self._by_suffix.get(reference, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        exact = [info for info in candidates if info.dotted == reference]
+        if len(exact) == 1:
+            return exact[0]
+        return None

@@ -1,0 +1,52 @@
+"""Compliant twin: both fencing idioms plus a knob-complete key.
+
+``SnapshotCache.put`` embeds ``graph._version`` in the entry it stores
+(the ``_csr_cache`` idiom).  ``RowCache`` splits the work across methods
+— ``invalidate`` never touches ``._version`` itself, but the owning
+class revalidates on ``lookup`` (the ``SourceDAGCache`` idiom).  And
+``compute_rows`` keys on every knob the payload depends on.
+"""
+
+_ROWS = {}
+
+
+class SnapshotCache:
+    def __init__(self):
+        self._entries = {}
+
+    def put(self, graph, payload):
+        self._entries[graph] = (graph._version, payload)
+
+    def lookup(self, graph):
+        cached = self._entries.get(graph)
+        if cached is not None and cached[0] == graph._version:
+            return cached[1]
+        return None
+
+
+class RowCache:
+    def __init__(self):
+        self._entries = {}
+
+    def put(self, graph, rows):
+        self._entries[graph] = (graph._version, rows)
+
+    def invalidate(self, graph):
+        if graph in self._entries:
+            del self._entries[graph]
+
+    def lookup(self, graph):
+        cached = self._entries.get(graph)
+        if cached is not None and cached[0] == graph._version:
+            return cached[1]
+        return None
+
+
+def compute_rows(graph, backend=None):
+    key = ("rows", backend, graph.number_of_nodes())
+    cached = _ROWS.get(key)
+    if cached is not None:
+        return cached
+    rows = [backend for _ in range(graph.number_of_nodes())]
+    _ROWS[("rows", backend, graph.number_of_nodes())] = rows
+    return rows

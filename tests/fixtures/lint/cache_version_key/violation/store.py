@@ -1,0 +1,31 @@
+"""Seeded cache-version-key violations — both halves of the contract.
+
+``SnapshotCache.put`` stores under a ``Graph`` key with no ``._version``
+read anywhere in the method or the class: a mutated graph would be served
+the stale payload forever.  ``compute_rows`` caches under a literal key
+tuple that omits its ``backend`` parameter even though the payload
+depends on it: entries computed under different backends collide.
+"""
+
+_ROWS = {}
+
+
+class SnapshotCache:
+    def __init__(self):
+        self._entries = {}
+
+    def put(self, graph, payload):
+        self._entries[graph] = payload
+
+    def lookup(self, graph):
+        return self._entries.get(graph)
+
+
+def compute_rows(graph, backend=None):
+    key = ("rows", graph.number_of_nodes())
+    cached = _ROWS.get(key)
+    if cached is not None:
+        return cached
+    rows = [backend for _ in range(graph.number_of_nodes())]
+    _ROWS[("rows", graph.number_of_nodes())] = rows
+    return rows

@@ -1,0 +1,52 @@
+"""Compliant twin: the full PR 8 mutation protocol, in miniature.
+
+Every mutator bumps ``self._version`` *and* records a delta in
+``self._journal``; ``copy`` builds a clone by writing ``clone._adj``
+from inside the owning class (sanctioned — that is how fresh instances
+get populated), and read-only helpers touch nothing.
+"""
+
+
+class _Journal:
+    def __init__(self):
+        self.entries = []
+
+    def record(self, version, delta):
+        self.entries.append((version, delta))
+
+
+class Graph:
+    def __init__(self):
+        self._adj = {}
+        self._version = 0
+        self._journal = _Journal()
+        self._num_edges = 0
+
+    def add_edge(self, u, v):
+        if u not in self._adj:
+            self._adj[u] = {}
+        if v not in self._adj:
+            self._adj[v] = {}
+        self._adj[u][v] = None
+        self._adj[v][u] = None
+        self._num_edges += 1
+        self._version += 1
+        self._journal.record(self._version, ("add", u, v))
+
+    def remove_edge(self, u, v):
+        del self._adj[u][v]
+        del self._adj[v][u]
+        self._num_edges -= 1
+        self._version += 1
+        self._journal.record(self._version, ("delete", u, v))
+
+    def neighbours(self, u):
+        return sorted(self._adj.get(u, ()))
+
+    def copy(self):
+        clone = Graph()
+        for u, adjacency in self._adj.items():
+            clone._adj[u] = dict(adjacency)
+        clone._num_edges = self._num_edges
+        clone._version = self._version
+        return clone

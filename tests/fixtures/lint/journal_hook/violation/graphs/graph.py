@@ -1,0 +1,30 @@
+"""Seeded journal-hook violations — every half of the protocol missed.
+
+``add_edge`` mutates adjacency and the edge counter with neither a
+version bump nor a journal record; ``remove_edge`` bumps the version but
+forgets the journal; ``sneak_edge`` reaches into another object's
+``_adj`` from outside any owning class.  Three findings.
+"""
+
+
+class Graph:
+    def __init__(self):
+        self._adj = {}
+        self._version = 0
+        self._journal = None
+        self._num_edges = 0
+
+    def add_edge(self, u, v):
+        self._adj[u][v] = None
+        self._adj[v][u] = None
+        self._num_edges += 1
+
+    def remove_edge(self, u, v):
+        del self._adj[u][v]
+        del self._adj[v][u]
+        self._num_edges -= 1
+        self._version += 1
+
+
+def sneak_edge(graph, u, v):
+    graph._adj[u][v] = None

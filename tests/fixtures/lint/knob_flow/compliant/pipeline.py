@@ -1,0 +1,47 @@
+"""Compliant twin: every accepted knob reaches every accepting callee.
+
+Three sanctioned bindings: explicit keyword forwarding
+(``frob=frob``), an explicit pin (a visible, auditable decision), and a
+``**kwargs`` splat (pass-through forwarding the rule cannot — and must
+not — see through).
+"""
+
+import os
+
+FROB_ENV_VAR = "REPRO_FROB"
+
+
+def resolve_frob(frob=None):
+    if frob is not None:
+        return str(frob)
+    return os.environ.get(FROB_ENV_VAR, "default")
+
+
+def helper(values, frob=None):
+    frob = resolve_frob(frob)
+    return [(value, frob) for value in values]
+
+
+def run_experiment(values, frob=None):
+    return helper(values, frob=frob)
+
+
+def run_pinned(values, frob=None):
+    del frob  # deliberately ignored: the pin below is the audited choice
+    return helper(values, frob="pinned")
+
+
+def run_splat(values, frob=None, **kwargs):
+    kwargs.setdefault("frob", frob)
+    return helper(values, **kwargs)
+
+
+class Sweep:
+    def __init__(self, frob=None):
+        self.frob = frob
+
+    def score(self, values, frob=None):
+        return helper(values, frob=frob)
+
+    def run(self, values, frob=None):
+        return self.score(values, frob)

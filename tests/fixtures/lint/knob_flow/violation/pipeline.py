@@ -1,0 +1,26 @@
+"""Seeded knob-flow violation: a knob accepted and then dropped.
+
+``run_experiment`` accepts the ``frob`` knob and calls ``helper`` —
+whose signature also accepts ``frob`` — without binding it.  The callee
+re-resolves the knob from the process-wide default, so the caller's
+argument silently stops mattering.  Exactly one finding.
+"""
+
+import os
+
+FROB_ENV_VAR = "REPRO_FROB"
+
+
+def resolve_frob(frob=None):
+    if frob is not None:
+        return str(frob)
+    return os.environ.get(FROB_ENV_VAR, "default")
+
+
+def helper(values, frob=None):
+    frob = resolve_frob(frob)
+    return [(value, frob) for value in values]
+
+
+def run_experiment(values, frob=None):
+    return helper(values)

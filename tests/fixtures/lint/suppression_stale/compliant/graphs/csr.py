@@ -1,0 +1,12 @@
+"""Compliant twin: a live, audited suppression.
+
+``float-fold`` still fires on the fold below, the suppression absorbs
+it, and ``suppression-stale`` therefore stays quiet: the exemption is
+earning its keep.
+"""
+
+
+def edge_total(values):
+    # repro-lint: disable=float-fold — audited: sequential fold, order pinned upstream
+    total = sum(values)
+    return total

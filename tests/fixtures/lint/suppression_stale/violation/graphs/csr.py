@@ -1,0 +1,13 @@
+"""Seeded suppression-stale violation: a disable that outlived its code.
+
+The fold below was made integer in a refactor, so ``float-fold`` no
+longer fires on it — but the suppression comment was left behind.  With
+``float-fold`` and ``suppression-stale`` both running, the stale comment
+is itself the finding.
+"""
+
+
+def edge_total(counts):
+    # repro-lint: disable=float-fold — audited: order-pinned float fold
+    total = int(sum(counts))
+    return total
