@@ -160,6 +160,32 @@ def _add_backend_argument(subparser) -> None:
              "results, only wall-clock time; 'off' ships the classic "
              "pickle payload",
     )
+    # default=None so an absent flag leaves the REPRO_SNAPSHOT_DIR
+    # environment variable (or no store at all) in charge.
+    subparser.add_argument(
+        "--snapshot-dir",
+        default=None,
+        metavar="DIR",
+        help="on-disk CSR snapshot store: datasets are memoised to "
+             "DIR/datasets and exact ground truth persists in "
+             "DIR/ground_truth, so repeat invocations skip graph "
+             "generation and Brandes entirely.  No store when absent "
+             "(when passed explicitly it overrides REPRO_SNAPSHOT_DIR).  "
+             "Never changes results, only cold-start time",
+    )
+    # default=None so an absent flag leaves the REPRO_MMAP environment
+    # variable (or the built-in auto default) in charge.
+    subparser.add_argument(
+        "--mmap",
+        choices=("auto", "on", "off"),
+        default=None,
+        help="how snapshot files are attached: auto (read-only np.memmap "
+             "views when numpy is available; the default), on (same, "
+             "asserting intent), or off (read arrays into RAM).  When "
+             "passed explicitly it overrides REPRO_MMAP.  Mapped and "
+             "in-RAM arrays are byte-identical — never changes results, "
+             "only memory footprint and load time",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -329,6 +355,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.engine import set_default_delta_journal_size
 
         set_default_delta_journal_size(delta_journal_size)
+    snapshot_dir = getattr(args, "snapshot_dir", None)
+    if snapshot_dir is not None:
+        # An explicit --snapshot-dir overrides REPRO_SNAPSHOT_DIR for the
+        # whole process (and is mirrored back into it for spawn workers).
+        from repro.graphs.store import set_default_snapshot_dir
+
+        set_default_snapshot_dir(snapshot_dir)
+    mmap = getattr(args, "mmap", None)
+    if mmap is not None:
+        # `--mmap auto` is set explicitly too, so it restores the built-in
+        # default even when REPRO_MMAP is exported.
+        from repro.graphs.store import set_default_mmap
+
+        set_default_mmap(mmap)
     shared_memory = getattr(args, "shared_memory", None)
     if shared_memory is not None:
         # `--shared-memory off` is set explicitly too, so it restores the

@@ -5,6 +5,16 @@ and two weeks on a 96-core server for USA-road; at reproduction scale exact
 Brandes takes seconds to minutes, but the experiment drivers still reuse one
 ground-truth computation across the whole epsilon / subset-size sweep, so a
 small JSON cache keeps repeated benchmark invocations fast.
+
+Since PR 10 the cache also has a **persistent, content-addressed tier**:
+when a snapshot store is configured (``snapshot_dir`` knob /
+``REPRO_SNAPSHOT_DIR``), every computed truth is additionally written to
+``<snapshot_dir>/ground_truth/bt_<content-digest>_<metric>.json``, keyed by
+:func:`repro.graphs.store.content_digest` of the graph plus the routed SSSP
+metric (hop vs weighted).  The digest covers the exact labels, adjacency
+order and weights, so a restarted process — or a different key naming the
+same graph — reuses the exact Brandes run bit for bit, and a mutated or
+regenerated graph can never collide with a stale entry.
 """
 
 from __future__ import annotations
@@ -41,8 +51,14 @@ class GroundTruthCache:
     Parameters
     ----------
     cache_dir:
-        Directory for the JSON cache files; ``None`` keeps everything
-        in memory only.
+        Directory for the key-named JSON cache files; ``None`` keeps the
+        key tier in memory only.
+    digest_dir:
+        Directory for the content-addressed tier; ``None`` (the default)
+        derives ``<snapshot_dir>/ground_truth`` from the ``snapshot_dir``
+        knob at lookup time, so a plain ``GroundTruthCache()`` becomes
+        persistent the moment a snapshot store is configured (and stays
+        memory-only otherwise, the historical behaviour).
 
     Examples
     --------
@@ -53,7 +69,11 @@ class GroundTruthCache:
     True
     """
 
-    def __init__(self, cache_dir: Optional[PathLike] = None) -> None:
+    def __init__(
+        self,
+        cache_dir: Optional[PathLike] = None,
+        digest_dir: Optional[PathLike] = None,
+    ) -> None:
         self._memory: Dict[str, Dict[Node, float]] = {}
         # Version fencing (PR 8): remember which graph object (weakly) and
         # which ``Graph._version`` each entry was computed against, so a
@@ -67,6 +87,7 @@ class GroundTruthCache:
         self._cache_dir = Path(cache_dir) if cache_dir is not None else None
         if self._cache_dir is not None:
             self._cache_dir.mkdir(parents=True, exist_ok=True)
+        self._digest_dir = Path(digest_dir) if digest_dir is not None else None
 
     def _remember(self, key: str, graph: Graph) -> None:
         try:
@@ -129,11 +150,27 @@ class GroundTruthCache:
                     self._memory[key] = values
                     self._remember(key, graph)
                     return values
+        # Content-addressed persistent tier: the digest is recomputed from
+        # the graph *as it is now*, so (unlike the key file) a hit here is
+        # safe even when this key's previous entry went stale — a mutated
+        # graph simply hashes to a different file.
+        digest_path = self._digest_path_for(graph)
+        if digest_path is not None and digest_path.exists():
+            values = self._load(digest_path)
+            if len(values) == graph.number_of_nodes():
+                self._memory[key] = values
+                self._remember(key, graph)
+                if self._cache_dir is not None:
+                    self._store(self._path_for(key), values)
+                return values
         values = exact_betweenness(graph, workers=workers)
         self._memory[key] = values
         self._remember(key, graph)
         if self._cache_dir is not None:
             self._store(self._path_for(key), values)
+        if digest_path is not None:
+            digest_path.parent.mkdir(parents=True, exist_ok=True)
+            self._store(digest_path, values)
         return values
 
     def stats(self) -> Dict[str, int]:
@@ -145,6 +182,32 @@ class GroundTruthCache:
         }
 
     # ------------------------------------------------------------------
+    def _digest_tier(self) -> Optional[Path]:
+        """The content-addressed tier directory, or ``None`` when disabled."""
+        if self._digest_dir is not None:
+            return self._digest_dir
+        from repro.graphs import store as snapshot_store
+
+        base = snapshot_store.resolve_snapshot_dir()
+        return None if base is None else base / "ground_truth"
+
+    def _digest_path_for(self, graph: Graph) -> Optional[Path]:
+        """The content-addressed truth file for ``graph`` as it is *now*.
+
+        The name binds the graph content digest to the routed SSSP metric:
+        the same graph has different (hop vs weighted) exact betweenness
+        depending on how :func:`repro.graphs.sssp.effective_weighted`
+        resolves, so both dimensions address the file.
+        """
+        directory = self._digest_tier()
+        if directory is None:
+            return None
+        from repro.graphs import store as snapshot_store
+
+        metric = "weighted" if _sssp.effective_weighted(graph) else "hop"
+        digest = snapshot_store.content_digest(graph)
+        return directory / f"bt_{digest}_{metric}.json"
+
     def _path_for(self, key: str) -> Path:
         safe = "".join(ch if ch.isalnum() or ch in "-_.@" else "_" for ch in key)
         return self._cache_dir / f"{safe}.json"

@@ -136,6 +136,25 @@ class ExperimentConfig:
         lazily via :func:`repro.graphs.compiled.set_default_compiled`
         (process-wide, sticky, mirrored into the environment); never
         changes results.
+    snapshot_dir:
+        On-disk CSR snapshot store directory for the whole run: datasets
+        are memoised to ``<dir>/datasets`` and exact ground truth persists
+        content-addressed in ``<dir>/ground_truth``, so repeat runs skip
+        graph generation and Brandes; ``None`` (default) leaves the
+        ``REPRO_SNAPSHOT_DIR`` environment variable (or no store) in
+        charge.  Applied lazily via
+        :func:`repro.graphs.store.set_default_snapshot_dir` (process-wide,
+        sticky, mirrored into the environment); never changes results,
+        only cold-start time.
+    mmap:
+        How snapshot files are attached: ``"auto"`` (read-only
+        ``np.memmap`` views when numpy is available), ``"on"`` (same,
+        asserting intent) or ``"off"`` (read arrays into RAM); ``None``
+        (default) leaves the ``REPRO_MMAP`` environment variable in
+        charge.  Applied lazily via
+        :func:`repro.graphs.store.set_default_mmap` (process-wide, sticky,
+        mirrored into the environment).  Mapped and in-RAM arrays are
+        byte-identical — never changes results, only memory footprint.
     """
 
     datasets: Sequence[str] = ("flickr", "livejournal", "usa-road", "orkut")
@@ -160,6 +179,8 @@ class ExperimentConfig:
     weighted: Optional[str] = None
     sssp_kernel: Optional[str] = None
     compiled: Optional[str] = None
+    snapshot_dir: Optional[str] = None
+    mmap: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.scale <= 0:
@@ -217,6 +238,14 @@ class ExperimentConfig:
         if self.compiled is not None and self.compiled not in ("auto", "on", "off"):
             raise ValueError(
                 f"compiled must be None, 'auto', 'on' or 'off', got {self.compiled!r}"
+            )
+        if self.snapshot_dir is not None and not str(self.snapshot_dir).strip():
+            raise ValueError(
+                f"snapshot_dir must be None or a non-empty path, got {self.snapshot_dir!r}"
+            )
+        if self.mmap is not None and self.mmap not in ("auto", "on", "off"):
+            raise ValueError(
+                f"mmap must be None, 'auto', 'on' or 'off', got {self.mmap!r}"
             )
 
     # ------------------------------------------------------------------

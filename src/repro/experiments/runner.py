@@ -100,6 +100,7 @@ class ExperimentRunner:
         self._weighted_applied = False
         self._sssp_kernel_applied = False
         self._compiled_applied = False
+        self._snapshot_applied = False
         self._datasets: Dict[str, Dataset] = {}
         self._block_cut_trees: Dict[str, BlockCutTree] = {}
         self._ground_truth_cache = GroundTruthCache()
@@ -273,6 +274,28 @@ class ExperimentRunner:
         set_default_compiled(self.config.compiled)
         self._compiled_applied = True
 
+    def _apply_snapshot_config(self) -> None:
+        """Apply explicit ``config.snapshot_dir``/``mmap`` choices, once.
+
+        Same lifecycle as the knobs above (process-wide, sticky, mirrored
+        into ``REPRO_SNAPSHOT_DIR`` / ``REPRO_MMAP`` so spawned workers
+        attach the same store the same way; passing ``None`` to the
+        setters hands control back to the environment).  Snapshots are
+        byte-identical to freshly built graphs, so neither knob changes
+        results — only cold-start time and memory footprint.
+        """
+        if self._snapshot_applied:
+            return
+        if self.config.snapshot_dir is None and self.config.mmap is None:
+            return
+        from repro.graphs.store import set_default_mmap, set_default_snapshot_dir
+
+        if self.config.snapshot_dir is not None:
+            set_default_snapshot_dir(self.config.snapshot_dir)
+        if self.config.mmap is not None:
+            set_default_mmap(self.config.mmap)
+        self._snapshot_applied = True
+
     # ------------------------------------------------------------------
     # Cached resources
     # ------------------------------------------------------------------
@@ -287,6 +310,7 @@ class ExperimentRunner:
         self._apply_weighted_config()
         self._apply_sssp_kernel_config()
         self._apply_compiled_config()
+        self._apply_snapshot_config()
         if name not in self._datasets:
             self._datasets[name] = load(
                 name, scale=self.config.scale, seed=self.config.seed

@@ -48,11 +48,27 @@ from repro.graphs.generators import (
 )
 from repro.graphs.graph import Graph
 from repro.graphs.io import (
+    iter_dimacs_arcs,
+    iter_edge_list,
     read_dimacs_graph,
     read_edge_list,
     write_edge_list,
 )
 from repro.graphs.properties import GraphSummary, summarize
+from repro.graphs.store import (
+    SnapshotStore,
+    content_digest,
+    default_mmap,
+    default_snapshot_dir,
+    effective_mmap,
+    graph_from_snapshot,
+    load_snapshot,
+    resolve_mmap,
+    resolve_snapshot_dir,
+    save_snapshot,
+    set_default_mmap,
+    set_default_snapshot_dir,
+)
 from repro.graphs.sssp import (
     default_weighted,
     effective_weighted,
@@ -78,6 +94,20 @@ __all__ = [
     "read_edge_list",
     "write_edge_list",
     "read_dimacs_graph",
+    "iter_edge_list",
+    "iter_dimacs_arcs",
+    "SnapshotStore",
+    "save_snapshot",
+    "load_snapshot",
+    "content_digest",
+    "graph_from_snapshot",
+    "default_snapshot_dir",
+    "set_default_snapshot_dir",
+    "resolve_snapshot_dir",
+    "default_mmap",
+    "set_default_mmap",
+    "resolve_mmap",
+    "effective_mmap",
     "erdos_renyi_graph",
     "barabasi_albert_graph",
     "watts_strogatz_graph",

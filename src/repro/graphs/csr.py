@@ -264,6 +264,7 @@ class CSRGraph:
         "index",
         "identity_labels",
         "max_degree",
+        "source_path",
         "_indptr_list",
         "_indices_list",
         "_weights_list",
@@ -300,6 +301,14 @@ class CSRGraph:
             self.max_degree = max(
                 indptr[i + 1] - indptr[i] for i in range(self.n)
             )
+        # Set by repro.graphs.store when the snapshot is backed by an
+        # on-disk file (saved or loaded, possibly as read-only np.memmap
+        # views).  repro.parallel uses it to hand workers a path + header
+        # instead of re-exporting the arrays to shared memory.  Patched
+        # snapshots (_patched_snapshot) construct fresh arrays and so drop
+        # the backing file — copy-on-write, the mapped file is never
+        # written through.
+        self.source_path: Optional[str] = None
         self._indptr_list: Optional[List[int]] = None
         self._indices_list: Optional[List[int]] = None
         self._weights_list: Optional[List[float]] = None
@@ -340,6 +349,33 @@ class CSRGraph:
                 self._indptr_list = list(self.indptr)
                 self._indices_list = list(self.indices)
         return self._indptr_list, self._indices_list
+
+    def save(self, path):
+        """Persist the snapshot to ``path`` (see :mod:`repro.graphs.store`).
+
+        The written file is versioned and checksummed; on success
+        ``self.source_path`` points at it, arming the zero-copy worker
+        handoff in :mod:`repro.parallel`.  Returns the written path.
+        """
+        from repro.graphs.store import save_snapshot
+
+        return save_snapshot(self, path)
+
+    @classmethod
+    def load(cls, path, mmap=None, *, verify: bool = False) -> "CSRGraph":
+        """Load a snapshot written by :meth:`save`.
+
+        With ``mmap`` unset the ``mmap`` knob decides (``REPRO_MMAP``,
+        default ``auto``): when numpy is importable the arrays come back
+        as read-only ``np.memmap`` views — an O(1) attach regardless of
+        graph size — otherwise they are read into RAM.  Both forms are
+        byte-identical.  Corrupt, truncated, stale-version or
+        foreign-endianness files raise :class:`~repro.errors.GraphError`
+        naming the path and the mismatch.
+        """
+        from repro.graphs.store import load_snapshot
+
+        return load_snapshot(path, mmap=mmap, verify=verify)
 
     @classmethod
     def from_graph(cls, graph: Graph) -> "CSRGraph":
@@ -570,7 +606,10 @@ def as_csr(graph: Graph) -> CSRGraph:
     byte-identical to a from-scratch build.  Repeated calls on an unchanged
     graph are O(1).  A :class:`CSRGraph` passes through unchanged, so code
     holding either a graph or a bare snapshot (a shared-memory worker
-    payload) can normalise with one call.
+    payload, or a memory-mapped on-disk snapshot from
+    :mod:`repro.graphs.store` — whose arrays stay read-only; patching a
+    *mutated* graph always materialises fresh in-RAM arrays, i.e.
+    copy-on-write) can normalise with one call.
     """
     if isinstance(graph, CSRGraph):
         return graph
@@ -587,6 +626,37 @@ def as_csr(graph: Graph) -> CSRGraph:
     # Arm the journal so the *next* mutation round can patch this snapshot.
     _delta.track(graph)
     return csr
+
+
+def adopt_snapshot(graph: Graph, snapshot: CSRGraph) -> None:
+    """Seed the CSR cache of ``graph`` with an existing ``snapshot``.
+
+    Used by the datasets registry when it rebuilds a dict graph from an
+    on-disk snapshot (:func:`repro.graphs.store.graph_from_snapshot`): the
+    file-backed snapshot *is* the graph's CSR form, so adopting it makes
+    ``as_csr(graph)`` return it directly — keeping the arrays memory-mapped
+    and the zero-copy file handoff to workers armed — instead of
+    rebuilding identical arrays in RAM.
+
+    The caller warrants that ``snapshot`` is byte-identical to
+    ``CSRGraph.from_graph(graph)`` (``graph_from_snapshot`` reconstructs
+    per-node adjacency order exactly, so its output qualifies); the cheap
+    invariants are still checked here.  Later mutations behave as always:
+    the journal patches *fresh* in-RAM arrays (copy-on-write), never the
+    adopted snapshot.
+    """
+    if (
+        snapshot.n != graph.number_of_nodes()
+        or snapshot.m != graph.number_of_edges()
+        or snapshot.labels != list(graph.nodes())
+    ):
+        raise GraphError(
+            "adopt_snapshot: snapshot does not describe this graph "
+            f"(snapshot n={snapshot.n}, m={snapshot.m}; graph "
+            f"n={graph.number_of_nodes()}, m={graph.number_of_edges()})"
+        )
+    _csr_cache[graph] = (graph._version, snapshot)
+    _delta.track(graph)
 
 
 # ----------------------------------------------------------------------

@@ -12,17 +12,29 @@ Supported formats:
   lengths) are kept when ``weighted=True`` and dropped otherwise, matching
   the paper's hop-distance evaluation while letting the weighted SSSP engine
   run real road lengths.
+
+Every reader **streams**: lines are parsed one at a time straight off the
+file handle, so parse memory is O(1) in the file size — a 24M-node USA-road
+``.gr`` file never exists in memory as anything but the graph being built.
+The parse layer is also exposed directly as the lazy generators
+:func:`iter_edge_list` and :func:`iter_dimacs_arcs`, for callers that want
+the edge stream without materialising a :class:`Graph` at all (e.g. piping
+straight into an external partitioner, or counting/filtering edges of files
+bigger than RAM).
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Callable, Iterable, Optional, Union
+from typing import Callable, Iterable, Iterator, Optional, Tuple, Union
 
 from repro.errors import GraphError
 from repro.graphs.graph import Graph
 
 PathLike = Union[str, Path]
+
+#: One streamed edge: ``(u, v, weight)`` with ``weight=None`` for unit edges.
+EdgeRecord = Tuple[object, object, Optional[float]]
 
 
 def _parse_weight(token: str, path: PathLike, line_number: int) -> float:
@@ -36,6 +48,59 @@ def _parse_weight(token: str, path: PathLike, line_number: int) -> float:
     return weight
 
 
+# ----------------------------------------------------------------------
+# Edge lists
+# ----------------------------------------------------------------------
+def _iter_edge_records(
+    path: PathLike, node_type: Callable, comments: Iterable[str]
+) -> Iterator[Tuple[int, object, object, Optional[float]]]:
+    """Stream ``(line_number, u, v, weight)`` records off an edge-list file.
+
+    The shared parse layer of :func:`iter_edge_list` and
+    :func:`read_edge_list`: one line in memory at a time, full per-line
+    validation, self loops dropped (SNAP files occasionally contain them).
+    """
+    prefixes = tuple(comments)
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith(prefixes):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphError(
+                    f"{path}:{line_number}: expected 'u v' or 'u v weight', "
+                    f"got {line!r}"
+                )
+            u, v = node_type(parts[0]), node_type(parts[1])
+            if u == v:
+                continue
+            weight = None
+            if len(parts) >= 3:
+                weight = _parse_weight(parts[2], path, line_number)
+            yield line_number, u, v, weight
+
+
+def iter_edge_list(
+    path: PathLike,
+    *,
+    node_type: Callable = int,
+    comments: Iterable[str] = ("#", "%"),
+) -> Iterator[EdgeRecord]:
+    """Lazily stream ``(u, v, weight)`` edges from an edge-list file.
+
+    ``weight`` is ``None`` for two-column (unit) lines.  Parsing is fully
+    lazy — each line is read, validated and yielded before the next is
+    touched, so memory stays O(1) in file size and a partially-consumed
+    iterator never reads (or validates) the rest of the file.  Self loops
+    are dropped, comment lines skipped; malformed lines raise
+    :class:`GraphError` with the path and line number when (and only when)
+    the stream reaches them.
+    """
+    for _line_number, u, v, weight in _iter_edge_records(path, node_type, comments):
+        yield u, v, weight
+
+
 def read_edge_list(
     path: PathLike,
     *,
@@ -47,7 +112,9 @@ def read_edge_list(
 
     Each non-comment line is ``u v`` or ``u v weight``; the optional third
     column is a positive edge length (lines without it default to unit
-    weight, so mixed files work).
+    weight, so mixed files work).  The file is streamed line by line
+    (O(1) parse memory); use :func:`iter_edge_list` for the raw edge
+    stream without building a graph.
 
     Parameters
     ----------
@@ -71,29 +138,14 @@ def read_edge_list(
     """
     del directed_as_undirected  # duplicates/reverse arcs collapse naturally
     graph = Graph()
-    prefixes = tuple(comments)
-    with open(path, "r", encoding="utf-8") as handle:
-        for line_number, raw in enumerate(handle, start=1):
-            line = raw.strip()
-            if not line or line.startswith(prefixes):
-                continue
-            parts = line.split()
-            if len(parts) < 2:
-                raise GraphError(
-                    f"{path}:{line_number}: expected 'u v' or 'u v weight', "
-                    f"got {line!r}"
-                )
-            u, v = node_type(parts[0]), node_type(parts[1])
-            if u == v:
-                continue  # SNAP files occasionally contain self loops; drop them
-            if len(parts) >= 3:
-                weight = _parse_weight(parts[2], path, line_number)
-                try:
-                    graph.add_edge(u, v, weight=weight)
-                except GraphError as error:
-                    raise GraphError(f"{path}:{line_number}: {error}") from None
-            else:
-                graph.add_edge(u, v)
+    for line_number, u, v, weight in _iter_edge_records(path, node_type, comments):
+        if weight is not None:
+            try:
+                graph.add_edge(u, v, weight=weight)
+            except GraphError as error:
+                raise GraphError(f"{path}:{line_number}: {error}") from None
+        else:
+            graph.add_edge(u, v)
     return graph
 
 
@@ -117,6 +169,64 @@ def write_edge_list(graph: Graph, path: PathLike, *, header: Optional[str] = Non
                 handle.write(f"{u} {v}\n")
 
 
+# ----------------------------------------------------------------------
+# DIMACS
+# ----------------------------------------------------------------------
+def _iter_dimacs_records(
+    path: PathLike, weighted: bool
+) -> Iterator[Tuple[str, int, object, object, Optional[float]]]:
+    """Stream DIMACS records: ``("p", line, declared_nodes, None, None)`` or
+    ``("a", line, u, v, weight)``.
+
+    The shared parse layer of :func:`iter_dimacs_arcs` and
+    :func:`read_dimacs_graph` — one line in memory at a time.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("c"):
+                continue
+            parts = line.split()
+            if parts[0] == "p":
+                if len(parts) < 4:
+                    raise GraphError(f"{path}:{line_number}: malformed problem line {line!r}")
+                yield "p", line_number, int(parts[2]), None, None
+            elif parts[0] == "a":
+                if len(parts) < 3:
+                    raise GraphError(f"{path}:{line_number}: malformed arc line {line!r}")
+                u, v = int(parts[1]), int(parts[2])
+                if u == v:
+                    continue
+                weight = None
+                if weighted:
+                    if len(parts) < 4:
+                        raise GraphError(
+                            f"{path}:{line_number}: arc line has no weight: {line!r}"
+                        )
+                    weight = _parse_weight(parts[3], path, line_number)
+                yield "a", line_number, u, v, weight
+            else:
+                raise GraphError(f"{path}:{line_number}: unrecognised line {line!r}")
+
+
+def iter_dimacs_arcs(
+    path: PathLike, *, weighted: bool = False
+) -> Iterator[EdgeRecord]:
+    """Lazily stream ``(u, v, weight)`` arcs from a DIMACS ``.gr`` file.
+
+    Comment and problem (``p``) lines are validated and skipped; with
+    ``weighted=False`` (the paper's hop-distance setting) ``weight`` is
+    ``None``, with ``weighted=True`` it is the parsed arc length.  Fully
+    lazy — O(1) memory in file size, and a partially-consumed iterator
+    never reads the rest of the file.  Self loops are dropped; malformed
+    lines raise :class:`GraphError` naming the path and line number when
+    the stream reaches them.
+    """
+    for kind, _line_number, u, v, weight in _iter_dimacs_records(path, weighted):
+        if kind == "a":
+            yield u, v, weight
+
+
 def read_dimacs_graph(path: PathLike, *, weighted: bool = False) -> Graph:
     """Read a DIMACS shortest-path challenge ``.gr`` file.
 
@@ -130,40 +240,21 @@ def read_dimacs_graph(path: PathLike, *, weighted: bool = False) -> Graph:
     wins).  With ``weighted=False`` (the default, the paper's hop-distance
     setting) arc weights are dropped; with ``weighted=True`` they are kept
     as edge lengths for the weighted SSSP engine.  Node ids in DIMACS are
-    1-based and are kept as-is.
+    1-based and are kept as-is.  The file is streamed line by line (O(1)
+    parse memory); use :func:`iter_dimacs_arcs` for the raw arc stream.
     """
     graph = Graph()
     declared_nodes: Optional[int] = None
-    with open(path, "r", encoding="utf-8") as handle:
-        for line_number, raw in enumerate(handle, start=1):
-            line = raw.strip()
-            if not line or line.startswith("c"):
-                continue
-            parts = line.split()
-            if parts[0] == "p":
-                if len(parts) < 4:
-                    raise GraphError(f"{path}:{line_number}: malformed problem line {line!r}")
-                declared_nodes = int(parts[2])
-            elif parts[0] == "a":
-                if len(parts) < 3:
-                    raise GraphError(f"{path}:{line_number}: malformed arc line {line!r}")
-                u, v = int(parts[1]), int(parts[2])
-                if u == v:
-                    continue
-                if weighted:
-                    if len(parts) < 4:
-                        raise GraphError(
-                            f"{path}:{line_number}: arc line has no weight: {line!r}"
-                        )
-                    weight = _parse_weight(parts[3], path, line_number)
-                    try:
-                        graph.add_edge(u, v, weight=weight)
-                    except GraphError as error:
-                        raise GraphError(f"{path}:{line_number}: {error}") from None
-                else:
-                    graph.add_edge(u, v)
-            else:
-                raise GraphError(f"{path}:{line_number}: unrecognised line {line!r}")
+    for kind, line_number, u, v, weight in _iter_dimacs_records(path, weighted):
+        if kind == "p":
+            declared_nodes = u
+        elif weight is not None:
+            try:
+                graph.add_edge(u, v, weight=weight)
+            except GraphError as error:
+                raise GraphError(f"{path}:{line_number}: {error}") from None
+        else:
+            graph.add_edge(u, v)
     if declared_nodes is not None:
         # DIMACS nodes are 1..n even if isolated; make sure they all exist.
         for node in range(1, declared_nodes + 1):

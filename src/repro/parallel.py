@@ -36,9 +36,14 @@ pickle — the serial path and ``fork`` pools, which inherit memory, never
 export anything) and worker processes attach zero-copy views instead of
 unpickling the adjacency.  Blocks are unlinked when the owning
 :class:`WorkerPool` shuts down, on the clean path and on the exception path
-alike.  The handoff never changes results — workers see the same arrays bit
-for bit — and degrades gracefully to the pickle payload when numpy or
-``shared_memory`` is missing or block allocation fails.
+alike.  When the snapshot is already backed by an on-disk snapshot file
+(:mod:`repro.graphs.store`) and the ``mmap`` knob resolves to mapping, the
+export is skipped entirely: the payload is the file path plus a header and
+each worker attaches read-only ``np.memmap`` views of the file itself —
+the file *is* the shared block.  The handoff never changes results —
+workers see the same arrays bit for bit — and degrades gracefully to the
+pickle payload when numpy or ``shared_memory`` is missing or block
+allocation fails.
 
 Configuration
 -------------
@@ -275,6 +280,12 @@ _active_shared_blocks: set = set()
 #: the mappings stay alive for the worker's lifetime.
 _attached_snapshots: Dict[Tuple[str, str], object] = {}
 
+#: Worker-side cache of file-attached snapshots, keyed by the payload
+#: header ``(path, n, num_indices, weighted)``: one (usually memory-mapped)
+#: ``CSRGraph`` per snapshot file, attached on first use and reused by
+#: every chunk the worker runs.
+_attached_file_snapshots: Dict[Tuple[str, int, int, bool], object] = {}
+
 
 def shared_memory_available() -> bool:
     """Whether the zero-copy handoff can work at all (numpy + shared_memory)."""
@@ -391,6 +402,42 @@ def _attach_shared_csr(
     return snapshot
 
 
+def _attach_snapshot_file(path: str, n: int, num_indices: int, weighted: bool):
+    """Worker-side reconstruction from an on-disk snapshot file.
+
+    The file written by :mod:`repro.graphs.store` *is* the shared block:
+    the worker attaches it (as read-only ``np.memmap`` views under the
+    resolved ``mmap`` knob — mirrored into the environment, so spawn
+    workers agree with the master), so nothing was re-exported to
+    ``multiprocessing.shared_memory`` and the pickled payload is just this
+    path plus a header.  The header is cross-checked against the file so a
+    swapped or regenerated snapshot fails loudly instead of silently
+    computing on the wrong graph.
+    """
+    key = (path, n, num_indices, weighted)
+    cached = _attached_file_snapshots.get(key)
+    if cached is not None:
+        return cached
+    from repro.errors import GraphError
+    from repro.graphs.store import load_snapshot
+
+    snapshot = load_snapshot(path)
+    if (
+        snapshot.n != n
+        or len(snapshot.indices) != num_indices
+        or (snapshot.weights is not None) != weighted
+    ):
+        raise GraphError(
+            f"snapshot {path}: file no longer matches the worker payload "
+            f"header (file: n={snapshot.n}, num_indices={len(snapshot.indices)}, "
+            f"weighted={snapshot.weights is not None}; payload: n={n}, "
+            f"num_indices={num_indices}, weighted={weighted}) — was the "
+            "snapshot regenerated while a pool was running?"
+        )
+    _attached_file_snapshots[key] = snapshot
+    return snapshot
+
+
 def _rebuild_csr(indptr, indices, labels, weights=None):
     """Pickle-payload fallback: rebuild the snapshot from shipped arrays."""
     from repro.graphs.csr import CSRGraph
@@ -406,15 +453,27 @@ class SharedCSRPayload:
     Master side this wraps the frozen :class:`~repro.graphs.csr.CSRGraph`.
     Pickling it (which only happens when a pool actually ships the payload
     to processes — ``spawn``/``forkserver`` initargs; ``fork`` pools inherit
-    the object as-is and the serial path never pickles) exports the
-    ``indptr``/``indices`` (plus ``weights`` when present) arrays into
-    shared-memory blocks *once* and ships a handle; unpickling in a worker attaches zero-copy views.  If block
-    allocation fails (e.g. ``/dev/shm`` exhausted) the payload degrades to
-    shipping the arrays by value — the classic pickle payload.
+    the object as-is and the serial path never pickles) picks the cheapest
+    faithful handoff:
 
-    The blocks live until :meth:`release`, which the owning
-    :class:`WorkerPool` calls from both its clean and its exception
-    shutdown paths.
+    1. **Snapshot file.**  When the snapshot is backed by an on-disk file
+       (``csr.source_path``, set by :mod:`repro.graphs.store`) that still
+       exists, and the ``mmap`` knob resolves to mapping, the payload is
+       just the path plus a header — the file *is* the shared block, and
+       each worker attaches read-only ``np.memmap`` views directly.
+       Nothing is exported, so there is nothing to release.
+    2. **Shared-memory blocks.**  Otherwise the
+       ``indptr``/``indices`` (plus ``weights`` when present) arrays are
+       exported into ``multiprocessing.shared_memory`` blocks *once* and a
+       handle is shipped; unpickling in a worker attaches zero-copy views.
+    3. **Pickle fallback.**  If block allocation fails (e.g. ``/dev/shm``
+       exhausted) the payload degrades to shipping the arrays by value —
+       the classic pickle payload.
+
+    All three forms hand workers byte-identical arrays, so results never
+    depend on the transport.  The blocks live until :meth:`release`, which
+    the owning :class:`WorkerPool` calls from both its clean and its
+    exception shutdown paths.
     """
 
     __slots__ = ("csr", "_blocks", "_handle", "_failed")
@@ -433,7 +492,33 @@ class SharedCSRPayload:
         """Names of the live shared-memory blocks (empty before export)."""
         return [block.name for block in self._blocks]
 
+    def _snapshot_file_args(self) -> Optional[Tuple]:
+        """The ``_attach_snapshot_file`` args, or ``None`` when ineligible.
+
+        Eligible means: the snapshot is backed by an on-disk file that
+        still exists and the ``mmap`` knob resolves to mapping (numpy
+        importable, mode not ``off``).  With ``mmap=off`` the shared-
+        memory export keeps the pre-snapshot behaviour byte-for-byte.
+        """
+        path = getattr(self.csr, "source_path", None)
+        if path is None:
+            return None
+        from repro.graphs.store import effective_mmap
+
+        if not effective_mmap() or not os.path.exists(path):
+            return None
+        return (
+            path,
+            self.csr.n,
+            len(self.csr.indices),
+            self.csr.weights is not None,
+        )
+
     def __reduce__(self):
+        if not self._failed and self._handle is None:
+            file_args = self._snapshot_file_args()
+            if file_args is not None:
+                self._handle = (_attach_snapshot_file, file_args)
         if not self._failed and self._handle is None:
             try:
                 indptr_name, indptr_block = _export_array(self.csr.indptr)
@@ -445,12 +530,15 @@ class SharedCSRPayload:
                     weights_name, weights_block = _export_array(self.csr.weights)
                     self._blocks.append(weights_block)
                 self._handle = (
-                    indptr_name,
-                    indices_name,
-                    weights_name,
-                    self.csr.n,
-                    len(self.csr.indices),
-                    self._labels_arg(),
+                    _attach_shared_csr,
+                    (
+                        indptr_name,
+                        indices_name,
+                        weights_name,
+                        self.csr.n,
+                        len(self.csr.indices),
+                        self._labels_arg(),
+                    ),
                 )
             except OSError:
                 # Block allocation failed: release anything half-created and
@@ -458,7 +546,7 @@ class SharedCSRPayload:
                 self.release()
                 self._failed = True
         if self._handle is not None:
-            return (_attach_shared_csr, self._handle)
+            return self._handle
         return (
             _rebuild_csr,
             (self.csr.indptr, self.csr.indices, self._labels_arg(),

@@ -2,11 +2,15 @@
 
 from __future__ import annotations
 
+from itertools import islice
+
 import pytest
 
 from repro.errors import GraphError
 from repro.graphs.graph import Graph
 from repro.graphs.io import (
+    iter_dimacs_arcs,
+    iter_edge_list,
     read_coordinates,
     read_dimacs_graph,
     read_edge_list,
@@ -58,6 +62,59 @@ class TestEdgeList:
         path.write_text("a b\nb c\n")
         graph = read_edge_list(path, node_type=str)
         assert graph.has_edge("a", "b")
+
+
+class TestIterEdgeList:
+    def test_matches_reader(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# header\n1 2\n2 3 0.5\n3 3\n3 4\n")
+        streamed = list(iter_edge_list(path))
+        assert streamed == [(1, 2, None), (2, 3, 0.5), (3, 4, None)]
+        graph = read_edge_list(path)
+        for u, v, _weight in streamed:
+            assert graph.has_edge(u, v)
+        assert graph.number_of_edges() == len(streamed)
+
+    def test_lazy_stops_before_malformed_tail(self, tmp_path):
+        # A partially-consumed stream must never parse (or reject) the rest
+        # of the file — that is what makes it safe on bigger-than-RAM files.
+        path = tmp_path / "graph.txt"
+        path.write_text("1 2\n2 3\nthis-is-not-an-edge\n")
+        assert list(islice(iter_edge_list(path), 2)) == [(1, 2, None), (2, 3, None)]
+        with pytest.raises(GraphError, match="graph.txt:3"):
+            list(iter_edge_list(path))
+
+    def test_node_type_and_comments(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("; note\na b\n", encoding="utf-8")
+        streamed = list(iter_edge_list(path, node_type=str, comments=(";",)))
+        assert streamed == [("a", "b", None)]
+
+
+class TestIterDimacsArcs:
+    def test_matches_reader(self, tmp_path):
+        path = tmp_path / "graph.gr"
+        path.write_text("c x\np sp 4 4\na 1 2 10\na 2 2 3\na 2 3 5\na 3 4 1\n")
+        assert list(iter_dimacs_arcs(path)) == [(1, 2, None), (2, 3, None), (3, 4, None)]
+        weighted = list(iter_dimacs_arcs(path, weighted=True))
+        assert weighted == [(1, 2, 10.0), (2, 3, 5.0), (3, 4, 1.0)]
+        graph = read_dimacs_graph(path, weighted=True)
+        for u, v, weight in weighted:
+            assert graph.edge_weight(u, v) == weight
+
+    def test_lazy_stops_before_malformed_tail(self, tmp_path):
+        path = tmp_path / "graph.gr"
+        path.write_text("p sp 3 2\na 1 2 1\nbogus line\n")
+        assert list(islice(iter_dimacs_arcs(path), 1)) == [(1, 2, None)]
+        with pytest.raises(GraphError, match="graph.gr:3"):
+            list(iter_dimacs_arcs(path))
+
+    def test_missing_weight_raises_only_when_weighted(self, tmp_path):
+        path = tmp_path / "graph.gr"
+        path.write_text("a 1 2\n")
+        assert list(iter_dimacs_arcs(path)) == [(1, 2, None)]
+        with pytest.raises(GraphError, match="no weight"):
+            list(iter_dimacs_arcs(path, weighted=True))
 
 
 class TestDimacs:
